@@ -1,0 +1,114 @@
+// Ablation benches for the design choices DESIGN.md calls out beyond the
+// paper's tables:
+//   (a) L_Sup vs. L_Sup^uw vs. L_Sup^ftr(tau) for several tau (Sec. VII —
+//       the paper argues tau is hard to tune; the sweep shows it),
+//   (b) mixup beta sweep (paper fixes beta = 16),
+//   (c) GCE q sweep (q -> 0 ~ CCE, q = 1 = MAE; Theorem 1 endpoints),
+//   (d) auxiliary malicious batch size M (imbalance handling).
+// All on the CERT simulation at uniform eta = 0.45.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/clfd.h"
+#include "eval/experiment.h"
+
+namespace clfd {
+namespace {
+
+AggregatedMetrics RunVariant(const ClfdConfig& config, const SplitSpec& split,
+                             int seeds) {
+  return RunExperimentWithFactory(
+      [&](uint64_t seed) { return std::make_unique<ClfdModel>(config, seed); },
+      DatasetKind::kCert, split, NoiseSpec::Uniform(0.45), config.emb_dim,
+      seeds);
+}
+
+void Run() {
+  BenchScale scale = ReadBenchScale();
+  std::printf("=== Loss-variant & hyperparameter ablations (CERT, eta=0.45) "
+              "===\n");
+  bench::PrintScaleBanner(scale);
+  ScaledSetup setup = MakeScaledSetup(DatasetKind::kCert, scale);
+
+  {
+    std::printf("--- (a) supervised contrastive variants (Sec. VII) ---\n");
+    TextTable table({"Variant", "F1", "FPR", "AUC-ROC"});
+    ClfdConfig weighted = setup.config;
+    AggregatedMetrics m = RunVariant(weighted, setup.split, scale.seeds);
+    table.AddRow({"L_Sup (weighted)", bench::Cell(m.f1), bench::Cell(m.fpr),
+                  bench::Cell(m.auc)});
+
+    ClfdConfig unweighted = setup.config;
+    unweighted.supcon_variant = SupConVariant::kUnweighted;
+    m = RunVariant(unweighted, setup.split, scale.seeds);
+    table.AddRow({"L_Sup^uw", bench::Cell(m.f1), bench::Cell(m.fpr),
+                  bench::Cell(m.auc)});
+
+    for (double tau : {0.5, 0.7, 0.8, 0.9, 0.95}) {
+      ClfdConfig filtered = setup.config;
+      filtered.supcon_variant = SupConVariant::kFiltered;
+      filtered.filter_tau = tau;
+      m = RunVariant(filtered, setup.split, scale.seeds);
+      char name[40];
+      std::snprintf(name, sizeof(name), "L_Sup^ftr tau=%.2f", tau);
+      table.AddRow({name, bench::Cell(m.f1), bench::Cell(m.fpr),
+                    bench::Cell(m.auc)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  {
+    std::printf("--- (b) mixup beta sweep (paper: 16) ---\n");
+    TextTable table({"beta", "F1", "FPR", "AUC-ROC"});
+    for (float beta : {0.16f, 1.0f, 4.0f, 16.0f}) {
+      ClfdConfig config = setup.config;
+      config.mixup_beta = beta;
+      AggregatedMetrics m = RunVariant(config, setup.split, scale.seeds);
+      char name[16];
+      std::snprintf(name, sizeof(name), "%.1f", beta);
+      table.AddRow({name, bench::Cell(m.f1), bench::Cell(m.fpr),
+                    bench::Cell(m.auc)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  {
+    std::printf("--- (c) GCE q sweep (paper: 0.7) ---\n");
+    TextTable table({"q", "F1", "FPR", "AUC-ROC"});
+    for (float q : {0.1f, 0.4f, 0.7f, 1.0f}) {
+      ClfdConfig config = setup.config;
+      config.gce_q = q;
+      AggregatedMetrics m = RunVariant(config, setup.split, scale.seeds);
+      char name[16];
+      std::snprintf(name, sizeof(name), "%.1f", q);
+      table.AddRow({name, bench::Cell(m.f1), bench::Cell(m.fpr),
+                    bench::Cell(m.auc)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  {
+    std::printf("--- (d) auxiliary malicious batch size M (paper: 20) ---\n");
+    TextTable table({"M", "F1", "FPR", "AUC-ROC"});
+    for (int m_size : {0, 4, 8, 16}) {
+      ClfdConfig config = setup.config;
+      config.aux_batch_size = m_size;
+      AggregatedMetrics m = RunVariant(config, setup.split, scale.seeds);
+      char name[16];
+      std::snprintf(name, sizeof(name), "%d", m_size);
+      table.AddRow({name, bench::Cell(m.f1), bench::Cell(m.fpr),
+                    bench::Cell(m.auc)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace clfd
+
+int main() {
+  clfd::Run();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// google-benchmark micro-benchmarks of the substrate: matmul kernels, LSTM
+// forward/backward at the paper's dimensions, the loss kernels, and the
+// O(|T|(R+M)) scaling of the supervised contrastive batch loss (the time-
+// complexity claim of Sec. III-B).
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/var.h"
+#include "common/rng.h"
+#include "losses/contrastive.h"
+#include "losses/robust_losses.h"
+#include "nn/lstm.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::Randn(n, n, 1.0f, &rng);
+  Matrix b = Matrix::Randn(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MatMulTransposeB(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::Randn(n, n, 1.0f, &rng);
+  Matrix b = Matrix::Randn(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransposeB(a, b));
+  }
+}
+BENCHMARK(BM_MatMulTransposeB)->Arg(50)->Arg(100);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(1);
+  Matrix a = Matrix::Randn(100, 50, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxRows(a));
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_LstmForward(benchmark::State& state) {
+  // Paper dimensions: batch 100, embedding/hidden 50, 2 layers.
+  int t_len = static_cast<int>(state.range(0));
+  Rng rng(2);
+  nn::Lstm lstm(50, 50, 2, &rng);
+  std::vector<Matrix> inputs;
+  for (int t = 0; t < t_len; ++t) {
+    inputs.push_back(Matrix::Randn(100, 50, 1.0f, &rng));
+  }
+  for (auto _ : state) {
+    std::vector<ag::Var> steps;
+    for (const Matrix& m : inputs) steps.push_back(ag::Constant(m));
+    benchmark::DoNotOptimize(lstm.Forward(steps));
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  int t_len = static_cast<int>(state.range(0));
+  Rng rng(2);
+  nn::Lstm lstm(50, 50, 2, &rng);
+  std::vector<Matrix> inputs;
+  for (int t = 0; t < t_len; ++t) {
+    inputs.push_back(Matrix::Randn(100, 50, 1.0f, &rng));
+  }
+  for (auto _ : state) {
+    std::vector<ag::Var> steps;
+    for (const Matrix& m : inputs) steps.push_back(ag::Constant(m));
+    auto hs = lstm.Forward(steps);
+    ag::Var loss = ag::SumAll(ag::Mul(hs.back(), hs.back()));
+    ag::Backward(loss);
+  }
+}
+BENCHMARK(BM_LstmForwardBackward)->Arg(10)->Arg(20);
+
+void BM_GceLoss(benchmark::State& state) {
+  Rng rng(3);
+  Matrix probs = SoftmaxRows(Matrix::Randn(100, 2, 1.0f, &rng));
+  Matrix targets(100, 2);
+  for (int i = 0; i < 100; ++i) targets.at(i, i % 2) = 1.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GceLoss(ag::Constant(probs), targets, 0.7f));
+  }
+}
+BENCHMARK(BM_GceLoss);
+
+// Supervised contrastive batch loss as a function of R + M: the paper's
+// per-batch cost is quadratic in (R + M) while the number of batches is
+// |T| / R, giving the stated O(|T| (R + M)) per epoch.
+void BM_SupConLoss(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  Matrix z = Matrix::Randn(n, 50, 1.0f, &rng);
+  std::vector<int> labels(n);
+  std::vector<double> conf(n, 0.9);
+  for (int i = 0; i < n; ++i) labels[i] = i % 5 == 0 ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SupConLoss(ag::Constant(z), labels, conf, n, 1.0f));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SupConLoss)->Arg(30)->Arg(60)->Arg(120)->Arg(240)->Complexity();
+
+void BM_NtXentLoss(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Matrix z = Matrix::Randn(2 * n, 50, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NtXentLoss(ag::Constant(z), 0.5f));
+  }
+}
+BENCHMARK(BM_NtXentLoss)->Arg(50)->Arg(100);
+
+}  // namespace
+}  // namespace clfd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#ifndef CLFD_BENCH_BENCH_UTIL_H_
+#define CLFD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace clfd {
+namespace bench {
+
+// The uniform noise rates swept by Table I (Sec. IV-B1).
+inline std::vector<double> UniformNoiseRates() { return {0.1, 0.2, 0.3, 0.45}; }
+
+// The class-dependent setting of Tables II/III/V: eta10=0.3, eta01=0.45.
+inline NoiseSpec ClassDependentSetting() {
+  return NoiseSpec::ClassDependent(0.3, 0.45);
+}
+
+inline std::vector<DatasetKind> AllDatasets() {
+  return {DatasetKind::kCert, DatasetKind::kWiki, DatasetKind::kOpenStack};
+}
+
+// Formats a metric cell like the paper: "62.77±2.9".
+inline std::string Cell(const MeanStd& m) { return m.ToString(2); }
+
+inline void PrintScaleBanner(const BenchScale& scale) {
+  std::printf(
+      "scale: %.3fx paper split sizes | %d seed(s) | %.2fx paper epochs "
+      "(override with CLFD_SCALE / CLFD_SEEDS / CLFD_EPOCH_SCALE)\n\n",
+      scale.split_scale, scale.seeds, scale.epoch_scale);
+}
+
+// The ablation variants of Tables IV/V (Sec. IV-B4), in table order.
+inline std::vector<std::pair<std::string, ClfdConfig>> AblationVariants(
+    const ClfdConfig& base) {
+  std::vector<std::pair<std::string, ClfdConfig>> variants;
+  variants.emplace_back("CLFD", base);
+
+  ClfdConfig no_lc = base;
+  no_lc.use_label_corrector = false;
+  variants.emplace_back("w/o LC", no_lc);
+
+  ClfdConfig vanilla_gce = base;
+  vanilla_gce.classifier_loss = ClassifierLoss::kVanillaGce;
+  variants.emplace_back("w/o mixup-GCE", vanilla_gce);
+
+  ClfdConfig cce = base;
+  cce.classifier_loss = ClassifierLoss::kCce;
+  variants.emplace_back("w/o GCE loss", cce);
+
+  ClfdConfig no_fd = base;
+  no_fd.use_fraud_detector = false;
+  variants.emplace_back("w/o FD", no_fd);
+
+  ClfdConfig unweighted = base;
+  unweighted.supcon_variant = SupConVariant::kUnweighted;
+  variants.emplace_back("w/o L_Sup", unweighted);
+
+  ClfdConfig centroid = base;
+  centroid.use_classifier = false;
+  variants.emplace_back("w/o classifier (FD)", centroid);
+
+  return variants;
+}
+
+}  // namespace bench
+}  // namespace clfd
+
+#endif  // CLFD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,32 @@
+#include "augment/augment.h"
+
+#include <algorithm>
+
+namespace clfd {
+
+Session ReorderAugment(const Session& session, Rng* rng, int sub_len) {
+  Session out = session;
+  int n = out.length();
+  if (n < 2) return out;
+  if (n < sub_len) {
+    // Best effort on very short sessions: swap two random positions.
+    int i = rng->UniformInt(n);
+    int j = rng->UniformInt(n);
+    std::swap(out.activities[i], out.activities[j]);
+    return out;
+  }
+  int start = rng->UniformInt(n - sub_len + 1);
+  // Fisher-Yates inside the window.
+  for (int i = sub_len - 1; i > 0; --i) {
+    int j = rng->UniformInt(i + 1);
+    std::swap(out.activities[start + i], out.activities[start + j]);
+  }
+  return out;
+}
+
+double SampleMixupLambda(double beta, Rng* rng) {
+  if (beta <= 0.0) return 1.0;  // beta -> 0 degenerates to no mixing
+  return rng->Beta(beta, beta);
+}
+
+}  // namespace clfd

@@ -1,0 +1,22 @@
+#ifndef CLFD_AUGMENT_AUGMENT_H_
+#define CLFD_AUGMENT_AUGMENT_H_
+
+#include "common/rng.h"
+#include "data/session.h"
+
+namespace clfd {
+
+// Session-reordering augmentation (Vinay et al. [3], used for the
+// self-supervised pre-training of the label corrector, Sec. IV-A2):
+// selects a random activity sub-sequence of length `sub_len` (paper: 3) and
+// permutes the activities inside it. Sessions shorter than `sub_len` are
+// returned unchanged apart from a best-effort swap of two positions.
+Session ReorderAugment(const Session& session, Rng* rng, int sub_len = 3);
+
+// Mixup interpolation coefficient lambda ~ Beta(beta, beta) (Zhang et al.
+// [37]; the paper uses beta = 16 so interpolation is strong, Sec. IV-A2).
+double SampleMixupLambda(double beta, Rng* rng);
+
+}  // namespace clfd
+
+#endif  // CLFD_AUGMENT_AUGMENT_H_

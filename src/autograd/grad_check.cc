@@ -1,0 +1,41 @@
+#include "autograd/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clfd {
+namespace ag {
+
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& build_loss,
+    const std::vector<Var>& params, float epsilon) {
+  // Analytic pass.
+  for (const Var& p : params) {
+    p.node()->grad = Matrix(p.rows(), p.cols());
+  }
+  Var loss = build_loss(params);
+  Backward(loss);
+
+  GradCheckResult result;
+  for (const Var& p : params) {
+    Matrix& value = p.node()->value;
+    for (int i = 0; i < value.size(); ++i) {
+      float saved = value[i];
+      value[i] = saved + epsilon;
+      float up = build_loss(params).value()[0];
+      value[i] = saved - epsilon;
+      float down = build_loss(params).value()[0];
+      value[i] = saved;
+      float numeric = (up - down) / (2.0f * epsilon);
+      float analytic = p.grad()[i];
+      float abs_err = std::abs(numeric - analytic);
+      float denom = std::max({std::abs(numeric), std::abs(analytic), 1.0f});
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    }
+  }
+  return result;
+}
+
+}  // namespace ag
+}  // namespace clfd

@@ -1,0 +1,36 @@
+#ifndef CLFD_AUTOGRAD_GRAD_CHECK_H_
+#define CLFD_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace clfd {
+namespace ag {
+
+// Result of a finite-difference gradient verification.
+struct GradCheckResult {
+  float max_abs_error = 0.0f;   // max |analytic - numeric| over all entries
+  float max_rel_error = 0.0f;   // relative version with an absolute floor
+  bool ok(float tol = 2e-2f) const {
+    return max_abs_error < tol || max_rel_error < tol;
+  }
+};
+
+// Verifies the analytic gradients of `build_loss` against central finite
+// differences. `build_loss` must construct a fresh graph from the given
+// params on every call and return a [1 x 1] scalar. Perturbation happens on
+// the param values in place (restored afterwards).
+//
+// Used by the test suite to validate every autograd op and every network
+// layer (the substrate substituting for PyTorch must compute the same
+// gradients PyTorch would).
+GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& build_loss,
+    const std::vector<Var>& params, float epsilon = 1e-3f);
+
+}  // namespace ag
+}  // namespace clfd
+
+#endif  // CLFD_AUTOGRAD_GRAD_CHECK_H_

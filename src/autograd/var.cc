@@ -1,0 +1,400 @@
+#include "autograd/var.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace clfd {
+namespace ag {
+
+namespace {
+
+// Creates an interior node whose requires_grad is inherited from parents.
+Var MakeOp(Matrix value, std::vector<NodePtr> parents,
+           std::function<void(Node*)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool any_grad = false;
+  for (const NodePtr& p : parents) any_grad = any_grad || p->requires_grad;
+  node->requires_grad = any_grad;
+  if (any_grad) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return Var(std::move(node));
+}
+
+void TopoSort(const NodePtr& root, std::vector<Node*>* order) {
+  // Iterative post-order DFS (graphs can be thousands of nodes deep for
+  // long LSTM unrolls; recursion would risk stack overflow).
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child++].get();
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+Var Constant(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return Var(std::move(node));
+}
+
+Var Param(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return Var(std::move(node));
+}
+
+void Backward(const Var& root) {
+  assert(root.defined());
+  if (!root.requires_grad()) return;
+  std::vector<Node*> post_order;
+  TopoSort(root.node(), &post_order);
+  for (Node* n : post_order) n->EnsureGrad();
+  // Seed: d root / d root = 1.
+  Node* r = root.node().get();
+  for (int i = 0; i < r->grad.size(); ++i) r->grad[i] += 1.0f;
+  // Reverse topological order = post-order reversed.
+  for (auto it = post_order.rbegin(); it != post_order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn(*it);
+  }
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(clfd::MatMul(an->value, bn->value), {an, bn},
+                [an, bn](Node* out) {
+                  if (an->requires_grad) {
+                    an->EnsureGrad();
+                    an->grad.AddInPlace(MatMulTransposeB(out->grad, bn->value));
+                  }
+                  if (bn->requires_grad) {
+                    bn->EnsureGrad();
+                    bn->grad.AddInPlace(MatMulTransposeA(an->value, out->grad));
+                  }
+                });
+}
+
+Var MatMulTransposeB(const Var& a, const Var& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(clfd::MatMulTransposeB(an->value, bn->value), {an, bn},
+                [an, bn](Node* out) {
+                  // out = a b^T; d a = g b; d b = g^T a.
+                  if (an->requires_grad) {
+                    an->EnsureGrad();
+                    an->grad.AddInPlace(clfd::MatMul(out->grad, bn->value));
+                  }
+                  if (bn->requires_grad) {
+                    bn->EnsureGrad();
+                    bn->grad.AddInPlace(MatMulTransposeA(out->grad, an->value));
+                  }
+                });
+}
+
+Var Add(const Var& a, const Var& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(clfd::Add(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      an->grad.AddInPlace(out->grad);
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      bn->grad.AddInPlace(out->grad);
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(clfd::Sub(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      an->grad.AddInPlace(out->grad);
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      bn->grad.AddScaled(out->grad, -1.0f);
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(clfd::Mul(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      an->grad.AddInPlace(clfd::Mul(out->grad, bn->value));
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      bn->grad.AddInPlace(clfd::Mul(out->grad, an->value));
+    }
+  });
+}
+
+Var AddScalar(const Var& a, float s) {
+  NodePtr an = a.node();
+  return MakeOp(clfd::AddScalar(an->value, s), {an}, [an](Node* out) {
+    an->EnsureGrad();
+    an->grad.AddInPlace(out->grad);
+  });
+}
+
+Var Scale(const Var& a, float s) {
+  NodePtr an = a.node();
+  return MakeOp(clfd::MulScalar(an->value, s), {an}, [an, s](Node* out) {
+    an->EnsureGrad();
+    an->grad.AddScaled(out->grad, s);
+  });
+}
+
+Var AddRowBroadcast(const Var& a, const Var& bias) {
+  NodePtr an = a.node(), bn = bias.node();
+  return MakeOp(clfd::AddRowBroadcast(an->value, bn->value), {an, bn},
+                [an, bn](Node* out) {
+                  if (an->requires_grad) {
+                    an->EnsureGrad();
+                    an->grad.AddInPlace(out->grad);
+                  }
+                  if (bn->requires_grad) {
+                    bn->EnsureGrad();
+                    for (int r = 0; r < out->grad.rows(); ++r) {
+                      const float* grow = out->grad.row(r);
+                      for (int c = 0; c < out->grad.cols(); ++c) {
+                        bn->grad[c] += grow[c];
+                      }
+                    }
+                  }
+                });
+}
+
+Var RowScaleConst(const Var& a, const Matrix& col) {
+  assert(col.cols() == 1 && col.rows() == a.rows());
+  NodePtr an = a.node();
+  Matrix value = an->value;
+  for (int r = 0; r < value.rows(); ++r) {
+    float s = col.at(r, 0);
+    float* row = value.row(r);
+    for (int c = 0; c < value.cols(); ++c) row[c] *= s;
+  }
+  return MakeOp(std::move(value), {an}, [an, col](Node* out) {
+    an->EnsureGrad();
+    for (int r = 0; r < out->grad.rows(); ++r) {
+      float s = col.at(r, 0);
+      const float* grow = out->grad.row(r);
+      float* arow = an->grad.row(r);
+      for (int c = 0; c < out->grad.cols(); ++c) arow[c] += s * grow[c];
+    }
+  });
+}
+
+Var Exp(const Var& a) {
+  NodePtr an = a.node();
+  Matrix value = clfd::Exp(an->value);
+  return MakeOp(value, {an}, [an, value](Node* out) {
+    an->EnsureGrad();
+    an->grad.AddInPlace(clfd::Mul(out->grad, value));
+  });
+}
+
+Var Log(const Var& a) {
+  NodePtr an = a.node();
+  return MakeOp(clfd::Log(an->value), {an}, [an](Node* out) {
+    an->EnsureGrad();
+    for (int i = 0; i < out->grad.size(); ++i) {
+      an->grad[i] += out->grad[i] / std::max(an->value[i], 1e-12f);
+    }
+  });
+}
+
+Var Pow(const Var& a, float p) {
+  NodePtr an = a.node();
+  return MakeOp(clfd::Pow(an->value, p), {an}, [an, p](Node* out) {
+    an->EnsureGrad();
+    for (int i = 0; i < out->grad.size(); ++i) {
+      // d/dx x^p = p x^(p-1); clamp the base so p < 1 stays finite at 0.
+      float base = std::max(an->value[i], 1e-12f);
+      an->grad[i] += out->grad[i] * p * std::pow(base, p - 1.0f);
+    }
+  });
+}
+
+Var Tanh(const Var& a) {
+  NodePtr an = a.node();
+  Matrix value = clfd::Tanh(an->value);
+  return MakeOp(value, {an}, [an, value](Node* out) {
+    an->EnsureGrad();
+    for (int i = 0; i < out->grad.size(); ++i) {
+      an->grad[i] += out->grad[i] * (1.0f - value[i] * value[i]);
+    }
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  NodePtr an = a.node();
+  Matrix value = clfd::Sigmoid(an->value);
+  return MakeOp(value, {an}, [an, value](Node* out) {
+    an->EnsureGrad();
+    for (int i = 0; i < out->grad.size(); ++i) {
+      an->grad[i] += out->grad[i] * value[i] * (1.0f - value[i]);
+    }
+  });
+}
+
+Var Relu(const Var& a) {
+  NodePtr an = a.node();
+  return MakeOp(clfd::Relu(an->value), {an}, [an](Node* out) {
+    an->EnsureGrad();
+    for (int i = 0; i < out->grad.size(); ++i) {
+      if (an->value[i] > 0.0f) an->grad[i] += out->grad[i];
+    }
+  });
+}
+
+Var LeakyRelu(const Var& a, float slope) {
+  NodePtr an = a.node();
+  return MakeOp(clfd::LeakyRelu(an->value, slope), {an}, [an, slope](Node* out) {
+    an->EnsureGrad();
+    for (int i = 0; i < out->grad.size(); ++i) {
+      an->grad[i] += out->grad[i] * (an->value[i] > 0.0f ? 1.0f : slope);
+    }
+  });
+}
+
+Var SoftmaxRows(const Var& a) {
+  NodePtr an = a.node();
+  Matrix value = clfd::SoftmaxRows(an->value);
+  return MakeOp(value, {an}, [an, value](Node* out) {
+    an->EnsureGrad();
+    // d x_j = s_j * (g_j - sum_k g_k s_k) per row.
+    for (int r = 0; r < value.rows(); ++r) {
+      const float* s = value.row(r);
+      const float* g = out->grad.row(r);
+      float* ar = an->grad.row(r);
+      double dot = 0.0;
+      for (int c = 0; c < value.cols(); ++c) dot += g[c] * s[c];
+      for (int c = 0; c < value.cols(); ++c) {
+        ar[c] += s[c] * (g[c] - static_cast<float>(dot));
+      }
+    }
+  });
+}
+
+Var SumAll(const Var& a) {
+  NodePtr an = a.node();
+  Matrix value(1, 1);
+  value[0] = clfd::SumAll(an->value);
+  return MakeOp(std::move(value), {an}, [an](Node* out) {
+    an->EnsureGrad();
+    float g = out->grad[0];
+    for (int i = 0; i < an->grad.size(); ++i) an->grad[i] += g;
+  });
+}
+
+Var MeanAll(const Var& a) {
+  float inv = a.value().size() > 0
+                  ? 1.0f / static_cast<float>(a.value().size())
+                  : 0.0f;
+  return Scale(SumAll(a), inv);
+}
+
+Var SumRows(const Var& a) {
+  NodePtr an = a.node();
+  return MakeOp(clfd::SumRows(an->value), {an}, [an](Node* out) {
+    an->EnsureGrad();
+    for (int r = 0; r < an->grad.rows(); ++r) {
+      float g = out->grad.at(r, 0);
+      float* row = an->grad.row(r);
+      for (int c = 0; c < an->grad.cols(); ++c) row[c] += g;
+    }
+  });
+}
+
+Var ConcatRows(const std::vector<Var>& blocks) {
+  assert(!blocks.empty());
+  std::vector<Matrix> values;
+  std::vector<NodePtr> parents;
+  values.reserve(blocks.size());
+  for (const Var& b : blocks) {
+    values.push_back(b.value());
+    parents.push_back(b.node());
+  }
+  return MakeOp(clfd::ConcatRows(values), parents, [parents](Node* out) {
+    int r = 0;
+    for (const NodePtr& p : parents) {
+      if (p->requires_grad) {
+        p->EnsureGrad();
+        for (int pr = 0; pr < p->value.rows(); ++pr) {
+          const float* grow = out->grad.row(r + pr);
+          float* prow = p->grad.row(pr);
+          for (int c = 0; c < p->value.cols(); ++c) prow[c] += grow[c];
+        }
+      }
+      r += p->value.rows();
+    }
+  });
+}
+
+Var SliceRows(const Var& a, int begin, int end) {
+  NodePtr an = a.node();
+  return MakeOp(clfd::SliceRows(an->value, begin, end), {an},
+                [an, begin](Node* out) {
+                  an->EnsureGrad();
+                  for (int r = 0; r < out->grad.rows(); ++r) {
+                    const float* grow = out->grad.row(r);
+                    float* arow = an->grad.row(begin + r);
+                    for (int c = 0; c < out->grad.cols(); ++c) {
+                      arow[c] += grow[c];
+                    }
+                  }
+                });
+}
+
+Var NormalizeRows(const Var& a) {
+  NodePtr an = a.node();
+  Matrix value = an->value;
+  std::vector<float> norms(value.rows());
+  for (int r = 0; r < value.rows(); ++r) {
+    norms[r] = RowNorm(an->value, r);
+    float* row = value.row(r);
+    for (int c = 0; c < value.cols(); ++c) row[c] /= norms[r];
+  }
+  return MakeOp(std::move(value), {an}, [an, norms](Node* out) {
+    an->EnsureGrad();
+    // For y = x / |x|: dx = (g - y (g . y)) / |x|.
+    for (int r = 0; r < out->grad.rows(); ++r) {
+      const float* g = out->grad.row(r);
+      const float* x = an->value.row(r);
+      float* ar = an->grad.row(r);
+      float inv = 1.0f / norms[r];
+      double dot = 0.0;
+      for (int c = 0; c < out->grad.cols(); ++c) {
+        dot += g[c] * x[c] * inv;
+      }
+      for (int c = 0; c < out->grad.cols(); ++c) {
+        ar[c] += inv * (g[c] - static_cast<float>(dot) * x[c] * inv);
+      }
+    }
+  });
+}
+
+}  // namespace ag
+}  // namespace clfd

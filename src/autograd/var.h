@@ -1,0 +1,113 @@
+#ifndef CLFD_AUTOGRAD_VAR_H_
+#define CLFD_AUTOGRAD_VAR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace clfd {
+namespace ag {
+
+// One node in the dynamically built computation graph.
+//
+// A node owns its forward value and (lazily allocated) gradient buffer. The
+// backward function of a node propagates `grad` into the gradients of its
+// parents; nodes and their captured intermediates are freed automatically
+// when the last Var handle referencing the graph goes out of scope.
+class Node {
+ public:
+  Matrix value;
+  Matrix grad;  // same shape as value once EnsureGrad() has run
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates this node's grad into parents' grads. Null for leaves.
+  std::function<void(Node*)> backward_fn;
+
+  void EnsureGrad() {
+    if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
+  }
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+// Lightweight value-semantic handle to a graph node. All autograd ops take
+// and return Var by value; copying a Var aliases the underlying node.
+class Var {
+ public:
+  Var() = default;
+  explicit Var(NodePtr node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  // Mutators operate on the shared node, so they are usable through const
+  // handles (a Var is a reference, not a value).
+  Matrix& mutable_value() const { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  Matrix& mutable_grad() const { return node_->grad; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+
+  NodePtr node() const { return node_; }
+
+ private:
+  NodePtr node_;
+};
+
+// Leaf with no gradient (inputs, labels, masks).
+Var Constant(Matrix value);
+// Leaf that accumulates gradient (model parameters).
+Var Param(Matrix value);
+
+// Runs reverse-mode accumulation from `root` (typically a [1 x 1] scalar
+// loss). Seeds d(root)/d(root) = 1 and traverses the graph in reverse
+// topological order. Parameter gradients accumulate across calls until the
+// optimizer clears them.
+void Backward(const Var& root);
+
+// ---- Differentiable ops. Shapes follow the tensor/matrix.h kernels. ----
+
+Var MatMul(const Var& a, const Var& b);
+// a * b^T; used for similarity matrices (z z^T).
+Var MatMulTransposeB(const Var& a, const Var& b);
+
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);  // elementwise
+Var AddScalar(const Var& a, float s);
+Var Scale(const Var& a, float s);
+// Adds a [1 x C] bias row to every row of a.
+Var AddRowBroadcast(const Var& a, const Var& bias);
+// Scales row r of a by the constant col[r] (no gradient through col).
+// Used for sequence masking and confidence weighting.
+Var RowScaleConst(const Var& a, const Matrix& col);
+
+Var Exp(const Var& a);
+Var Log(const Var& a);        // input clamped at 1e-12 in forward & backward
+Var Pow(const Var& a, float p);
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+Var Relu(const Var& a);
+Var LeakyRelu(const Var& a, float slope);
+
+// Row-wise softmax (stable); used by classifier heads & attention.
+Var SoftmaxRows(const Var& a);
+
+// Reductions to [1 x 1] / per-row.
+Var SumAll(const Var& a);
+Var MeanAll(const Var& a);
+Var SumRows(const Var& a);  // [R x C] -> [R x 1]
+
+Var ConcatRows(const std::vector<Var>& blocks);
+Var SliceRows(const Var& a, int begin, int end);
+
+// L2-normalizes every row; the backbone of cosine-similarity losses.
+Var NormalizeRows(const Var& a);
+
+}  // namespace ag
+}  // namespace clfd
+
+#endif  // CLFD_AUTOGRAD_VAR_H_

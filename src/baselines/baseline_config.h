@@ -1,0 +1,39 @@
+#ifndef CLFD_BASELINES_BASELINE_CONFIG_H_
+#define CLFD_BASELINES_BASELINE_CONFIG_H_
+
+#include "core/config.h"
+
+namespace clfd {
+
+// Hyperparameters shared by all baseline implementations. The paper adapts
+// every baseline to the fraud-detection task with LSTM session encoders of
+// the same dimensions as CLFD (two hidden layers of size 50, batch 100,
+// Adam lr 0.005 — Sec. IV-A2/IV-A3); model-specific knobs live on each
+// model class.
+struct BaselineConfig {
+  int emb_dim = 50;
+  int hidden_dim = 50;
+  int num_layers = 2;
+  int batch_size = 100;
+  float learning_rate = 0.005f;
+  float simclr_learning_rate = 0.001f;  // see ClfdConfig::simclr_learning_rate
+  float grad_clip = 5.0f;
+  TrainingBudget budget;
+
+  static BaselineConfig FromClfd(const ClfdConfig& c) {
+    BaselineConfig b;
+    b.emb_dim = c.emb_dim;
+    b.hidden_dim = c.hidden_dim;
+    b.num_layers = c.num_layers;
+    b.batch_size = c.batch_size;
+    b.learning_rate = c.learning_rate;
+    b.simclr_learning_rate = c.simclr_learning_rate;
+    b.grad_clip = c.grad_clip;
+    b.budget = c.budget;
+    return b;
+  }
+};
+
+}  // namespace clfd
+
+#endif  // CLFD_BASELINES_BASELINE_CONFIG_H_

@@ -1,0 +1,37 @@
+#ifndef CLFD_BASELINES_CLDET_H_
+#define CLFD_BASELINES_CLDET_H_
+
+#include <memory>
+
+#include "baselines/baseline_config.h"
+#include "core/detector.h"
+#include "encoders/session_encoder.h"
+#include "nn/classifier.h"
+
+namespace clfd {
+
+// CLDet (Vinay et al. [3]): self-supervised SimCLR pre-training of an LSTM
+// session encoder followed by a classifier trained with plain (noise-
+// sensitive) cross entropy on the noisy labels. CLFD's label corrector is
+// this framework with the classifier loss swapped for mixup GCE — so this
+// baseline shares its machinery and differs only in the final loss.
+class CldetModel : public DetectorModel {
+ public:
+  CldetModel(const BaselineConfig& config, uint64_t seed);
+
+  std::string name() const override { return "CLDet"; }
+  void Train(const SessionDataset& train, const Matrix& embeddings) override;
+  std::vector<double> Score(const SessionDataset& data) const override;
+
+ private:
+  BaselineConfig config_;
+  mutable Rng rng_;
+  SessionEncoder encoder_;
+  ProjectionHead projection_;
+  nn::FeedForwardClassifier classifier_;
+  Matrix embeddings_;
+};
+
+}  // namespace clfd
+
+#endif  // CLFD_BASELINES_CLDET_H_

@@ -1,0 +1,38 @@
+#ifndef CLFD_BASELINES_GMM1D_H_
+#define CLFD_BASELINES_GMM1D_H_
+
+#include <vector>
+
+namespace clfd {
+
+// Two-component 1-D Gaussian mixture fitted with EM.
+//
+// DivideMix [31] models the per-sample training-loss distribution as a
+// mixture of a "clean" (low-loss) and a "noisy" (high-loss) component and
+// uses the posterior of the low-mean component as the clean probability.
+class GaussianMixture1D {
+ public:
+  struct Component {
+    double mean = 0.0;
+    double var = 1.0;
+    double weight = 0.5;
+  };
+
+  // Fits by EM (k-means-style init at the value extremes).
+  void Fit(const std::vector<double>& values, int max_iters = 50,
+           double tol = 1e-6);
+
+  // Posterior probability that `value` belongs to the *low-mean* component.
+  double LowComponentPosterior(double value) const;
+
+  const Component& low() const { return low_; }
+  const Component& high() const { return high_; }
+
+ private:
+  Component low_;
+  Component high_;
+};
+
+}  // namespace clfd
+
+#endif  // CLFD_BASELINES_GMM1D_H_

@@ -1,0 +1,51 @@
+#include "baselines/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace clfd {
+
+namespace {
+
+double CosineRows(const Matrix& a, int ra, const Matrix& b, int rb) {
+  double dot = 0.0;
+  for (int d = 0; d < a.cols(); ++d) dot += a.at(ra, d) * b.at(rb, d);
+  return dot / (RowNorm(a, ra) * RowNorm(b, rb));
+}
+
+}  // namespace
+
+std::vector<int> NearestNeighbors(const Matrix& queries, int query_row,
+                                  const Matrix& table, int k,
+                                  int exclude_index) {
+  assert(queries.cols() == table.cols());
+  std::vector<std::pair<double, int>> sims;
+  sims.reserve(table.rows());
+  for (int i = 0; i < table.rows(); ++i) {
+    if (i == exclude_index) continue;
+    sims.emplace_back(CosineRows(queries, query_row, table, i), i);
+  }
+  int take = std::min<int>(k, static_cast<int>(sims.size()));
+  std::partial_sort(sims.begin(), sims.begin() + take, sims.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<int> out(take);
+  for (int i = 0; i < take; ++i) out[i] = sims[i].second;
+  return out;
+}
+
+std::vector<int> KnnCorrectLabels(const Matrix& reps,
+                                  const std::vector<int>& labels, int k) {
+  assert(reps.rows() == static_cast<int>(labels.size()));
+  std::vector<int> corrected(labels.size());
+  for (int i = 0; i < reps.rows(); ++i) {
+    std::vector<int> nn = NearestNeighbors(reps, i, reps, k, i);
+    int votes_malicious = 0;
+    for (int j : nn) votes_malicious += (labels[j] == 1);
+    corrected[i] =
+        2 * votes_malicious >= static_cast<int>(nn.size()) ? 1 : 0;
+  }
+  return corrected;
+}
+
+}  // namespace clfd

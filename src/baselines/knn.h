@@ -1,0 +1,28 @@
+#ifndef CLFD_BASELINES_KNN_H_
+#define CLFD_BASELINES_KNN_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace clfd {
+
+// Cosine-similarity k-nearest-neighbour helpers used by the Sel-CL [8]
+// baseline's sample-similarity label correction (adapted to session
+// representations, Sec. IV-A3).
+
+// Indices of the k most cosine-similar rows of `table` to row `query_row`
+// of `queries` (excluding `exclude_index` when it refers into `table`).
+std::vector<int> NearestNeighbors(const Matrix& queries, int query_row,
+                                  const Matrix& table, int k,
+                                  int exclude_index = -1);
+
+// Majority-vote label among the k nearest neighbours of every row of
+// `reps` within itself (self excluded). Ties break toward label 1
+// (malicious) to protect minority-class recall.
+std::vector<int> KnnCorrectLabels(const Matrix& reps,
+                                  const std::vector<int>& labels, int k);
+
+}  // namespace clfd
+
+#endif  // CLFD_BASELINES_KNN_H_

@@ -1,0 +1,86 @@
+#include "baselines/lstm_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace clfd {
+
+LstmClassifier::LstmClassifier(const BaselineConfig& config, Rng* rng)
+    : encoder_(config.emb_dim, config.hidden_dim, config.num_layers, rng),
+      head_(config.hidden_dim, 2, rng) {}
+
+ag::Var LstmClassifier::ForwardRepresentations(
+    const std::vector<const Session*>& sessions,
+    const Matrix& embeddings) const {
+  return encoder_.EncodeBatch(sessions, embeddings);
+}
+
+ag::Var LstmClassifier::HeadProbs(const ag::Var& reps) const {
+  return ag::SoftmaxRows(head_.Forward(reps));
+}
+
+ag::Var LstmClassifier::ForwardProbs(
+    const std::vector<const Session*>& sessions,
+    const Matrix& embeddings) const {
+  return HeadProbs(ForwardRepresentations(sessions, embeddings));
+}
+
+Matrix LstmClassifier::PredictProbs(const SessionDataset& data,
+                                    const Matrix& embeddings,
+                                    int chunk) const {
+  Matrix out(data.size(), 2);
+  for (int start = 0; start < data.size(); start += chunk) {
+    int end = std::min(start + chunk, data.size());
+    std::vector<const Session*> batch;
+    for (int i = start; i < end; ++i) {
+      batch.push_back(&data.sessions[i].session);
+    }
+    Matrix probs = ForwardProbs(batch, embeddings).value();
+    for (int i = start; i < end; ++i) out.CopyRowFrom(probs, i - start, i);
+  }
+  return out;
+}
+
+std::vector<double> LstmClassifier::PerSampleCce(
+    const SessionDataset& data, const Matrix& embeddings,
+    const std::vector<int>& labels) const {
+  Matrix probs = PredictProbs(data, embeddings);
+  std::vector<double> losses(data.size());
+  for (int i = 0; i < data.size(); ++i) {
+    losses[i] = -std::log(std::max(probs.at(i, labels[i]), 1e-12f));
+  }
+  return losses;
+}
+
+void TrainCeEpoch(LstmClassifier* model, const SessionDataset& train,
+                  const Matrix& targets, const Matrix& embeddings,
+                  const BaselineConfig& config, nn::Adam* optimizer,
+                  Rng* rng) {
+  auto params = model->Parameters();
+  for (const auto& batch : train.MakeBatches(config.batch_size, rng)) {
+    std::vector<const Session*> sessions;
+    Matrix batch_targets(static_cast<int>(batch.size()), 2);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      sessions.push_back(&train.sessions[batch[i]].session);
+      batch_targets.CopyRowFrom(targets, batch[i], static_cast<int>(i));
+    }
+    ag::Var probs = model->ForwardProbs(sessions, embeddings);
+    ag::Var loss = ag::Scale(
+        ag::SumAll(ag::Mul(ag::Constant(batch_targets), ag::Log(probs))),
+        -1.0f / static_cast<float>(batch.size()));
+    ag::Backward(loss);
+    nn::ClipGradNorm(params, config.grad_clip);
+    optimizer->Step();
+  }
+}
+
+std::vector<ag::Var> LstmClassifier::Parameters() const {
+  std::vector<ag::Var> params = encoder_.Parameters();
+  auto hp = head_.Parameters();
+  params.insert(params.end(), hp.begin(), hp.end());
+  return params;
+}
+
+}  // namespace clfd

@@ -1,0 +1,61 @@
+#ifndef CLFD_BASELINES_LSTM_CLASSIFIER_H_
+#define CLFD_BASELINES_LSTM_CLASSIFIER_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+#include "baselines/baseline_config.h"
+#include "common/rng.h"
+#include "data/session.h"
+#include "encoders/session_encoder.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace clfd {
+
+// End-to-end LSTM session classifier: the backbone the paper substitutes
+// for the image networks when adapting DivMix, ULC and CTRR to sessions
+// (Sec. IV-A3). An LSTM session encoder feeds a linear softmax head; the
+// whole stack trains jointly.
+class LstmClassifier : public nn::Module {
+ public:
+  LstmClassifier(const BaselineConfig& config, Rng* rng);
+
+  // Graph-building forward over a batch of sessions -> probabilities [B x 2].
+  ag::Var ForwardProbs(const std::vector<const Session*>& sessions,
+                       const Matrix& embeddings) const;
+
+  // Encoder representations only (graph-building), for contrastive
+  // regularisers (CTRR).
+  ag::Var ForwardRepresentations(const std::vector<const Session*>& sessions,
+                                 const Matrix& embeddings) const;
+  ag::Var HeadProbs(const ag::Var& reps) const;
+
+  // Inference over a whole dataset (chunked, no graph retained) -> [N x 2].
+  Matrix PredictProbs(const SessionDataset& data, const Matrix& embeddings,
+                      int chunk = 128) const;
+
+  // Per-sample cross-entropy of `labels` under the current model; the
+  // signal DivideMix fits its loss-GMM to.
+  std::vector<double> PerSampleCce(const SessionDataset& data,
+                                   const Matrix& embeddings,
+                                   const std::vector<int>& labels) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+ private:
+  SessionEncoder encoder_;
+  nn::Linear head_;
+};
+
+// One epoch of (soft-target) cross-entropy training. `targets` is [N x 2];
+// rows indexed consistently with `train`. Returns nothing; updates in place.
+void TrainCeEpoch(LstmClassifier* model, const SessionDataset& train,
+                  const Matrix& targets, const Matrix& embeddings,
+                  const BaselineConfig& config, nn::Adam* optimizer,
+                  Rng* rng);
+
+}  // namespace clfd
+
+#endif  // CLFD_BASELINES_LSTM_CLASSIFIER_H_

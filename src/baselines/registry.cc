@@ -1,0 +1,42 @@
+#include "baselines/registry.h"
+
+#include "baselines/cldet.h"
+#include "baselines/ctrr.h"
+#include "baselines/deeplog.h"
+#include "baselines/divmix.h"
+#include "baselines/few_shot.h"
+#include "baselines/logbert.h"
+#include "baselines/selcl.h"
+#include "baselines/ulc.h"
+#include "core/clfd.h"
+
+namespace clfd {
+
+std::unique_ptr<DetectorModel> MakeModel(const std::string& name,
+                                         const ClfdConfig& clfd_config,
+                                         uint64_t seed) {
+  BaselineConfig base = BaselineConfig::FromClfd(clfd_config);
+  if (name == "CLFD") return std::make_unique<ClfdModel>(clfd_config, seed);
+  if (name == "DivMix") return std::make_unique<DivMixModel>(base, seed);
+  if (name == "ULC") return std::make_unique<UlcModel>(base, seed);
+  if (name == "Sel-CL") return std::make_unique<SelClModel>(base, seed);
+  if (name == "CTRR") return std::make_unique<CtrrModel>(base, seed);
+  if (name == "Few-Shot") return std::make_unique<FewShotModel>(base, seed);
+  if (name == "CLDet") return std::make_unique<CldetModel>(base, seed);
+  if (name == "DeepLog") return std::make_unique<DeepLogModel>(base, seed);
+  if (name == "LogBert") return std::make_unique<LogBertModel>(base, seed);
+  return nullptr;
+}
+
+std::vector<std::string> BaselineModelNames() {
+  return {"DivMix", "ULC",   "Sel-CL",  "CTRR",
+          "Few-Shot", "CLDet", "DeepLog", "LogBert"};
+}
+
+std::vector<std::string> AllModelNames() {
+  std::vector<std::string> names = BaselineModelNames();
+  names.push_back("CLFD");
+  return names;
+}
+
+}  // namespace clfd

@@ -1,0 +1,29 @@
+#ifndef CLFD_BASELINES_REGISTRY_H_
+#define CLFD_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_config.h"
+#include "core/config.h"
+#include "core/detector.h"
+
+namespace clfd {
+
+// Factory for every model in the paper's evaluation: "CLFD" plus the eight
+// baselines of Tables I/II ("DivMix", "ULC", "Sel-CL", "CTRR", "Few-Shot",
+// "CLDet", "DeepLog", "LogBert"). `clfd_config` supplies the shared
+// dimensions/budget; baselines derive their BaselineConfig from it. Returns
+// nullptr for unknown names.
+std::unique_ptr<DetectorModel> MakeModel(const std::string& name,
+                                         const ClfdConfig& clfd_config,
+                                         uint64_t seed);
+
+// Names in the paper's table order.
+std::vector<std::string> AllModelNames();
+std::vector<std::string> BaselineModelNames();
+
+}  // namespace clfd
+
+#endif  // CLFD_BASELINES_REGISTRY_H_

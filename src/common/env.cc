@@ -1,0 +1,25 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace clfd {
+
+int GetEnvInt(const std::string& name, int fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  long value = std::strtol(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<int>(value);
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+}  // namespace clfd

@@ -1,0 +1,19 @@
+#ifndef CLFD_COMMON_ENV_H_
+#define CLFD_COMMON_ENV_H_
+
+#include <string>
+
+namespace clfd {
+
+// Reads an integer environment variable, returning `fallback` when the
+// variable is unset or unparsable. Used by the benchmark harness for scale
+// knobs (CLFD_SCALE, CLFD_SEEDS) so the paper's tables can be regenerated at
+// reduced or full scale without recompiling.
+int GetEnvInt(const std::string& name, int fallback);
+
+// Same for doubles.
+double GetEnvDouble(const std::string& name, double fallback);
+
+}  // namespace clfd
+
+#endif  // CLFD_COMMON_ENV_H_

@@ -1,0 +1,52 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace clfd {
+
+double Rng::Beta(double a, double b) {
+  std::gamma_distribution<double> ga(a, 1.0);
+  std::gamma_distribution<double> gb(b, 1.0);
+  double x = ga(engine_);
+  double y = gb(engine_);
+  double denom = x + y;
+  // Both draws can underflow to zero for very small shape parameters;
+  // fall back to a fair coin, which matches the Beta(a, a) -> {0, 1}
+  // limiting behaviour as a -> 0.
+  if (denom <= 0.0) return Bernoulli(0.5) ? 1.0 : 0.0;
+  return x / denom;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  assert(k <= n);
+  std::vector<int> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  // Partial Fisher-Yates: the first k slots are a uniform k-subset.
+  for (int i = 0; i < k; ++i) {
+    int j = i + UniformInt(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+std::vector<int> Rng::SampleWithReplacement(int n, int k) {
+  std::vector<int> out(k);
+  for (int i = 0; i < k; ++i) out[i] = UniformInt(n);
+  return out;
+}
+
+int Rng::SampleDiscrete(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace clfd

@@ -1,0 +1,83 @@
+#ifndef CLFD_COMMON_RNG_H_
+#define CLFD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace clfd {
+
+// Deterministic random number generator used throughout the library.
+//
+// Every stochastic component (dataset simulation, noise injection, parameter
+// initialization, batching, mixup sampling) draws from an explicitly seeded
+// Rng so that experiments are reproducible run-to-run. The class wraps
+// std::mt19937_64 and adds the samplers the paper needs, most notably the
+// Beta(beta, beta) sampler used by the mixup strategy (Sec. III-A1).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform real in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * Uniform();
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n) {
+    return static_cast<int>(engine_() % static_cast<uint64_t>(n));
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Standard normal draw.
+  double Gaussian() { return normal_(engine_); }
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Beta(a, b) draw via two Gamma draws. Used for mixup lambda ~ Beta(b, b).
+  double Beta(double a, double b);
+
+  // Geometric-ish session length helper: integer in [lo, hi] inclusive.
+  int LengthBetween(int lo, int hi) {
+    return lo + UniformInt(hi - lo + 1);
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int i = static_cast<int>(v->size()) - 1; i > 0; --i) {
+      std::swap((*v)[i], (*v)[UniformInt(i + 1)]);
+    }
+  }
+
+  // k distinct indices sampled uniformly from [0, n). Requires k <= n.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // k indices sampled uniformly from [0, n) with replacement.
+  std::vector<int> SampleWithReplacement(int n, int k);
+
+  // Index sampled from an unnormalized non-negative weight vector.
+  int SampleDiscrete(const std::vector<double>& weights);
+
+  // Derive an independent child generator (e.g. one per experiment seed).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace clfd
+
+#endif  // CLFD_COMMON_RNG_H_

@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace clfd {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+std::string MeanStd::ToString(int decimals) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", decimals, mean(), decimals,
+                std_dev());
+  return buf;
+}
+
+}  // namespace clfd

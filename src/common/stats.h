@@ -1,0 +1,34 @@
+#ifndef CLFD_COMMON_STATS_H_
+#define CLFD_COMMON_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace clfd {
+
+// Arithmetic mean of v; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+// Sample standard deviation (n - 1 denominator); 0 when n < 2.
+double StdDev(const std::vector<double>& v);
+
+// Accumulates per-seed scores and renders the paper's "mean +/- std" cells.
+class MeanStd {
+ public:
+  void Add(double value) { values_.push_back(value); }
+
+  double mean() const { return Mean(values_); }
+  double std_dev() const { return StdDev(values_); }
+  int count() const { return static_cast<int>(values_.size()); }
+  const std::vector<double>& values() const { return values_; }
+
+  // Formats "12.34±0.56" with the given number of decimals.
+  std::string ToString(int decimals = 2) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace clfd
+
+#endif  // CLFD_COMMON_STATS_H_

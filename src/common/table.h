@@ -1,0 +1,27 @@
+#ifndef CLFD_COMMON_TABLE_H_
+#define CLFD_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace clfd {
+
+// Minimal fixed-width text-table renderer used by the benchmark harness to
+// print rows in the same layout as the paper's Tables I-V.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column padding and a header separator line.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clfd
+
+#endif  // CLFD_COMMON_TABLE_H_

@@ -1,0 +1,137 @@
+#include "core/classifier_trainer.h"
+
+#include <cassert>
+
+#include "autograd/var.h"
+#include "losses/mixup.h"
+#include "losses/robust_losses.h"
+#include "losses/sce.h"
+#include "nn/optimizer.h"
+
+namespace clfd {
+
+void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
+                               const Matrix& features,
+                               const std::vector<int>& labels,
+                               const ClfdConfig& config, Rng* rng) {
+  assert(features.rows() == static_cast<int>(labels.size()));
+  int n = features.rows();
+  if (n == 0) return;
+
+  nn::Adam optimizer(classifier->Parameters(), config.learning_rate);
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  // Auxiliary minority rows per batch, mirroring the auxiliary malicious
+  // batch S^1 the paper uses in supervised contrastive pre-training (Sec.
+  // III-B1): without it the (possibly extreme) class imbalance lets the
+  // majority anchors' mixup targets flood the minority region and recall of
+  // the minority class collapses. The minority class is whichever label is
+  // rarer in `labels`.
+  std::vector<int> minority_pool;
+  {
+    int count1 = 0;
+    for (int label : labels) count1 += (label == 1);
+    int minority_label = 2 * count1 <= n ? 1 : 0;
+    for (int i = 0; i < n; ++i) {
+      if (labels[i] == minority_label) minority_pool.push_back(i);
+    }
+    if (minority_pool.size() >= static_cast<size_t>(n) / 4) {
+      minority_pool.clear();  // balanced enough already
+    }
+  }
+  int aux = minority_pool.empty()
+                ? 0
+                : std::max(1, config.batch_size / 5);
+
+  for (int epoch = 0; epoch < config.budget.classifier_epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (int start = 0; start < n; start += config.batch_size) {
+      int end = std::min(start + config.batch_size, n);
+      int b = end - start + (end - start == config.batch_size ? aux : 0);
+      Matrix batch_features(b, features.cols());
+      std::vector<int> batch_labels(b);
+      for (int i = 0; i < end - start; ++i) {
+        batch_features.CopyRowFrom(features, order[start + i], i);
+        batch_labels[i] = labels[order[start + i]];
+      }
+      for (int i = end - start; i < b; ++i) {
+        int idx = minority_pool[rng->UniformInt(
+            static_cast<int>(minority_pool.size()))];
+        batch_features.CopyRowFrom(features, idx, i);
+        batch_labels[i] = labels[idx];
+      }
+
+      ag::Var loss;
+      switch (config.classifier_loss) {
+        case ClassifierLoss::kMixupGce: {
+          // Mixup GCE (Eq. 2-3) applied as an augmentation: the batch loss
+          // averages the GCE loss on the mixed samples with the GCE loss on
+          // the pure samples. The pure term keeps the per-region label
+          // votes (without it the minority cluster's recall collapses at
+          // reduced data scales); the mixed term supplies the label-
+          // memorization protection the paper credits mixup with.
+          MixupBatch mixed =
+              MakeMixupBatch(batch_features, batch_labels, features, labels,
+                             config.mixup_beta, rng);
+          ag::Var mixed_probs =
+              classifier->ForwardProbs(ag::Constant(mixed.features));
+          ag::Var pure_probs =
+              classifier->ForwardProbs(ag::Constant(batch_features));
+          loss = ag::Scale(
+              ag::Add(GceLoss(mixed_probs, mixed.targets, config.gce_q),
+                      GceLoss(pure_probs, OneHot(batch_labels), config.gce_q)),
+              0.5f);
+          break;
+        }
+        case ClassifierLoss::kVanillaGce: {
+          ag::Var probs =
+              classifier->ForwardProbs(ag::Constant(batch_features));
+          loss = GceLoss(probs, OneHot(batch_labels), config.gce_q);
+          break;
+        }
+        case ClassifierLoss::kCce: {
+          ag::Var probs =
+              classifier->ForwardProbs(ag::Constant(batch_features));
+          loss = CceLoss(probs, OneHot(batch_labels));
+          break;
+        }
+        case ClassifierLoss::kMixupMae: {
+          // Future-work extension: mixup unhinged/MAE (GCE at q = 1).
+          MixupBatch mixed =
+              MakeMixupBatch(batch_features, batch_labels, features, labels,
+                             config.mixup_beta, rng);
+          ag::Var mixed_probs =
+              classifier->ForwardProbs(ag::Constant(mixed.features));
+          ag::Var pure_probs =
+              classifier->ForwardProbs(ag::Constant(batch_features));
+          loss = ag::Scale(
+              ag::Add(MaeLoss(mixed_probs, mixed.targets),
+                      MaeLoss(pure_probs, OneHot(batch_labels))),
+              0.5f);
+          break;
+        }
+        case ClassifierLoss::kMixupSce: {
+          // Future-work extension: mixup Symmetric Cross Entropy.
+          MixupBatch mixed =
+              MakeMixupBatch(batch_features, batch_labels, features, labels,
+                             config.mixup_beta, rng);
+          ag::Var mixed_probs =
+              classifier->ForwardProbs(ag::Constant(mixed.features));
+          ag::Var pure_probs =
+              classifier->ForwardProbs(ag::Constant(batch_features));
+          loss = ag::Scale(
+              ag::Add(SceLoss(mixed_probs, mixed.targets),
+                      SceLoss(pure_probs, OneHot(batch_labels))),
+              0.5f);
+          break;
+        }
+      }
+      ag::Backward(loss);
+      optimizer.Step();
+    }
+  }
+}
+
+}  // namespace clfd

@@ -1,0 +1,30 @@
+#ifndef CLFD_CORE_CLASSIFIER_TRAINER_H_
+#define CLFD_CORE_CLASSIFIER_TRAINER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "nn/classifier.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+
+// Mixup-based classifier training (Sec. III-A1 / III-B2, Algorithm 1 lines
+// 13-19), shared by the label corrector (features = v_i from the
+// self-supervised encoder, labels = noisy labels) and the fraud detector
+// (features = z_i from the supervised encoder, labels = corrected labels).
+//
+// Depending on config.classifier_loss this trains with the paper's mixup
+// GCE loss, the vanilla GCE loss (ablation "w/o l^lambda_GCE") or plain
+// cross entropy (ablation "w/o GCE loss"). Mixup partners are drawn from
+// the full feature table so opposite-class partners exist even under
+// extreme imbalance.
+void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
+                               const Matrix& features,
+                               const std::vector<int>& labels,
+                               const ClfdConfig& config, Rng* rng);
+
+}  // namespace clfd
+
+#endif  // CLFD_CORE_CLASSIFIER_TRAINER_H_

@@ -1,0 +1,49 @@
+#include "core/clfd.h"
+
+#include <cassert>
+
+namespace clfd {
+
+ClfdModel::ClfdModel(const ClfdConfig& config, uint64_t seed)
+    : config_(config) {
+  if (config_.use_label_corrector) {
+    corrector_ = std::make_unique<LabelCorrector>(config_, seed);
+  }
+  if (config_.use_fraud_detector) {
+    detector_ = std::make_unique<FraudDetector>(config_, seed + 1);
+  }
+  assert(corrector_ || detector_);
+}
+
+void ClfdModel::Train(const SessionDataset& train, const Matrix& embeddings) {
+  std::vector<Correction> corrections;
+  if (corrector_) {
+    corrector_->Train(train, embeddings);
+    corrections = corrector_->Correct(train);
+  } else {
+    // Ablation "w/o LC": the fraud detector consumes the noisy labels
+    // directly with full confidence (vanilla supervised contrastive loss).
+    corrections.resize(train.size());
+    for (int i = 0; i < train.size(); ++i) {
+      corrections[i].label = train.sessions[i].noisy_label;
+      corrections[i].confidence = 1.0;
+    }
+  }
+  if (detector_) {
+    detector_->Train(train, corrections, embeddings);
+  }
+}
+
+std::vector<double> ClfdModel::Score(const SessionDataset& data) const {
+  if (detector_) return detector_->Score(data);
+  // Ablation "w/o FD": deploy the trained label corrector for inference.
+  return corrector_->MaliciousProbabilities(data);
+}
+
+std::vector<Correction> ClfdModel::CorrectLabels(
+    const SessionDataset& data) const {
+  assert(corrector_);
+  return corrector_->Correct(data);
+}
+
+}  // namespace clfd

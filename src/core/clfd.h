@@ -1,0 +1,51 @@
+#ifndef CLFD_CORE_CLFD_H_
+#define CLFD_CORE_CLFD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/detector.h"
+#include "core/fraud_detector.h"
+#include "core/label_corrector.h"
+
+namespace clfd {
+
+// End-to-end CLFD framework (Fig. 1): label corrector + fraud detector.
+//
+// Quickstart:
+//   ClfdConfig config;                       // paper defaults
+//   ClfdModel model(config, /*seed=*/42);
+//   model.Train(noisy_train, activity_embeddings);
+//   std::vector<double> scores = model.Score(test);
+//
+// The ablation switches in ClfdConfig reproduce every row of Tables IV/V:
+// disable the label corrector, swap the classifier loss, deploy the
+// corrector directly (w/o FD), use the unweighted or filtered supervised
+// contrastive variants, or replace the FCNN with centroid inference.
+class ClfdModel : public DetectorModel {
+ public:
+  ClfdModel(const ClfdConfig& config, uint64_t seed);
+
+  std::string name() const override { return "CLFD"; }
+
+  void Train(const SessionDataset& train, const Matrix& embeddings) override;
+
+  std::vector<double> Score(const SessionDataset& data) const override;
+
+  // Corrections produced by the (trained) label corrector for `data`;
+  // drives the Table III TPR/TNR analysis. Requires use_label_corrector.
+  std::vector<Correction> CorrectLabels(const SessionDataset& data) const;
+
+  const ClfdConfig& config() const { return config_; }
+
+ private:
+  ClfdConfig config_;
+  std::unique_ptr<LabelCorrector> corrector_;
+  std::unique_ptr<FraudDetector> detector_;
+};
+
+}  // namespace clfd
+
+#endif  // CLFD_CORE_CLFD_H_

@@ -1,0 +1,58 @@
+#include "core/co_teaching.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace clfd {
+
+std::vector<Correction> FuseCorrections(const std::vector<Correction>& a,
+                                        const std::vector<Correction>& b) {
+  assert(a.size() == b.size());
+  std::vector<Correction> fused(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label == b[i].label) {
+      fused[i].label = a[i].label;
+      // Independent agreement: noisy-or of the two confidences, clamped to
+      // the valid softmax-confidence range [0.5, 1].
+      double disagree = (1.0 - a[i].confidence) * (1.0 - b[i].confidence);
+      fused[i].confidence = std::min(1.0, std::max(0.5, 1.0 - disagree));
+    } else {
+      const Correction& winner =
+          a[i].confidence >= b[i].confidence ? a[i] : b[i];
+      const Correction& loser =
+          a[i].confidence >= b[i].confidence ? b[i] : a[i];
+      fused[i].label = winner.label;
+      // Disagreement damping: the loser's confidence is evidence against.
+      fused[i].confidence =
+          std::max(0.5, winner.confidence * (1.0 - loser.confidence) /
+                            std::max(1e-6, winner.confidence *
+                                                   (1.0 - loser.confidence) +
+                                               loser.confidence *
+                                                   (1.0 - winner.confidence)));
+    }
+  }
+  return fused;
+}
+
+CoTeachingClfdModel::CoTeachingClfdModel(const ClfdConfig& config,
+                                         uint64_t seed)
+    : config_(config),
+      corrector_a_(config, seed),
+      corrector_b_(config, seed + 104729),  // independent initialization
+      detector_(config, seed + 2) {}
+
+void CoTeachingClfdModel::Train(const SessionDataset& train,
+                                const Matrix& embeddings) {
+  corrector_a_.Train(train, embeddings);
+  corrector_b_.Train(train, embeddings);
+  consensus_ = FuseCorrections(corrector_a_.Correct(train),
+                               corrector_b_.Correct(train));
+  detector_.Train(train, consensus_, embeddings);
+}
+
+std::vector<double> CoTeachingClfdModel::Score(
+    const SessionDataset& data) const {
+  return detector_.Score(data);
+}
+
+}  // namespace clfd

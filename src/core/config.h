@@ -1,0 +1,84 @@
+#ifndef CLFD_CORE_CONFIG_H_
+#define CLFD_CORE_CONFIG_H_
+
+#include <algorithm>
+
+#include "losses/contrastive.h"
+
+namespace clfd {
+
+// Epoch budgets shared by CLFD and the baselines. Paper() matches Sec.
+// IV-A2 (10 contrastive / 500 classifier epochs); Fast() keeps unit tests
+// and quick experiments tractable on one CPU core while preserving the
+// relative behaviour of the methods.
+struct TrainingBudget {
+  int contrastive_epochs = 10;  // self-supervised & supervised pre-training
+  int classifier_epochs = 500;  // mixup-based classifier training
+  int sequence_epochs = 10;     // LM-style baselines (DeepLog, LogBert)
+
+  static TrainingBudget Paper() { return {10, 500, 10}; }
+  static TrainingBudget Fast() { return {3, 60, 3}; }
+  static TrainingBudget Scaled(double f) {
+    TrainingBudget b = Paper();
+    auto scale = [f](int n) { return n > 0 ? std::max(1, int(n * f)) : 0; };
+    b.contrastive_epochs = scale(b.contrastive_epochs);
+    b.classifier_epochs = scale(b.classifier_epochs);
+    b.sequence_epochs = scale(b.sequence_epochs);
+    return b;
+  }
+};
+
+// Which loss trains the classifiers of the label corrector and fraud
+// detector. kMixupGce is the paper's choice; kVanillaGce and kCce are the
+// Table IV/V ablations ("w/o l^lambda_GCE" and "w/o GCE loss"). kMixupMae
+// and kMixupSce are the future-work extensions the paper's conclusion
+// proposes: mixup versions of the unhinged/MAE loss (the q = 1 endpoint of
+// GCE) and of the Symmetric Cross Entropy loss [21].
+enum class ClassifierLoss { kMixupGce, kVanillaGce, kCce, kMixupMae,
+                            kMixupSce };
+
+// Full CLFD configuration. Defaults follow Sec. IV-A2: all representation
+// dimensions and LSTM hidden sizes 50, batch size R = 100, auxiliary batch
+// M = 20, alpha = 1, q = 0.7, beta = 16, Adam lr = 0.005.
+struct ClfdConfig {
+  int emb_dim = 50;
+  int hidden_dim = 50;
+  int num_layers = 2;
+  int batch_size = 100;    // R
+  int aux_batch_size = 20; // M (corrected-malicious auxiliary batch)
+  float gce_q = 0.7f;
+  // Mixup Beta(beta, beta) parameter (paper: 16, "sufficient interpolation
+  // strength"). The interpolation coefficient is anchored to the anchor
+  // sample (lambda := max(lambda, 1-lambda), standard mixup practice);
+  // without anchoring, opposite-class partner pools exactly cancel the
+  // noisy-label vote signal at any uniform noise rate — see DESIGN.md.
+  float mixup_beta = 16.0f;
+  float supcon_alpha = 1.0f;   // temperature in Eq. 6
+  float simclr_temp = 0.5f;    // SimCLR pre-training temperature
+  float learning_rate = 0.005f;
+  // Self-supervised pre-training uses a lower rate: NT-Xent instance
+  // discrimination at fraud-detection data scales otherwise spreads the
+  // minority cluster apart faster than the augmentation invariance can
+  // stabilize it (see DESIGN.md, "SimCLR learning rate").
+  float simclr_learning_rate = 0.001f;
+  float grad_clip = 5.0f;
+  TrainingBudget budget;
+
+  // --- Ablation switches (Sec. IV-B4) ---
+  bool use_label_corrector = true;           // w/o LC
+  ClassifierLoss classifier_loss = ClassifierLoss::kMixupGce;
+  bool use_fraud_detector = true;            // w/o FD (deploy corrector)
+  SupConVariant supcon_variant = SupConVariant::kWeighted;  // w/o L_Sup -> kUnweighted
+  bool use_classifier = true;                // w/o classifier -> centroids
+  double filter_tau = 0.8;                   // threshold for kFiltered
+
+  static ClfdConfig Fast() {
+    ClfdConfig c;
+    c.budget = TrainingBudget::Fast();
+    return c;
+  }
+};
+
+}  // namespace clfd
+
+#endif  // CLFD_CORE_CONFIG_H_

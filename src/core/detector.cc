@@ -1,0 +1,22 @@
+#include "core/detector.h"
+
+namespace clfd {
+
+std::vector<int> DetectorModel::Predict(const SessionDataset& data) const {
+  std::vector<double> scores = Score(data);
+  std::vector<int> preds(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    preds[i] = scores[i] > 0.5 ? kMalicious : kNormal;
+  }
+  return preds;
+}
+
+std::vector<int> TrueLabels(const SessionDataset& data) {
+  std::vector<int> labels(data.size());
+  for (int i = 0; i < data.size(); ++i) {
+    labels[i] = data.sessions[i].true_label;
+  }
+  return labels;
+}
+
+}  // namespace clfd

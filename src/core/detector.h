@@ -1,0 +1,41 @@
+#ifndef CLFD_CORE_DETECTOR_H_
+#define CLFD_CORE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/session.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+
+// Common interface for CLFD and every baseline in the evaluation harness.
+//
+// A detector is trained once on a noisy-labeled training set (with the
+// dataset's frozen word2vec activity embeddings) and then scores sessions:
+// higher score = more likely malicious. Predict() defaults to thresholding
+// the score at 0.5, which matches models whose score is a malicious-class
+// probability; rank-based models override it.
+class DetectorModel {
+ public:
+  virtual ~DetectorModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Trains on the noisy labels of `train`. `embeddings` is the
+  // [vocab x emb_dim] activity embedding table for this dataset.
+  virtual void Train(const SessionDataset& train, const Matrix& embeddings) = 0;
+
+  // Malicious scores for every session in `data`.
+  virtual std::vector<double> Score(const SessionDataset& data) const = 0;
+
+  // Hard labels; default thresholds Score() at 0.5.
+  virtual std::vector<int> Predict(const SessionDataset& data) const;
+};
+
+// Ground-truth label vector of a dataset (evaluation helper).
+std::vector<int> TrueLabels(const SessionDataset& data);
+
+}  // namespace clfd
+
+#endif  // CLFD_CORE_DETECTOR_H_

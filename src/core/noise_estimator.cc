@@ -1,0 +1,48 @@
+#include "core/noise_estimator.h"
+
+#include <cassert>
+
+namespace clfd {
+
+NoiseEstimate EstimateNoise(const SessionDataset& data,
+                            const std::vector<Correction>& corrections) {
+  assert(static_cast<size_t>(data.size()) == corrections.size());
+  NoiseEstimate estimate;
+  estimate.session_flip_probability.resize(data.size());
+
+  double flip_sum = 0.0;
+  double flips_from_malicious = 0.0, malicious_mass = 0.0;
+  double flips_from_normal = 0.0, normal_mass = 0.0;
+  for (int i = 0; i < data.size(); ++i) {
+    const Correction& c = corrections[i];
+    bool disagrees = c.label != data.sessions[i].noisy_label;
+    double flip_prob = disagrees ? c.confidence : 1.0 - c.confidence;
+    estimate.session_flip_probability[i] = flip_prob;
+    flip_sum += flip_prob;
+    // Class-dependent accumulation, using the corrected label as the proxy
+    // for the unknown true class and the corrector confidence as its mass.
+    if (c.label == kMalicious) {
+      malicious_mass += c.confidence;
+      if (data.sessions[i].noisy_label == kNormal) {
+        flips_from_malicious += c.confidence;
+      }
+    } else {
+      normal_mass += c.confidence;
+      if (data.sessions[i].noisy_label == kMalicious) {
+        flips_from_normal += c.confidence;
+      }
+    }
+  }
+  if (data.size() > 0) {
+    estimate.eta = flip_sum / data.size();
+  }
+  if (malicious_mass > 0.0) {
+    estimate.eta10 = flips_from_malicious / malicious_mass;
+  }
+  if (normal_mass > 0.0) {
+    estimate.eta01 = flips_from_normal / normal_mass;
+  }
+  return estimate;
+}
+
+}  // namespace clfd

@@ -1,0 +1,43 @@
+#ifndef CLFD_CORE_NOISE_ESTIMATOR_H_
+#define CLFD_CORE_NOISE_ESTIMATOR_H_
+
+#include <vector>
+
+#include "core/label_corrector.h"
+#include "data/session.h"
+
+namespace clfd {
+
+// Noise-rate estimation from the trained label corrector — the "model
+// session-specific noise rates" direction of the paper's conclusion.
+//
+// Given the corrector's predictions y-hat with confidences c and the
+// observed noisy labels y-tilde, the probability that session i's given
+// label is wrong is estimated as
+//
+//   p_i = c_i                if y-hat_i != y-tilde_i
+//       = 1 - c_i            otherwise
+//
+// i.e. a confident disagreement is strong evidence of a flip, a confident
+// agreement strong evidence of a clean label. Aggregating p_i estimates the
+// uniform rate eta; aggregating per true-class proxies (the corrected
+// labels) estimates the class-dependent rates eta10/eta01. These estimates
+// let a deployment invert labels when eta > 0.5 or feed rate-aware
+// downstream losses.
+
+struct NoiseEstimate {
+  double eta = 0.0;     // overall flip-probability estimate
+  double eta10 = 0.0;   // P(noisy = 0 | corrected = 1)
+  double eta01 = 0.0;   // P(noisy = 1 | corrected = 0)
+  // Per-session flip probabilities (aligned with the dataset order).
+  std::vector<double> session_flip_probability;
+};
+
+// Estimates noise rates for `data` from corrector `corrections` (as
+// returned by LabelCorrector::Correct / ClfdModel::CorrectLabels).
+NoiseEstimate EstimateNoise(const SessionDataset& data,
+                            const std::vector<Correction>& corrections);
+
+}  // namespace clfd
+
+#endif  // CLFD_CORE_NOISE_ESTIMATOR_H_

@@ -1,0 +1,212 @@
+#include "data/sim_common.h"
+#include "data/simulators.h"
+
+namespace clfd {
+namespace {
+
+using sim_internal::BuildSimulatedData;
+using sim_internal::MakePhase;
+
+// CERT r4.2 activity vocabulary (insider-threat logs): logon/device/file/
+// email/http events as recorded by the CERT synthetic insider dataset [14].
+enum CertActivity : int {
+  kLogonDay = 0,
+  kLogonNight,
+  kLogoff,
+  kUsbInsert,
+  kUsbRemove,
+  kFileCopy,
+  kFileWrite,
+  kFileRead,
+  kFileDelete,
+  kEmailInternal,
+  kEmailExternal,
+  kEmailRead,
+  kEmailAttach,
+  kHttpWork,
+  kHttpSocial,
+  kHttpNews,
+  kHttpJob,
+  kHttpLeak,
+  kHttpCloud,
+  kBuildRun,
+  kCodeCommit,
+  kDbQuery,
+  kAdminTask,
+  kVpnConnect,
+  kVpnDisconnect,
+  kPrintDoc,
+  kMeetingCal,
+  kImMessage,
+  kCertVocabSize
+};
+
+std::vector<std::string> CertVocab() {
+  return {"logon_day",    "logon_night",  "logoff",        "usb_insert",
+          "usb_remove",   "file_copy",    "file_write",    "file_read",
+          "file_delete",  "email_internal", "email_external", "email_read",
+          "email_attach", "http_work",    "http_social",   "http_news",
+          "http_job",     "http_leak",    "http_cloud",    "build_run",
+          "code_commit",  "db_query",     "admin_task",    "vpn_connect",
+          "vpn_disconnect", "print_doc",  "meeting_cal",   "im_message"};
+}
+
+// Activities any employee may emit; used as distractors in both classes so
+// that no single token separates the classes.
+std::vector<int> CertDistractors() {
+  return {kEmailRead, kHttpWork, kHttpNews, kHttpSocial, kImMessage,
+          kFileRead, kFileWrite, kMeetingCal};
+}
+
+TemplateMixture CertNormalMixture() {
+  TemplateMixture mix;
+
+  SessionTemplate office;
+  office.name = "office_worker";
+  office.phases = {
+      MakePhase({{kLogonDay, 0.95}, {kLogonNight, 0.05}}, 1, 1),
+      MakePhase({{kEmailRead, 3.0},
+                 {kEmailInternal, 2.0},
+                 {kHttpWork, 3.0},
+                 {kFileWrite, 2.0},
+                 {kFileRead, 1.5},
+                 {kPrintDoc, 0.7},
+                 {kMeetingCal, 1.0},
+                 {kImMessage, 1.5},
+                 {kHttpNews, 0.8},
+                 {kHttpSocial, 0.6},
+                 {kEmailExternal, 0.4}},
+                8, 24),
+      MakePhase({{kLogoff, 1.0}}, 1, 1)};
+  office.distractor_prob = 0.05;
+  office.distractor_pool = CertDistractors();
+
+  SessionTemplate developer;
+  developer.name = "developer";
+  developer.phases = {
+      MakePhase({{kLogonDay, 0.9}, {kLogonNight, 0.1}}, 1, 1),
+      MakePhase({{kCodeCommit, 2.5},
+                 {kBuildRun, 3.0},
+                 {kHttpWork, 2.0},
+                 {kDbQuery, 1.5},
+                 {kFileRead, 1.5},
+                 {kFileWrite, 2.0},
+                 {kImMessage, 1.0},
+                 {kEmailRead, 1.0}},
+                10, 26),
+      MakePhase({{kLogoff, 1.0}}, 1, 1)};
+  developer.distractor_prob = 0.05;
+  developer.distractor_pool = CertDistractors();
+
+  SessionTemplate sysadmin;
+  sysadmin.name = "sysadmin";
+  sysadmin.phases = {
+      MakePhase({{kLogonDay, 0.7}, {kLogonNight, 0.3}}, 1, 1),
+      MakePhase({{kAdminTask, 3.0},
+                 {kDbQuery, 2.0},
+                 {kVpnConnect, 0.8},
+                 {kVpnDisconnect, 0.8},
+                 {kFileRead, 1.5},
+                 {kFileCopy, 0.6},   // admins copy files legitimately
+                 {kUsbInsert, 0.3},  // ... and occasionally use USB drives
+                 {kUsbRemove, 0.3},
+                 {kHttpWork, 1.0},
+                 {kEmailRead, 0.8}},
+                8, 22),
+      MakePhase({{kLogoff, 1.0}}, 1, 1)};
+  sysadmin.distractor_prob = 0.05;
+  sysadmin.distractor_pool = CertDistractors();
+
+  SessionTemplate manager;
+  manager.name = "manager";
+  manager.phases = {
+      MakePhase({{kLogonDay, 1.0}}, 1, 1),
+      MakePhase({{kEmailRead, 3.0},
+                 {kEmailInternal, 2.5},
+                 {kEmailExternal, 1.0},
+                 {kMeetingCal, 2.5},
+                 {kPrintDoc, 1.2},
+                 {kHttpNews, 1.0},
+                 {kHttpWork, 1.5},
+                 {kEmailAttach, 0.8}},
+                8, 20),
+      MakePhase({{kLogoff, 1.0}}, 1, 1)};
+  manager.distractor_prob = 0.05;
+  manager.distractor_pool = CertDistractors();
+
+  mix.templates = {office, developer, sysadmin, manager};
+  mix.weights = {0.4, 0.25, 0.15, 0.2};
+  return mix;
+}
+
+TemplateMixture CertMaliciousMixture() {
+  TemplateMixture mix;
+
+  // Scenario 1: after-hours data exfiltration over removable media and a
+  // leak site (the classic CERT r4.2 scenario).
+  SessionTemplate exfil;
+  exfil.name = "exfiltration";
+  exfil.phases = {
+      MakePhase({{kLogonNight, 0.85}, {kLogonDay, 0.15}}, 1, 1),
+      MakePhase({{kFileRead, 2.0}, {kDbQuery, 1.5}, {kHttpWork, 0.8}}, 2, 6),
+      MakePhase({{kFileCopy, 3.5},
+                 {kUsbInsert, 1.5},
+                 {kUsbRemove, 1.2},
+                 {kHttpCloud, 1.5},
+                 {kFileRead, 0.8}},
+                8, 18),
+      MakePhase({{kHttpLeak, 2.5}, {kEmailExternal, 1.0}, {kEmailAttach, 1.2}},
+                2, 6),
+      MakePhase({{kLogoff, 1.0}}, 1, 1)};
+  exfil.distractor_prob = 0.06;
+  exfil.distractor_pool = CertDistractors();
+
+  // Scenario 2: disgruntled employee job-hunting and leaking documents
+  // during otherwise normal working hours.
+  SessionTemplate disgruntled;
+  disgruntled.name = "disgruntled_leaker";
+  disgruntled.phases = {
+      MakePhase({{kLogonDay, 1.0}}, 1, 1),
+      MakePhase({{kEmailRead, 1.5},
+                 {kHttpWork, 1.5},
+                 {kFileRead, 1.0},
+                 {kImMessage, 0.8}},
+                4, 10),
+      MakePhase({{kHttpJob, 3.5},
+                 {kEmailExternal, 1.5},
+                 {kEmailAttach, 1.8},
+                 {kHttpCloud, 1.2},
+                 {kFileCopy, 1.2}},
+                7, 16),
+      MakePhase({{kLogoff, 1.0}}, 1, 1)};
+  disgruntled.distractor_prob = 0.06;
+  disgruntled.distractor_pool = CertDistractors();
+
+  // Scenario 3: sabotage by a privileged user (mass deletion / admin abuse).
+  SessionTemplate saboteur;
+  saboteur.name = "saboteur";
+  saboteur.phases = {
+      MakePhase({{kLogonNight, 0.6}, {kLogonDay, 0.4}}, 1, 1),
+      MakePhase({{kAdminTask, 1.5}, {kDbQuery, 1.2}, {kVpnConnect, 0.6}}, 2, 6),
+      MakePhase({{kFileDelete, 3.5},
+                 {kAdminTask, 1.0},
+                 {kFileWrite, 0.6},
+                 {kDbQuery, 0.8}},
+                7, 16),
+      MakePhase({{kLogoff, 1.0}}, 1, 1)};
+  saboteur.distractor_prob = 0.06;
+  saboteur.distractor_pool = CertDistractors();
+
+  mix.templates = {exfil, disgruntled, saboteur};
+  mix.weights = {0.45, 0.3, 0.25};
+  return mix;
+}
+
+}  // namespace
+
+SimulatedData MakeCertDataset(const SplitSpec& split, Rng* rng) {
+  return BuildSimulatedData(CertVocab(), CertNormalMixture(),
+                            CertMaliciousMixture(), split, rng);
+}
+
+}  // namespace clfd

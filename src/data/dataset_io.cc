@@ -1,0 +1,76 @@
+#include "data/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace clfd {
+
+void WriteDataset(std::ostream& os, const SessionDataset& dataset) {
+  os << "clfd-dataset v1\n";
+  os << "vocab " << dataset.vocab_size() << "\n";
+  for (const std::string& name : dataset.vocab) os << name << "\n";
+  os << "sessions " << dataset.size() << "\n";
+  for (const LabeledSession& ls : dataset.sessions) {
+    os << ls.true_label << ' ' << ls.noisy_label << ' '
+       << ls.session.length();
+    for (int a : ls.session.activities) os << ' ' << a;
+    os << "\n";
+  }
+}
+
+bool ReadDataset(std::istream& is, SessionDataset* dataset) {
+  *dataset = SessionDataset();
+  std::string line;
+  if (!std::getline(is, line) || line != "clfd-dataset v1") return false;
+
+  std::string keyword;
+  int vocab_size = 0;
+  if (!(is >> keyword >> vocab_size) || keyword != "vocab" || vocab_size < 0) {
+    return false;
+  }
+  dataset->vocab.resize(vocab_size);
+  for (int i = 0; i < vocab_size; ++i) {
+    if (!(is >> dataset->vocab[i])) return false;
+  }
+
+  int session_count = 0;
+  if (!(is >> keyword >> session_count) || keyword != "sessions" ||
+      session_count < 0) {
+    return false;
+  }
+  dataset->sessions.resize(session_count);
+  for (int i = 0; i < session_count; ++i) {
+    LabeledSession& ls = dataset->sessions[i];
+    int length = 0;
+    if (!(is >> ls.true_label >> ls.noisy_label >> length) || length < 0) {
+      *dataset = SessionDataset();
+      return false;
+    }
+    ls.session.activities.resize(length);
+    for (int t = 0; t < length; ++t) {
+      if (!(is >> ls.session.activities[t]) ||
+          ls.session.activities[t] < 0 ||
+          ls.session.activities[t] >= vocab_size) {
+        *dataset = SessionDataset();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool SaveDataset(const SessionDataset& dataset, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteDataset(os, dataset);
+  return static_cast<bool>(os);
+}
+
+bool LoadDataset(const std::string& path, SessionDataset* dataset) {
+  std::ifstream is(path);
+  if (!is) return false;
+  return ReadDataset(is, dataset);
+}
+
+}  // namespace clfd

@@ -1,0 +1,32 @@
+#ifndef CLFD_DATA_DATASET_IO_H_
+#define CLFD_DATA_DATASET_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "data/session.h"
+
+namespace clfd {
+
+// Plain-text dataset serialization, so simulated corpora can be exported
+// for inspection or external tooling and real session logs can be imported.
+//
+// Format (line oriented):
+//   clfd-dataset v1
+//   vocab <N>
+//   <activity name>            x N
+//   sessions <M>
+//   <true> <noisy> <T> <a_1> ... <a_T>   x M
+//
+// Activity names must not contain whitespace.
+
+void WriteDataset(std::ostream& os, const SessionDataset& dataset);
+// Returns false (and leaves *dataset empty) on malformed input.
+bool ReadDataset(std::istream& is, SessionDataset* dataset);
+
+bool SaveDataset(const SessionDataset& dataset, const std::string& path);
+bool LoadDataset(const std::string& path, SessionDataset* dataset);
+
+}  // namespace clfd
+
+#endif  // CLFD_DATA_DATASET_IO_H_

@@ -1,0 +1,44 @@
+#include "data/generator.h"
+
+#include <cassert>
+
+namespace clfd {
+
+Session GenerateFromTemplate(const SessionTemplate& tmpl, int profile_id,
+                             Rng* rng) {
+  Session session;
+  session.profile = profile_id;
+  for (const Phase& phase : tmpl.phases) {
+    assert(phase.activities.size() == phase.weights.size());
+    int len = rng->LengthBetween(phase.min_len, phase.max_len);
+    for (int i = 0; i < len; ++i) {
+      int act = phase.activities[rng->SampleDiscrete(phase.weights)];
+      if (!tmpl.distractor_pool.empty() &&
+          rng->Bernoulli(tmpl.distractor_prob)) {
+        act = tmpl.distractor_pool[rng->UniformInt(
+            static_cast<int>(tmpl.distractor_pool.size()))];
+      }
+      session.activities.push_back(act);
+    }
+  }
+  return session;
+}
+
+Session TemplateMixture::Sample(Rng* rng) const {
+  assert(!templates.empty() && templates.size() == weights.size());
+  int idx = rng->SampleDiscrete(weights);
+  return GenerateFromTemplate(templates[idx], idx, rng);
+}
+
+void GenerateSessions(const TemplateMixture& mixture, int count, int label,
+                      std::vector<LabeledSession>* out, Rng* rng) {
+  for (int i = 0; i < count; ++i) {
+    LabeledSession ls;
+    ls.session = mixture.Sample(rng);
+    ls.true_label = label;
+    ls.noisy_label = label;
+    out->push_back(std::move(ls));
+  }
+}
+
+}  // namespace clfd

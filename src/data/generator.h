@@ -1,0 +1,61 @@
+#ifndef CLFD_DATA_GENERATOR_H_
+#define CLFD_DATA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/session.h"
+
+namespace clfd {
+
+// Phase-template session generator.
+//
+// The three dataset simulators express user behaviour as *session
+// templates*: a session is a concatenation of phases, each phase drawing a
+// random number of activities from a weighted bag. Phase ordering gives the
+// sequential structure that the LSTM encoders exploit (e.g. "night logon ->
+// usb burst -> leak upload -> logoff"), while weighted bags plus a global
+// distractor pool provide the session-diversity and vocabulary-overlap
+// properties the paper's fraud datasets have.
+
+// One phase of a session: draws between min_len and max_len activities from
+// the weighted bag {activities, weights}.
+struct Phase {
+  std::vector<int> activities;
+  std::vector<double> weights;
+  int min_len = 1;
+  int max_len = 1;
+};
+
+// A full behavioural profile.
+struct SessionTemplate {
+  std::string name;
+  std::vector<Phase> phases;
+  // Per-activity probability of replacing the drawn activity with a
+  // distractor from the shared pool (vocabulary overlap / noise).
+  double distractor_prob = 0.0;
+  std::vector<int> distractor_pool;
+};
+
+// Samples one session from the template.
+Session GenerateFromTemplate(const SessionTemplate& tmpl, int profile_id,
+                             Rng* rng);
+
+// A mixture of templates with selection weights; used for "normal users are
+// a mixture of roles" and "malicious users follow one of several attack
+// scenarios".
+struct TemplateMixture {
+  std::vector<SessionTemplate> templates;
+  std::vector<double> weights;  // same length as templates
+
+  Session Sample(Rng* rng) const;
+};
+
+// Generates `count` sessions with the given ground-truth label into `out`.
+void GenerateSessions(const TemplateMixture& mixture, int count, int label,
+                      std::vector<LabeledSession>* out, Rng* rng);
+
+}  // namespace clfd
+
+#endif  // CLFD_DATA_GENERATOR_H_

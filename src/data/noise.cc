@@ -1,0 +1,62 @@
+#include "data/noise.h"
+
+#include <cstdio>
+
+namespace clfd {
+
+void ApplyUniformNoise(SessionDataset* dataset, double eta, Rng* rng) {
+  for (auto& s : dataset->sessions) {
+    s.noisy_label =
+        rng->Bernoulli(eta) ? 1 - s.true_label : s.true_label;
+  }
+}
+
+void ApplyClassDependentNoise(SessionDataset* dataset, double eta10,
+                              double eta01, Rng* rng) {
+  for (auto& s : dataset->sessions) {
+    double flip = s.true_label == kMalicious ? eta10 : eta01;
+    s.noisy_label =
+        rng->Bernoulli(flip) ? 1 - s.true_label : s.true_label;
+  }
+}
+
+double ObservedNoiseRate(const SessionDataset& dataset) {
+  if (dataset.size() == 0) return 0.0;
+  int flipped = 0;
+  for (const auto& s : dataset.sessions) {
+    flipped += (s.noisy_label != s.true_label);
+  }
+  return static_cast<double>(flipped) / dataset.size();
+}
+
+void NoiseSpec::Apply(SessionDataset* dataset, Rng* rng) const {
+  switch (kind) {
+    case Kind::kNone:
+      for (auto& s : dataset->sessions) s.noisy_label = s.true_label;
+      break;
+    case Kind::kUniform:
+      ApplyUniformNoise(dataset, eta, rng);
+      break;
+    case Kind::kClassDependent:
+      ApplyClassDependentNoise(dataset, eta10, eta01, rng);
+      break;
+  }
+}
+
+std::string NoiseSpec::ToString() const {
+  char buf[64];
+  switch (kind) {
+    case Kind::kNone:
+      return "clean";
+    case Kind::kUniform:
+      std::snprintf(buf, sizeof(buf), "uniform(eta=%.2f)", eta);
+      return buf;
+    case Kind::kClassDependent:
+      std::snprintf(buf, sizeof(buf), "class-dep(eta10=%.2f,eta01=%.2f)",
+                    eta10, eta01);
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace clfd

@@ -1,0 +1,188 @@
+#include "data/sim_common.h"
+#include "data/simulators.h"
+
+namespace clfd {
+namespace {
+
+using sim_internal::BuildSimulatedData;
+using sim_internal::MakePhase;
+
+// OpenStack log-key vocabulary: templated log events emitted by nova during
+// VM lifecycle operations, as in the DeepLog OpenStack corpus [16].
+enum OsActivity : int {
+  kApiRequest = 0,
+  kAuthOk,
+  kAuthFail,
+  kVmCreateStart,
+  kSchedulerSelect,
+  kImageFetch,
+  kImageCached,
+  kSpawnStart,
+  kSpawnSuccess,
+  kVmActive,
+  kAttachVolume,
+  kDetachVolume,
+  kVmStop,
+  kVmDelete,
+  kVmResize,
+  kSnapshotCreate,
+  kHeartbeat,
+  kQuotaCheck,
+  kNetAlloc,
+  kNetDealloc,
+  kSpawnError,
+  kRetryOp,
+  kTimeout,
+  kVmDestroyForced,
+  kOrphanResource,
+  kApiFlood,
+  kMetadataProbe,
+  kPortScan,
+  kOsVocabSize
+};
+
+std::vector<std::string> OpenStackVocab() {
+  return {"api_request",    "auth_ok",        "auth_fail",
+          "vm_create_start", "scheduler_select", "image_fetch",
+          "image_cached",   "spawn_start",    "spawn_success",
+          "vm_active",      "attach_volume",  "detach_volume",
+          "vm_stop",        "vm_delete",      "vm_resize",
+          "snapshot_create", "heartbeat",     "quota_check",
+          "net_alloc",      "net_dealloc",    "spawn_error",
+          "retry_op",       "timeout",        "vm_destroy_forced",
+          "orphan_resource", "api_flood",     "metadata_probe",
+          "port_scan"};
+}
+
+std::vector<int> OsDistractors() {
+  return {kApiRequest, kAuthOk, kHeartbeat, kQuotaCheck, kImageCached,
+          kNetAlloc};
+}
+
+TemplateMixture OpenStackNormalMixture() {
+  TemplateMixture mix;
+
+  SessionTemplate lifecycle;
+  lifecycle.name = "vm_lifecycle";
+  lifecycle.phases = {
+      MakePhase({{kApiRequest, 1.5}, {kAuthOk, 1.0}, {kQuotaCheck, 0.8}}, 2, 4),
+      MakePhase({{kVmCreateStart, 1.0}}, 1, 1),
+      MakePhase({{kSchedulerSelect, 1.0},
+                 {kImageFetch, 0.8},
+                 {kImageCached, 1.0},
+                 {kNetAlloc, 1.0}},
+                2, 5),
+      MakePhase({{kSpawnStart, 1.0}}, 1, 1),
+      MakePhase({{kSpawnSuccess, 1.5}, {kVmActive, 1.5}, {kHeartbeat, 2.0}},
+                3, 10),
+      MakePhase({{kVmStop, 0.8}, {kVmDelete, 1.0}, {kNetDealloc, 1.0}}, 1, 4)};
+  lifecycle.distractor_prob = 0.05;
+  lifecycle.distractor_pool = OsDistractors();
+
+  SessionTemplate storage;
+  storage.name = "storage_ops";
+  storage.phases = {
+      MakePhase({{kApiRequest, 1.5}, {kAuthOk, 1.0}}, 1, 3),
+      MakePhase({{kAttachVolume, 2.0},
+                 {kSnapshotCreate, 1.5},
+                 {kDetachVolume, 1.5},
+                 {kHeartbeat, 1.5},
+                 {kVmActive, 1.0}},
+                5, 14),
+      MakePhase({{kHeartbeat, 1.0}, {kApiRequest, 0.8}}, 1, 4)};
+  storage.distractor_prob = 0.05;
+  storage.distractor_pool = OsDistractors();
+
+  SessionTemplate resize;
+  resize.name = "resize_workflow";
+  resize.phases = {
+      MakePhase({{kApiRequest, 1.0}, {kAuthOk, 1.0}, {kQuotaCheck, 1.2}}, 2, 4),
+      MakePhase({{kVmResize, 2.0},
+                 {kSchedulerSelect, 1.2},
+                 {kVmStop, 0.8},
+                 {kSpawnStart, 0.8},
+                 {kSpawnSuccess, 0.8},
+                 {kVmActive, 1.2}},
+                4, 10),
+      MakePhase({{kHeartbeat, 1.5}}, 1, 5)};
+  resize.distractor_prob = 0.05;
+  resize.distractor_pool = OsDistractors();
+
+  SessionTemplate monitoring;
+  monitoring.name = "steady_state";
+  monitoring.phases = {
+      MakePhase({{kApiRequest, 1.0}, {kAuthOk, 0.8}}, 1, 2),
+      MakePhase({{kHeartbeat, 3.0},
+                 {kVmActive, 1.5},
+                 {kApiRequest, 1.0},
+                 {kQuotaCheck, 0.6}},
+                6, 18)};
+  monitoring.distractor_prob = 0.05;
+  monitoring.distractor_pool = OsDistractors();
+
+  mix.templates = {lifecycle, storage, resize, monitoring};
+  mix.weights = {0.35, 0.2, 0.15, 0.3};
+  return mix;
+}
+
+TemplateMixture OpenStackMaliciousMixture() {
+  TemplateMixture mix;
+
+  // Failure storm: spawn errors with tight retry loops leaving orphans.
+  SessionTemplate failure_storm;
+  failure_storm.name = "failure_storm";
+  failure_storm.phases = {
+      MakePhase({{kApiRequest, 1.0}, {kAuthOk, 0.8}, {kVmCreateStart, 1.0}},
+                2, 4),
+      MakePhase({{kSpawnStart, 1.2},
+                 {kSpawnError, 2.5},
+                 {kRetryOp, 2.5},
+                 {kTimeout, 1.5},
+                 {kSchedulerSelect, 0.8}},
+                5, 16),
+      MakePhase({{kVmDestroyForced, 1.5}, {kOrphanResource, 1.5},
+                 {kNetDealloc, 0.8}},
+                1, 5)};
+  failure_storm.distractor_prob = 0.10;
+  failure_storm.distractor_pool = OsDistractors();
+
+  // Credential-stuffing / API abuse: auth failures and request floods.
+  SessionTemplate api_abuse;
+  api_abuse.name = "api_abuse";
+  api_abuse.phases = {
+      MakePhase({{kAuthFail, 2.5}, {kApiRequest, 1.5}, {kAuthOk, 0.4}}, 3, 8),
+      MakePhase({{kApiFlood, 3.0},
+                 {kQuotaCheck, 1.2},
+                 {kApiRequest, 1.5},
+                 {kAuthFail, 1.0}},
+                6, 16)};
+  api_abuse.distractor_prob = 0.08;
+  api_abuse.distractor_pool = OsDistractors();
+
+  // Reconnaissance from a compromised instance: metadata and port probing.
+  SessionTemplate recon;
+  recon.name = "instance_recon";
+  recon.phases = {
+      MakePhase({{kAuthOk, 0.8}, {kApiRequest, 1.0}, {kVmActive, 1.0}}, 2, 5),
+      MakePhase({{kMetadataProbe, 2.5},
+                 {kPortScan, 2.5},
+                 {kNetAlloc, 1.0},
+                 {kApiRequest, 0.8},
+                 {kHeartbeat, 0.8}},
+                6, 16)};
+  recon.distractor_prob = 0.10;
+  recon.distractor_pool = OsDistractors();
+
+  mix.templates = {failure_storm, api_abuse, recon};
+  mix.weights = {0.4, 0.3, 0.3};
+  return mix;
+}
+
+}  // namespace
+
+SimulatedData MakeOpenStackDataset(const SplitSpec& split, Rng* rng) {
+  return BuildSimulatedData(OpenStackVocab(), OpenStackNormalMixture(),
+                            OpenStackMaliciousMixture(), split, rng);
+}
+
+}  // namespace clfd

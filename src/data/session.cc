@@ -1,0 +1,55 @@
+#include "data/session.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace clfd {
+
+int SessionDataset::CountTrue(int label) const {
+  int n = 0;
+  for (const auto& s : sessions) n += (s.true_label == label);
+  return n;
+}
+
+int SessionDataset::CountNoisy(int label) const {
+  int n = 0;
+  for (const auto& s : sessions) n += (s.noisy_label == label);
+  return n;
+}
+
+std::vector<int> SessionDataset::IndicesWithNoisyLabel(int label) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (sessions[i].noisy_label == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> SessionDataset::IndicesWithTrueLabel(int label) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (sessions[i].true_label == label) out.push_back(i);
+  }
+  return out;
+}
+
+int SessionDataset::MaxSessionLength() const {
+  int mx = 0;
+  for (const auto& s : sessions) mx = std::max(mx, s.session.length());
+  return mx;
+}
+
+std::vector<std::vector<int>> SessionDataset::MakeBatches(int batch_size,
+                                                          Rng* rng) const {
+  std::vector<int> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  std::vector<std::vector<int>> batches;
+  for (int start = 0; start < size(); start += batch_size) {
+    int end = std::min(start + batch_size, size());
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace clfd

@@ -1,0 +1,62 @@
+#ifndef CLFD_DATA_SESSION_H_
+#define CLFD_DATA_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace clfd {
+
+// Class labels (Sec. III): 0 = normal, 1 = malicious.
+inline constexpr int kNormal = 0;
+inline constexpr int kMalicious = 1;
+
+// A user activity session: an ordered sequence of activity ids drawn from
+// the dataset vocabulary (e.g. "logon", "usb_insert", "http_leak" for the
+// CERT simulation). Ids index into SessionDataset::vocab.
+struct Session {
+  std::vector<int> activities;
+  // Id of the behavioural profile that generated the session. Only used by
+  // the simulators' own diagnostics; models never see it.
+  int profile = -1;
+
+  int length() const { return static_cast<int>(activities.size()); }
+};
+
+// A session together with its ground-truth and (possibly corrupted) noisy
+// label. Models train on noisy_label only; true_label is reserved for
+// evaluation (test metrics, label-corrector TPR/TNR in Table III).
+struct LabeledSession {
+  Session session;
+  int true_label = kNormal;
+  int noisy_label = kNormal;
+};
+
+// A set of labeled sessions plus the activity vocabulary they index into.
+class SessionDataset {
+ public:
+  std::vector<LabeledSession> sessions;
+  std::vector<std::string> vocab;
+
+  int size() const { return static_cast<int>(sessions.size()); }
+  int vocab_size() const { return static_cast<int>(vocab.size()); }
+
+  // Number of sessions whose (noisy or true) label equals `label`.
+  int CountTrue(int label) const;
+  int CountNoisy(int label) const;
+
+  // Indices of sessions with the given noisy label.
+  std::vector<int> IndicesWithNoisyLabel(int label) const;
+  std::vector<int> IndicesWithTrueLabel(int label) const;
+
+  // Longest session length (0 when empty).
+  int MaxSessionLength() const;
+
+  // Splits [0, size) into shuffled batches of at most batch_size.
+  std::vector<std::vector<int>> MakeBatches(int batch_size, Rng* rng) const;
+};
+
+}  // namespace clfd
+
+#endif  // CLFD_DATA_SESSION_H_

@@ -1,0 +1,39 @@
+#include "data/sim_common.h"
+
+namespace clfd {
+namespace sim_internal {
+
+SimulatedData BuildSimulatedData(const std::vector<std::string>& vocab,
+                                 const TemplateMixture& normal,
+                                 const TemplateMixture& malicious,
+                                 const SplitSpec& split, Rng* rng) {
+  SimulatedData data;
+  data.train.vocab = vocab;
+  data.test.vocab = vocab;
+  GenerateSessions(normal, split.train_normal, kNormal,
+                   &data.train.sessions, rng);
+  GenerateSessions(malicious, split.train_malicious, kMalicious,
+                   &data.train.sessions, rng);
+  GenerateSessions(normal, split.test_normal, kNormal, &data.test.sessions,
+                   rng);
+  GenerateSessions(malicious, split.test_malicious, kMalicious,
+                   &data.test.sessions, rng);
+  rng->Shuffle(&data.train.sessions);
+  rng->Shuffle(&data.test.sessions);
+  return data;
+}
+
+Phase MakePhase(std::vector<std::pair<int, double>> bag, int min_len,
+                int max_len) {
+  Phase phase;
+  phase.min_len = min_len;
+  phase.max_len = max_len;
+  for (const auto& [act, weight] : bag) {
+    phase.activities.push_back(act);
+    phase.weights.push_back(weight);
+  }
+  return phase;
+}
+
+}  // namespace sim_internal
+}  // namespace clfd

@@ -1,0 +1,29 @@
+#ifndef CLFD_DATA_SIM_COMMON_H_
+#define CLFD_DATA_SIM_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "data/simulators.h"
+
+namespace clfd {
+namespace sim_internal {
+
+// Shared assembly step for the three simulators: draws the requested number
+// of normal/malicious train and test sessions from the class mixtures and
+// attaches the vocabulary.
+SimulatedData BuildSimulatedData(const std::vector<std::string>& vocab,
+                                 const TemplateMixture& normal,
+                                 const TemplateMixture& malicious,
+                                 const SplitSpec& split, Rng* rng);
+
+// Helper to build a phase from (activity, weight) pairs.
+Phase MakePhase(std::vector<std::pair<int, double>> bag, int min_len,
+                int max_len);
+
+}  // namespace sim_internal
+}  // namespace clfd
+
+#endif  // CLFD_DATA_SIM_COMMON_H_

@@ -1,0 +1,56 @@
+#ifndef CLFD_DATA_SIMULATORS_H_
+#define CLFD_DATA_SIMULATORS_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "data/session.h"
+
+namespace clfd {
+
+// Synthetic stand-ins for the paper's three benchmark datasets.
+//
+// The real corpora (CERT r4.2 insider-threat logs, UMD-Wikipedia vandal
+// sessions, OpenStack logs) are not redistributable, so each simulator
+// generates activity sessions from behavioural grammars that preserve the
+// properties the paper's experiments exercise: extreme class imbalance,
+// high session diversity (multiple normal roles and multiple attack
+// scenarios), vocabulary overlap between classes, and sequential structure
+// that a sequence encoder can separate but a bag-of-tokens rule cannot
+// fully. Split sizes default to the paper's (Sec. IV-A1).
+
+struct SplitSpec {
+  int train_normal = 0;
+  int train_malicious = 0;
+  int test_normal = 0;
+  int test_malicious = 0;
+
+  // Multiplies every count by `factor`, keeping small floors so scaled-down
+  // experiments still contain both classes.
+  SplitSpec Scaled(double factor) const;
+};
+
+struct SimulatedData {
+  SessionDataset train;
+  SessionDataset test;
+};
+
+enum class DatasetKind { kCert, kWiki, kOpenStack };
+
+// Paper split sizes: CERT 10000/30 train + 500/18 test; UMD-Wikipedia
+// 4486/80 + 1000/500; OpenStack 10000/60 + 1000/100.
+SplitSpec PaperSplit(DatasetKind kind);
+
+std::string DatasetName(DatasetKind kind);
+
+// Simulators. Train and test sessions are drawn from the same behavioural
+// mixtures (the paper splits chronologically; the grammars are stationary).
+SimulatedData MakeCertDataset(const SplitSpec& split, Rng* rng);
+SimulatedData MakeWikiDataset(const SplitSpec& split, Rng* rng);
+SimulatedData MakeOpenStackDataset(const SplitSpec& split, Rng* rng);
+
+SimulatedData MakeDataset(DatasetKind kind, const SplitSpec& split, Rng* rng);
+
+}  // namespace clfd
+
+#endif  // CLFD_DATA_SIMULATORS_H_

@@ -1,0 +1,176 @@
+#include "data/sim_common.h"
+#include "data/simulators.h"
+
+namespace clfd {
+namespace {
+
+using sim_internal::BuildSimulatedData;
+using sim_internal::MakePhase;
+
+// UMD-Wikipedia edit-session vocabulary: per-edit features recorded by the
+// VEWS vandal early-warning dataset [15] (page type, edit speed, whether a
+// summary was given, community reactions).
+enum WikiActivity : int {
+  kEditMinor = 0,
+  kEditMajor,
+  kEditTalk,
+  kEditUserPage,
+  kCreatePage,
+  kRevertOwn,
+  kRevertedByOther,
+  kEditCategory,
+  kUploadMedia,
+  kAddReference,
+  kBlankSection,
+  kInsertLinkSpam,
+  kEditPopularPage,
+  kEditObscurePage,
+  kRapidConsecutive,
+  kNewPageRedirect,
+  kSummaryPresent,
+  kSummaryAbsent,
+  kWarnReceived,
+  kReadArticle,
+  kWikiVocabSize
+};
+
+std::vector<std::string> WikiVocab() {
+  return {"edit_minor",       "edit_major",     "edit_talk",
+          "edit_user_page",   "create_page",    "revert_own",
+          "reverted_by_other", "edit_category", "upload_media",
+          "add_reference",    "blank_section",  "insert_link_spam",
+          "edit_popular_page", "edit_obscure_page", "rapid_consecutive_edit",
+          "new_page_redirect", "summary_present", "summary_absent",
+          "warn_received",    "read_article"};
+}
+
+std::vector<int> WikiDistractors() {
+  return {kEditMinor, kEditMajor, kReadArticle, kEditPopularPage,
+          kEditObscurePage, kSummaryPresent, kSummaryAbsent};
+}
+
+TemplateMixture WikiNormalMixture() {
+  TemplateMixture mix;
+
+  SessionTemplate contributor;
+  contributor.name = "content_contributor";
+  contributor.phases = {
+      MakePhase({{kReadArticle, 2.0}, {kEditTalk, 0.8}}, 1, 4),
+      MakePhase({{kEditMajor, 2.5},
+                 {kAddReference, 2.0},
+                 {kSummaryPresent, 2.5},
+                 {kEditMinor, 1.0},
+                 {kEditPopularPage, 1.0},
+                 {kEditObscurePage, 0.8},
+                 {kRevertOwn, 0.3}},
+                6, 18),
+      MakePhase({{kEditTalk, 1.5}, {kReadArticle, 1.0}}, 1, 4)};
+  contributor.distractor_prob = 0.05;
+  contributor.distractor_pool = WikiDistractors();
+
+  SessionTemplate gnome;
+  gnome.name = "wiki_gnome";
+  gnome.phases = {
+      MakePhase({{kReadArticle, 1.5}}, 1, 3),
+      MakePhase({{kEditMinor, 3.0},
+                 {kEditCategory, 2.0},
+                 {kSummaryPresent, 2.5},
+                 {kEditObscurePage, 1.5},
+                 {kAddReference, 0.8}},
+                8, 22)};
+  gnome.distractor_prob = 0.05;
+  gnome.distractor_pool = WikiDistractors();
+
+  SessionTemplate discussant;
+  discussant.name = "discussant";
+  discussant.phases = {
+      MakePhase({{kReadArticle, 2.0}}, 1, 4),
+      MakePhase({{kEditTalk, 3.0},
+                 {kEditUserPage, 1.5},
+                 {kSummaryPresent, 1.5},
+                 {kEditMinor, 0.8}},
+                5, 14)};
+  discussant.distractor_prob = 0.05;
+  discussant.distractor_pool = WikiDistractors();
+
+  SessionTemplate uploader;
+  uploader.name = "media_uploader";
+  uploader.phases = {
+      MakePhase({{kReadArticle, 1.0}}, 1, 2),
+      MakePhase({{kUploadMedia, 2.5},
+                 {kEditMajor, 1.2},
+                 {kCreatePage, 0.8},
+                 {kSummaryPresent, 2.0},
+                 {kEditCategory, 1.0}},
+                5, 14)};
+  uploader.distractor_prob = 0.05;
+  uploader.distractor_pool = WikiDistractors();
+
+  mix.templates = {contributor, gnome, discussant, uploader};
+  mix.weights = {0.35, 0.3, 0.2, 0.15};
+  return mix;
+}
+
+TemplateMixture WikiMaliciousMixture() {
+  TemplateMixture mix;
+
+  // Spree vandal: fast, unexplained edits on visible pages, quickly
+  // reverted and warned.
+  SessionTemplate spree;
+  spree.name = "spree_vandal";
+  spree.phases = {
+      MakePhase({{kEditPopularPage, 2.5},
+                 {kRapidConsecutive, 3.0},
+                 {kBlankSection, 2.0},
+                 {kSummaryAbsent, 2.5},
+                 {kEditMajor, 1.0}},
+                6, 16),
+      MakePhase({{kRevertedByOther, 2.5}, {kWarnReceived, 1.5},
+                 {kRapidConsecutive, 1.0}},
+                1, 6)};
+  spree.distractor_prob = 0.10;
+  spree.distractor_pool = WikiDistractors();
+
+  // Link spammer: creates redirect pages and injects external links.
+  SessionTemplate spammer;
+  spammer.name = "link_spammer";
+  spammer.phases = {
+      MakePhase({{kReadArticle, 0.8}, {kEditObscurePage, 1.2}}, 1, 3),
+      MakePhase({{kInsertLinkSpam, 3.0},
+                 {kNewPageRedirect, 1.8},
+                 {kCreatePage, 1.2},
+                 {kSummaryAbsent, 2.0},
+                 {kEditObscurePage, 1.2}},
+                5, 14),
+      MakePhase({{kRevertedByOther, 1.5}, {kWarnReceived, 0.8}}, 0, 3)};
+  spammer.distractor_prob = 0.10;
+  spammer.distractor_pool = WikiDistractors();
+
+  // Sneaky vandal: low-visibility damage disguised as gnome-like edits.
+  SessionTemplate sneaky;
+  sneaky.name = "sneaky_vandal";
+  sneaky.phases = {
+      MakePhase({{kEditObscurePage, 2.0}, {kReadArticle, 1.0}}, 1, 4),
+      MakePhase({{kEditMinor, 2.0},
+                 {kBlankSection, 1.2},
+                 {kSummaryAbsent, 2.2},
+                 {kEditObscurePage, 1.5},
+                 {kRapidConsecutive, 0.8}},
+                5, 14),
+      MakePhase({{kRevertedByOther, 0.8}}, 0, 2)};
+  sneaky.distractor_prob = 0.12;
+  sneaky.distractor_pool = WikiDistractors();
+
+  mix.templates = {spree, spammer, sneaky};
+  mix.weights = {0.4, 0.3, 0.3};
+  return mix;
+}
+
+}  // namespace
+
+SimulatedData MakeWikiDataset(const SplitSpec& split, Rng* rng) {
+  return BuildSimulatedData(WikiVocab(), WikiNormalMixture(),
+                            WikiMaliciousMixture(), split, rng);
+}
+
+}  // namespace clfd

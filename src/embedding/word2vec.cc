@@ -1,0 +1,98 @@
+#include "embedding/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clfd {
+
+namespace {
+constexpr int kNegativeTableSize = 1 << 16;
+}  // namespace
+
+Word2Vec::Word2Vec(int vocab_size, const Config& config, Rng* rng)
+    : config_(config),
+      in_(Matrix::Randn(vocab_size, config.dim, 0.5f / config.dim, rng)),
+      out_(vocab_size, config.dim) {}
+
+void Word2Vec::Train(const std::vector<std::vector<int>>& corpus, Rng* rng) {
+  // Unigram^0.75 negative-sampling table (Mikolov et al.).
+  std::vector<double> counts(vocab_size(), 0.0);
+  for (const auto& seq : corpus) {
+    for (int id : seq) {
+      if (id >= 0 && id < vocab_size()) counts[id] += 1.0;
+    }
+  }
+  std::vector<double> powered(vocab_size());
+  double total = 0.0;
+  for (int i = 0; i < vocab_size(); ++i) {
+    powered[i] = std::pow(counts[i], 0.75);
+    total += powered[i];
+  }
+  negative_table_.assign(kNegativeTableSize, 0);
+  if (total > 0.0) {
+    int pos = 0;
+    double acc = 0.0;
+    for (int i = 0; i < vocab_size() && pos < kNegativeTableSize; ++i) {
+      acc += powered[i] / total;
+      int until = std::min(kNegativeTableSize,
+                           static_cast<int>(acc * kNegativeTableSize) + 1);
+      for (; pos < until; ++pos) negative_table_[pos] = i;
+    }
+    for (; pos < kNegativeTableSize; ++pos) {
+      negative_table_[pos] = vocab_size() - 1;
+    }
+  }
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Linear learning-rate decay over epochs.
+    float lr = config_.lr *
+               (1.0f - static_cast<float>(epoch) / config_.epochs);
+    lr = std::max(lr, config_.lr * 0.1f);
+    for (const auto& seq : corpus) {
+      int n = static_cast<int>(seq.size());
+      for (int t = 0; t < n; ++t) {
+        int lo = std::max(0, t - config_.window);
+        int hi = std::min(n - 1, t + config_.window);
+        for (int s = lo; s <= hi; ++s) {
+          if (s == t) continue;
+          TrainPair(seq[t], seq[s], /*positive=*/true, lr);
+          for (int k = 0; k < config_.negatives; ++k) {
+            int neg = negative_table_[rng->UniformInt(kNegativeTableSize)];
+            if (neg == seq[s]) continue;
+            TrainPair(seq[t], neg, /*positive=*/false, lr);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Word2Vec::TrainPair(int center, int context, bool positive, float lr) {
+  float* v = in_.row(center);
+  float* u = out_.row(context);
+  double dot = 0.0;
+  for (int d = 0; d < dim(); ++d) dot += v[d] * u[d];
+  float pred = 1.0f / (1.0f + std::exp(static_cast<float>(-dot)));
+  float grad = (positive ? 1.0f : 0.0f) - pred;  // d log-lik / d dot
+  for (int d = 0; d < dim(); ++d) {
+    float vd = v[d];
+    v[d] += lr * grad * u[d];
+    u[d] += lr * grad * vd;
+  }
+}
+
+Matrix TrainActivityEmbeddings(const SessionDataset& train, int dim,
+                               Rng* rng) {
+  Word2Vec::Config config;
+  config.dim = dim;
+  Word2Vec w2v(train.vocab_size(), config, rng);
+  std::vector<std::vector<int>> corpus;
+  corpus.reserve(train.sessions.size());
+  for (const auto& ls : train.sessions) {
+    corpus.push_back(ls.session.activities);
+  }
+  w2v.Train(corpus, rng);
+  return w2v.embeddings();
+}
+
+}  // namespace clfd

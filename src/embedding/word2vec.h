@@ -1,0 +1,54 @@
+#ifndef CLFD_EMBEDDING_WORD2VEC_H_
+#define CLFD_EMBEDDING_WORD2VEC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/session.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+
+// Skip-gram word2vec with negative sampling.
+//
+// The paper represents each activity in a session as an embedding vector
+// "trained via the word-to-vector model" (Sec. III); this is a from-scratch
+// implementation of Mikolov-style skip-gram trained over the activity
+// sequences of the (noisy) training set. The resulting x_it vectors are the
+// frozen raw representations consumed by every session encoder.
+class Word2Vec {
+ public:
+  struct Config {
+    int dim = 50;       // paper: activity representation dimension 50
+    int window = 3;     // context window radius
+    int negatives = 5;  // negative samples per positive pair
+    int epochs = 3;
+    float lr = 0.05f;
+  };
+
+  Word2Vec(int vocab_size, const Config& config, Rng* rng);
+
+  // Trains on activity-id sequences.
+  void Train(const std::vector<std::vector<int>>& corpus, Rng* rng);
+
+  // Input-side embedding table [vocab x dim].
+  const Matrix& embeddings() const { return in_; }
+
+  int vocab_size() const { return in_.rows(); }
+  int dim() const { return in_.cols(); }
+
+ private:
+  void TrainPair(int center, int context, bool positive, float lr);
+
+  Config config_;
+  Matrix in_;   // center-word vectors
+  Matrix out_;  // context-word vectors
+  std::vector<int> negative_table_;
+};
+
+// Convenience: trains activity embeddings on the training split's sessions.
+Matrix TrainActivityEmbeddings(const SessionDataset& train, int dim, Rng* rng);
+
+}  // namespace clfd
+
+#endif  // CLFD_EMBEDDING_WORD2VEC_H_

@@ -1,0 +1,106 @@
+#include "encoders/session_encoder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace clfd {
+
+PaddedBatch BuildPaddedBatch(const std::vector<const Session*>& sessions,
+                             const Matrix& embeddings) {
+  int batch = static_cast<int>(sessions.size());
+  int emb_dim = embeddings.cols();
+  int max_len = 0;
+  for (const Session* s : sessions) max_len = std::max(max_len, s->length());
+
+  PaddedBatch out;
+  out.steps.reserve(max_len);
+  out.mean_masks.reserve(max_len);
+  for (int t = 0; t < max_len; ++t) {
+    Matrix step(batch, emb_dim);
+    Matrix mask(batch, 1);
+    for (int i = 0; i < batch; ++i) {
+      const Session& s = *sessions[i];
+      if (t < s.length()) {
+        int act = s.activities[t];
+        assert(act >= 0 && act < embeddings.rows());
+        step.CopyRowFrom(embeddings, act, i);
+        mask.at(i, 0) = 1.0f / static_cast<float>(s.length());
+      }
+    }
+    out.steps.push_back(std::move(step));
+    out.mean_masks.push_back(std::move(mask));
+  }
+  return out;
+}
+
+SessionEncoder::SessionEncoder(int emb_dim, int hidden_dim, int num_layers,
+                               Rng* rng)
+    : lstm_(emb_dim, hidden_dim, num_layers, rng),
+      input_skip_(emb_dim, hidden_dim, rng) {}
+
+std::vector<ag::Var> SessionEncoder::Parameters() const {
+  std::vector<ag::Var> params = lstm_.Parameters();
+  auto sp = input_skip_.Parameters();
+  params.insert(params.end(), sp.begin(), sp.end());
+  return params;
+}
+
+ag::Var SessionEncoder::EncodeBatch(
+    const std::vector<const Session*>& sessions,
+    const Matrix& embeddings) const {
+  assert(!sessions.empty());
+  PaddedBatch padded = BuildPaddedBatch(sessions, embeddings);
+  std::vector<ag::Var> steps;
+  steps.reserve(padded.steps.size());
+  for (Matrix& m : padded.steps) steps.push_back(ag::Constant(std::move(m)));
+  std::vector<ag::Var> hiddens = lstm_.Forward(steps);
+
+  // Masked mean over valid timesteps of the final layer.
+  ag::Var acc = ag::RowScaleConst(hiddens[0], padded.mean_masks[0]);
+  for (size_t t = 1; t < hiddens.size(); ++t) {
+    acc = ag::Add(acc, ag::RowScaleConst(hiddens[t], padded.mean_masks[t]));
+  }
+  // Residual from the masked-mean input embedding.
+  ag::Var input_mean =
+      ag::RowScaleConst(steps[0], padded.mean_masks[0]);
+  for (size_t t = 1; t < steps.size(); ++t) {
+    input_mean = ag::Add(
+        input_mean, ag::RowScaleConst(steps[t], padded.mean_masks[t]));
+  }
+  return ag::Add(acc, input_skip_.Forward(input_mean));
+}
+
+Matrix SessionEncoder::EncodeDataset(const SessionDataset& dataset,
+                                     const Matrix& embeddings,
+                                     int chunk) const {
+  Matrix out(dataset.size(), hidden_dim());
+  for (int start = 0; start < dataset.size(); start += chunk) {
+    int end = std::min(start + chunk, dataset.size());
+    std::vector<const Session*> batch;
+    batch.reserve(end - start);
+    for (int i = start; i < end; ++i) {
+      batch.push_back(&dataset.sessions[i].session);
+    }
+    Matrix encoded = EncodeBatch(batch, embeddings).value();
+    for (int i = start; i < end; ++i) {
+      out.CopyRowFrom(encoded, i - start, i);
+    }
+  }
+  return out;
+}
+
+ProjectionHead::ProjectionHead(int in_dim, int out_dim, Rng* rng)
+    : fc1_(in_dim, in_dim, rng), fc2_(in_dim, out_dim, rng) {}
+
+ag::Var ProjectionHead::Forward(const ag::Var& z) const {
+  return fc2_.Forward(ag::Relu(fc1_.Forward(z)));
+}
+
+std::vector<ag::Var> ProjectionHead::Parameters() const {
+  std::vector<ag::Var> params = fc1_.Parameters();
+  auto p2 = fc2_.Parameters();
+  params.insert(params.end(), p2.begin(), p2.end());
+  return params;
+}
+
+}  // namespace clfd

@@ -1,0 +1,45 @@
+#include "encoders/simclr.h"
+
+#include "augment/augment.h"
+#include "autograd/var.h"
+#include "losses/contrastive.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+
+namespace clfd {
+
+void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
+                    const SessionDataset& train, const Matrix& embeddings,
+                    const SimclrOptions& options, Rng* rng) {
+  std::vector<ag::Var> params = encoder->Parameters();
+  auto proj_params = projection->Parameters();
+  params.insert(params.end(), proj_params.begin(), proj_params.end());
+  nn::Adam optimizer(params, options.learning_rate);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (const auto& batch : train.MakeBatches(options.batch_size, rng)) {
+      if (batch.size() < 2) continue;
+      // Two reordering-augmented views per session; rows (i, i + B) pair up.
+      std::vector<Session> augmented;
+      augmented.reserve(2 * batch.size());
+      for (int pass = 0; pass < 2; ++pass) {
+        for (int idx : batch) {
+          augmented.push_back(ReorderAugment(train.sessions[idx].session, rng,
+                                             options.reorder_sub_len));
+        }
+      }
+      std::vector<const Session*> views;
+      views.reserve(augmented.size());
+      for (const Session& s : augmented) views.push_back(&s);
+
+      ag::Var z = encoder->EncodeBatch(views, embeddings);
+      ag::Var projected = projection->Forward(z);
+      ag::Var loss = NtXentLoss(projected, options.temperature);
+      ag::Backward(loss);
+      nn::ClipGradNorm(params, options.grad_clip);
+      optimizer.Step();
+    }
+  }
+}
+
+}  // namespace clfd

@@ -1,0 +1,30 @@
+#ifndef CLFD_ENCODERS_SIMCLR_H_
+#define CLFD_ENCODERS_SIMCLR_H_
+
+#include "common/rng.h"
+#include "data/session.h"
+#include "encoders/session_encoder.h"
+
+namespace clfd {
+
+// Options for self-supervised SimCLR pre-training of a session encoder with
+// the session-reordering augmentation [3] and the NT-Xent loss [50].
+struct SimclrOptions {
+  int epochs = 10;
+  int batch_size = 100;
+  float temperature = 0.5f;
+  float learning_rate = 0.005f;
+  float grad_clip = 5.0f;
+  int reorder_sub_len = 3;
+};
+
+// Runs SimCLR pre-training in place on (encoder, projection). Label-free:
+// uses only the session sequences, so the result is unaffected by label
+// noise — the property the CLFD label corrector builds on (Sec. III-A).
+void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
+                    const SessionDataset& train, const Matrix& embeddings,
+                    const SimclrOptions& options, Rng* rng);
+
+}  // namespace clfd
+
+#endif  // CLFD_ENCODERS_SIMCLR_H_

@@ -1,0 +1,127 @@
+#include "eval/experiment.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "baselines/registry.h"
+#include "common/env.h"
+#include "core/clfd.h"
+#include "core/label_corrector.h"
+#include "embedding/word2vec.h"
+#include "metrics/metrics.h"
+
+namespace clfd {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+ExperimentContext::ExperimentContext(DatasetKind kind, const SplitSpec& split,
+                                     const NoiseSpec& noise, int emb_dim,
+                                     uint64_t seed)
+    : seed_(seed) {
+  Rng rng(seed * 7919 + 17);
+  data_ = MakeDataset(kind, split, &rng);
+  noise.Apply(&data_.train, &rng);
+  embeddings_ = TrainActivityEmbeddings(data_.train, emb_dim, &rng);
+}
+
+RunMetrics TrainAndEvaluate(DetectorModel* model,
+                            const ExperimentContext& context) {
+  auto start = std::chrono::steady_clock::now();
+  model->Train(context.train(), context.embeddings());
+  RunMetrics metrics;
+  metrics.train_seconds = SecondsSince(start);
+
+  std::vector<int> truths = TrueLabels(context.test());
+  std::vector<double> scores = model->Score(context.test());
+  std::vector<int> preds = model->Predict(context.test());
+  ConfusionCounts counts = Confusion(preds, truths);
+  metrics.f1 = F1Score(counts);
+  metrics.fpr = FalsePositiveRate(counts);
+  metrics.auc = AucRoc(scores, truths);
+  return metrics;
+}
+
+AggregatedMetrics RunExperimentWithFactory(
+    const std::function<std::unique_ptr<DetectorModel>(uint64_t seed)>&
+        factory,
+    DatasetKind kind, const SplitSpec& split, const NoiseSpec& noise,
+    int emb_dim, int seeds, uint64_t base_seed) {
+  AggregatedMetrics aggregated;
+  for (int s = 0; s < seeds; ++s) {
+    uint64_t seed = base_seed + s;
+    ExperimentContext context(kind, split, noise, emb_dim, seed);
+    auto model = factory(seed * 31 + 7);
+    assert(model != nullptr);
+    aggregated.Add(TrainAndEvaluate(model.get(), context));
+  }
+  return aggregated;
+}
+
+AggregatedMetrics RunExperiment(const std::string& model_name,
+                                DatasetKind kind, const SplitSpec& split,
+                                const NoiseSpec& noise,
+                                const ClfdConfig& config, int seeds,
+                                uint64_t base_seed) {
+  return RunExperimentWithFactory(
+      [&](uint64_t seed) { return MakeModel(model_name, config, seed); },
+      kind, split, noise, config.emb_dim, seeds, base_seed);
+}
+
+CorrectorMetrics RunCorrectorExperiment(DatasetKind kind,
+                                        const SplitSpec& split,
+                                        const NoiseSpec& noise,
+                                        const ClfdConfig& config, int seeds,
+                                        uint64_t base_seed) {
+  CorrectorMetrics metrics;
+  for (int s = 0; s < seeds; ++s) {
+    uint64_t seed = base_seed + s;
+    ExperimentContext context(kind, split, noise, config.emb_dim, seed);
+    LabelCorrector corrector(config, seed * 31 + 7);
+    corrector.Train(context.train(), context.embeddings());
+    auto corrections = corrector.Correct(context.train());
+
+    std::vector<int> preds(corrections.size());
+    for (size_t i = 0; i < corrections.size(); ++i) {
+      preds[i] = corrections[i].label;
+    }
+    ConfusionCounts counts = Confusion(preds, TrueLabels(context.train()));
+    metrics.tpr.Add(TruePositiveRate(counts));
+    metrics.tnr.Add(TrueNegativeRate(counts));
+  }
+  return metrics;
+}
+
+BenchScale ReadBenchScale(double def_scale, int def_seeds,
+                          double def_epoch_scale) {
+  BenchScale scale;
+  scale.split_scale = GetEnvDouble("CLFD_SCALE", def_scale);
+  scale.seeds = GetEnvInt("CLFD_SEEDS", def_seeds);
+  scale.epoch_scale = GetEnvDouble("CLFD_EPOCH_SCALE", def_epoch_scale);
+  return scale;
+}
+
+ScaledSetup MakeScaledSetup(DatasetKind kind, const BenchScale& scale) {
+  ScaledSetup setup;
+  setup.split = PaperSplit(kind).Scaled(scale.split_scale);
+  setup.config = ClfdConfig();
+  setup.config.budget = TrainingBudget::Scaled(scale.epoch_scale);
+  // Keep several batches per epoch at reduced scale.
+  int train_size = setup.split.train_normal + setup.split.train_malicious;
+  if (train_size < 4 * setup.config.batch_size) {
+    setup.config.batch_size = std::max(20, train_size / 4);
+  }
+  if (setup.config.aux_batch_size > setup.config.batch_size / 2) {
+    setup.config.aux_batch_size = std::max(4, setup.config.batch_size / 5);
+  }
+  return setup;
+}
+
+}  // namespace clfd

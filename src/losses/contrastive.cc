@@ -1,0 +1,94 @@
+#include "losses/contrastive.h"
+
+#include <cassert>
+
+namespace clfd {
+
+namespace {
+// Large negative constant added to masked-out similarity entries before the
+// row-wise log-sum-exp so they contribute exp(-inf) ~ 0.
+constexpr float kMaskValue = -1e9f;
+}  // namespace
+
+ag::Var NtXentLoss(const ag::Var& z, float temperature) {
+  int n2 = z.rows();
+  assert(n2 % 2 == 0 && n2 >= 4);
+  int n = n2 / 2;
+
+  ag::Var zn = ag::NormalizeRows(z);
+  ag::Var sim = ag::Scale(ag::MatMulTransposeB(zn, zn), 1.0f / temperature);
+
+  // Mask the diagonal out of the denominator.
+  Matrix mask(n2, n2);
+  for (int i = 0; i < n2; ++i) mask.at(i, i) = kMaskValue;
+  ag::Var masked = ag::Add(sim, ag::Constant(mask));
+
+  ag::Var log_denom = ag::Log(ag::SumRows(ag::Exp(masked)));  // [2N x 1]
+
+  // Positive-pair similarities: (i, i+N) and (i+N, i).
+  Matrix pos_indicator(n2, n2);
+  for (int i = 0; i < n; ++i) {
+    pos_indicator.at(i, i + n) = 1.0f;
+    pos_indicator.at(i + n, i) = 1.0f;
+  }
+  ag::Var pos_sim = ag::SumRows(ag::Mul(ag::Constant(pos_indicator), sim));
+
+  ag::Var per_anchor = ag::Sub(log_denom, pos_sim);  // [2N x 1]
+  return ag::Scale(ag::SumAll(per_anchor), 1.0f / static_cast<float>(n2));
+}
+
+ag::Var SupConLoss(const ag::Var& z, const std::vector<int>& labels,
+                   const std::vector<double>& confidences, int num_anchors,
+                   float alpha, SupConVariant variant, double tau) {
+  int n = z.rows();
+  assert(static_cast<int>(labels.size()) == n);
+  assert(static_cast<int>(confidences.size()) == n);
+  assert(num_anchors > 0 && num_anchors <= n);
+
+  ag::Var zn = ag::NormalizeRows(z);
+  // Anchor rows vs. all rows: [R x N] similarity matrix.
+  ag::Var anchors = ag::SliceRows(zn, 0, num_anchors);
+  ag::Var sim = ag::Scale(ag::MatMulTransposeB(anchors, zn), 1.0f / alpha);
+
+  // Denominator over A(x_i) = all rows except i itself.
+  Matrix self_mask(num_anchors, n);
+  for (int i = 0; i < num_anchors; ++i) self_mask.at(i, i) = kMaskValue;
+  ag::Var log_denom =
+      ag::Log(ag::SumRows(ag::Exp(ag::Add(sim, ag::Constant(self_mask)))));
+
+  // Pair weights W[i][p] = weight(i, p) / |B(x_i)| for p in B(x_i).
+  Matrix weights(num_anchors, n);
+  for (int i = 0; i < num_anchors; ++i) {
+    int b_size = 0;
+    for (int p = 0; p < n; ++p) {
+      if (p != i && labels[p] == labels[i]) ++b_size;
+    }
+    if (b_size == 0) continue;
+    for (int p = 0; p < n; ++p) {
+      if (p == i || labels[p] != labels[i]) continue;
+      double w = 1.0;
+      switch (variant) {
+        case SupConVariant::kWeighted:
+          w = confidences[i] * confidences[p];
+          break;
+        case SupConVariant::kUnweighted:
+          w = 1.0;
+          break;
+        case SupConVariant::kFiltered:
+          w = confidences[i] * confidences[p] > tau ? 1.0 : 0.0;
+          break;
+      }
+      weights.at(i, p) = static_cast<float>(w / b_size);
+    }
+  }
+
+  // L = (1/R) sum_i sum_p W_ip (log_denom_i - s_ip).
+  Matrix row_weight_sums = SumRows(weights);  // [R x 1]
+  ag::Var denom_term =
+      ag::SumAll(ag::RowScaleConst(log_denom, row_weight_sums));
+  ag::Var pos_term = ag::SumAll(ag::Mul(ag::Constant(weights), sim));
+  return ag::Scale(ag::Sub(denom_term, pos_term),
+                   1.0f / static_cast<float>(num_anchors));
+}
+
+}  // namespace clfd

@@ -1,0 +1,40 @@
+#ifndef CLFD_LOSSES_CONTRASTIVE_H_
+#define CLFD_LOSSES_CONTRASTIVE_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace clfd {
+
+// Contrastive losses (Sec. III-A pre-training and Sec. III-B1).
+
+// SimCLR NT-Xent loss [50] over 2N projected representations where rows
+// (i, i + N) are the two augmented views of session i. Cosine similarities
+// with temperature. Returns the mean loss over all 2N anchors.
+ag::Var NtXentLoss(const ag::Var& z, float temperature);
+
+// Variants of the supervised contrastive loss analysed in Sec. VII.
+enum class SupConVariant {
+  kWeighted,    // L_Sup, Eq. 5: pairs weighted by c_i * c_p
+  kUnweighted,  // L_Sup^uw, Eq. 18
+  kFiltered,    // L_Sup^ftr, Eq. 20: keep pairs with c_i * c_p > tau
+};
+
+// The paper's (weighted) supervised contrastive loss, Eq. 5-6.
+//
+// `z`: [N x d] encoded representations, the first `num_anchors` rows being
+// the training batch S and the remaining rows the auxiliary corrected-
+// malicious batch S^1. `labels`/`confidences`: corrected labels y-hat and
+// corrector confidences c for all N rows. For each anchor i the positive
+// set B(x_i) is every other row sharing its label; the contrast set A(x_i)
+// is every other row. Pair (i, p) contributes weight * l_Sup(z_i, z_p) with
+// l_Sup = -log( exp(cos(z_i, z_p)/alpha) / sum_{j in A} exp(cos(z_i,z_j)/alpha) ).
+ag::Var SupConLoss(const ag::Var& z, const std::vector<int>& labels,
+                   const std::vector<double>& confidences, int num_anchors,
+                   float alpha, SupConVariant variant = SupConVariant::kWeighted,
+                   double tau = 0.8);
+
+}  // namespace clfd
+
+#endif  // CLFD_LOSSES_CONTRASTIVE_H_

@@ -1,0 +1,51 @@
+#include "losses/robust_losses.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace clfd {
+
+ag::Var GceLoss(const ag::Var& probs, const Matrix& targets, float q) {
+  assert(q > 0.0f && q <= 1.0f);
+  assert(probs.rows() == targets.rows() && probs.cols() == targets.cols());
+  // sum_k (t_k / q) (1 - p_k^q), averaged over the batch.
+  ag::Var one_minus_pq = ag::Scale(ag::AddScalar(ag::Pow(probs, q), -1.0f),
+                                   -1.0f);
+  ag::Var weighted = ag::Mul(ag::Constant(MulScalar(targets, 1.0f / q)),
+                             one_minus_pq);
+  return ag::Scale(ag::SumAll(weighted),
+                   1.0f / static_cast<float>(probs.rows()));
+}
+
+ag::Var CceLoss(const ag::Var& probs, const Matrix& targets) {
+  assert(probs.rows() == targets.rows() && probs.cols() == targets.cols());
+  ag::Var weighted = ag::Mul(ag::Constant(targets), ag::Log(probs));
+  return ag::Scale(ag::SumAll(weighted),
+                   -1.0f / static_cast<float>(probs.rows()));
+}
+
+ag::Var MaeLoss(const ag::Var& probs, const Matrix& targets) {
+  assert(probs.rows() == targets.rows() && probs.cols() == targets.cols());
+  ag::Var one_minus_p = ag::Scale(ag::AddScalar(probs, -1.0f), -1.0f);
+  ag::Var weighted = ag::Mul(ag::Constant(targets), one_minus_p);
+  return ag::Scale(ag::SumAll(weighted),
+                   1.0f / static_cast<float>(probs.rows()));
+}
+
+float GceLossValueRow(const float* probs, const float* targets, int k,
+                      float q) {
+  float loss = 0.0f;
+  for (int i = 0; i < k; ++i) {
+    loss += targets[i] / q * (1.0f - std::pow(probs[i], q));
+  }
+  return loss;
+}
+
+float GceMixupLowerBound(float lambda, float q) {
+  float m = std::min(lambda, 1.0f - lambda);
+  return m * (2.0f - std::pow(2.0f, 1.0f - q)) / q;
+}
+
+float GceMixupUpperBound(float q) { return 1.0f / q; }
+
+}  // namespace clfd

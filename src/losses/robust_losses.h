@@ -1,0 +1,42 @@
+#ifndef CLFD_LOSSES_ROBUST_LOSSES_H_
+#define CLFD_LOSSES_ROBUST_LOSSES_H_
+
+#include "autograd/var.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+
+// Classification losses over softmax outputs (Sec. III-A1).
+//
+// All functions take `probs` = classifier softmax outputs [B x K] and
+// `targets` = (possibly soft) label encodings [B x K], and return the mean
+// per-sample loss as a [1 x 1] scalar Var.
+//
+// The paper's mixup GCE (Eq. 2-3) is GceLoss applied to mixed
+// representations and soft mixed targets m_i = lambda e_i + (1-lambda) e_j;
+// the interpolation itself lives in losses/mixup.h.
+
+// Generalized Cross Entropy [13], Eq. 1/2:
+//   l = sum_k (t_k / q) (1 - p_k^q),  q in (0, 1].
+// q -> 0 recovers CCE (Theorem 1), q = 1 is MAE/unhinged.
+ag::Var GceLoss(const ag::Var& probs, const Matrix& targets, float q);
+
+// Categorical cross entropy: l = -sum_k t_k log p_k.
+ag::Var CceLoss(const ag::Var& probs, const Matrix& targets);
+
+// MAE/unhinged: l = sum_k t_k (1 - p_k).
+ag::Var MaeLoss(const ag::Var& probs, const Matrix& targets);
+
+// Non-graph evaluation of the per-sample GCE loss for one row; used by the
+// theorem property tests (bounds of Theorem 2 etc.).
+float GceLossValueRow(const float* probs, const float* targets, int k,
+                      float q);
+
+// Theorem 2 bounds for the mixup GCE per-sample loss with K = 2 classes:
+//   min(lambda, 1-lambda) * (2 - 2^(1-q)) / q  <=  l  <=  1 / q.
+float GceMixupLowerBound(float lambda, float q);
+float GceMixupUpperBound(float q);
+
+}  // namespace clfd
+
+#endif  // CLFD_LOSSES_ROBUST_LOSSES_H_

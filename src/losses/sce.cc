@@ -1,0 +1,33 @@
+#include "losses/sce.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace clfd {
+
+ag::Var SceLoss(const ag::Var& probs, const Matrix& targets, float alpha,
+                float beta, float log_clamp) {
+  assert(probs.rows() == targets.rows() && probs.cols() == targets.cols());
+  float inv_batch = 1.0f / static_cast<float>(probs.rows());
+
+  // Forward CCE: -sum t log p.
+  ag::Var cce = ag::Scale(
+      ag::SumAll(ag::Mul(ag::Constant(targets), ag::Log(probs))), -inv_batch);
+
+  // Reverse CE: -sum p log t, with log(t) clamped from below so zero target
+  // entries contribute the finite constant `log_clamp` (the A constant of
+  // Wang et al.). The target is constant, so log t is precomputed.
+  Matrix log_targets(targets.rows(), targets.cols());
+  for (int i = 0; i < targets.size(); ++i) {
+    log_targets[i] =
+        targets[i] > 0.0f
+            ? std::max(std::log(targets[i]), log_clamp)
+            : log_clamp;
+  }
+  ag::Var rce = ag::Scale(
+      ag::SumAll(ag::Mul(probs, ag::Constant(log_targets))), -inv_batch);
+
+  return ag::Add(ag::Scale(cce, alpha), ag::Scale(rce, beta));
+}
+
+}  // namespace clfd

@@ -1,0 +1,24 @@
+#ifndef CLFD_LOSSES_SCE_H_
+#define CLFD_LOSSES_SCE_H_
+
+#include "autograd/var.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+
+// Symmetric Cross Entropy (Wang et al. [21]) — one of the "other robust
+// loss functions" the paper's conclusion proposes exploring in mixup form:
+//
+//   l_SCE = alpha * CCE(t, p) + beta * RCE(t, p)
+//   RCE(t, p) = -sum_k p_k log(t_k), with log(0) clamped to `log_clamp`.
+//
+// The reverse term is bounded and noise-tolerant; the forward term keeps
+// the convergence speed of CCE. Soft (mixup) targets are supported, making
+// this the mixup SCE loss when fed interpolated targets.
+ag::Var SceLoss(const ag::Var& probs, const Matrix& targets,
+                float alpha = 0.1f, float beta = 1.0f,
+                float log_clamp = -4.0f);
+
+}  // namespace clfd
+
+#endif  // CLFD_LOSSES_SCE_H_

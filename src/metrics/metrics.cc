@@ -1,0 +1,89 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace clfd {
+
+ConfusionCounts Confusion(const std::vector<int>& predictions,
+                          const std::vector<int>& truths) {
+  assert(predictions.size() == truths.size());
+  ConfusionCounts c;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (truths[i] == 1) {
+      predictions[i] == 1 ? ++c.tp : ++c.fn;
+    } else {
+      predictions[i] == 1 ? ++c.fp : ++c.tn;
+    }
+  }
+  return c;
+}
+
+double F1Score(const ConfusionCounts& c) {
+  double denom = 2.0 * c.tp + c.fp + c.fn;
+  if (denom == 0.0) return 0.0;
+  return 100.0 * 2.0 * c.tp / denom;
+}
+
+double F1Score(const std::vector<int>& predictions,
+               const std::vector<int>& truths) {
+  return F1Score(Confusion(predictions, truths));
+}
+
+double FalsePositiveRate(const ConfusionCounts& c) {
+  if (c.fp + c.tn == 0) return 0.0;
+  return 100.0 * c.fp / static_cast<double>(c.fp + c.tn);
+}
+
+double FalsePositiveRate(const std::vector<int>& predictions,
+                         const std::vector<int>& truths) {
+  return FalsePositiveRate(Confusion(predictions, truths));
+}
+
+double TruePositiveRate(const ConfusionCounts& c) {
+  if (c.tp + c.fn == 0) return 0.0;
+  return 100.0 * c.tp / static_cast<double>(c.tp + c.fn);
+}
+
+double TrueNegativeRate(const ConfusionCounts& c) {
+  if (c.tn + c.fp == 0) return 0.0;
+  return 100.0 * c.tn / static_cast<double>(c.tn + c.fp);
+}
+
+double AucRoc(const std::vector<double>& scores,
+              const std::vector<int>& truths) {
+  assert(scores.size() == truths.size());
+  size_t n = scores.size();
+  int positives = 0;
+  for (int t : truths) positives += (t == 1);
+  int negatives = static_cast<int>(n) - positives;
+  if (positives == 0 || negatives == 0) return 50.0;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Midranks for ties.
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double midrank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (truths[k] == 1) rank_sum_pos += ranks[k];
+  }
+  double u = rank_sum_pos -
+             static_cast<double>(positives) * (positives + 1) / 2.0;
+  return 100.0 * u / (static_cast<double>(positives) * negatives);
+}
+
+}  // namespace clfd

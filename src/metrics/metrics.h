@@ -1,0 +1,44 @@
+#ifndef CLFD_METRICS_METRICS_H_
+#define CLFD_METRICS_METRICS_H_
+
+#include <vector>
+
+namespace clfd {
+
+// Evaluation metrics used in the paper (Sec. IV-A2): F1, False Positive
+// Rate, and AUC-ROC for detector quality, plus TPR/TNR for the label
+// corrector (Table III). All functions treat label 1 (malicious) as the
+// positive class and return values on the paper's 0-100 percentage scale.
+
+struct ConfusionCounts {
+  int tp = 0, fp = 0, tn = 0, fn = 0;
+  int total() const { return tp + fp + tn + fn; }
+};
+
+// Confusion counts from binary predictions vs. ground truth.
+ConfusionCounts Confusion(const std::vector<int>& predictions,
+                          const std::vector<int>& truths);
+
+// F1 of the positive class: 2 * precision * recall / (precision + recall).
+double F1Score(const ConfusionCounts& counts);
+double F1Score(const std::vector<int>& predictions,
+               const std::vector<int>& truths);
+
+// FPR = FP / (FP + TN).
+double FalsePositiveRate(const ConfusionCounts& counts);
+double FalsePositiveRate(const std::vector<int>& predictions,
+                         const std::vector<int>& truths);
+
+// TPR = TP / (TP + FN); TNR = TN / (TN + FP).
+double TruePositiveRate(const ConfusionCounts& counts);
+double TrueNegativeRate(const ConfusionCounts& counts);
+
+// AUC-ROC via the Mann-Whitney U statistic with midrank tie handling.
+// `scores` are anomaly scores (higher = more malicious). Returns 50 when a
+// class is missing (degenerate case).
+double AucRoc(const std::vector<double>& scores,
+              const std::vector<int>& truths);
+
+}  // namespace clfd
+
+#endif  // CLFD_METRICS_METRICS_H_

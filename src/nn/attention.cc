@@ -1,0 +1,60 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace clfd {
+namespace nn {
+
+Matrix SinusoidalPositions(int max_len, int dim) {
+  Matrix pe(max_len, dim);
+  for (int pos = 0; pos < max_len; ++pos) {
+    for (int i = 0; i < dim; ++i) {
+      double rate = std::pow(10000.0, -2.0 * (i / 2) / dim);
+      pe.at(pos, i) = static_cast<float>(
+          i % 2 == 0 ? std::sin(pos * rate) : std::cos(pos * rate));
+    }
+  }
+  return pe;
+}
+
+SelfAttentionEncoder::SelfAttentionEncoder(int model_dim, int ff_dim, Rng* rng)
+    : query_(model_dim, model_dim, rng),
+      key_(model_dim, model_dim, rng),
+      value_(model_dim, model_dim, rng),
+      ff1_(model_dim, ff_dim, rng),
+      ff2_(ff_dim, model_dim, rng) {}
+
+ag::Var SelfAttentionEncoder::Forward(const ag::Var& x) const {
+  int t = x.rows();
+  int d = model_dim();
+  ag::Var pos = ag::Constant(SliceRows(SinusoidalPositions(t, d), 0, t));
+  ag::Var input = ag::Add(x, pos);
+
+  ag::Var q = query_.Forward(input);
+  ag::Var k = key_.Forward(input);
+  ag::Var v = value_.Forward(input);
+  float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  ag::Var attn = ag::SoftmaxRows(ag::Scale(ag::MatMulTransposeB(q, k), scale));
+  ag::Var context = ag::Add(input, ag::MatMul(attn, v));  // residual
+
+  ag::Var ff = ff2_.Forward(ag::LeakyRelu(ff1_.Forward(context), 0.01f));
+  return ag::Add(context, ff);  // residual
+}
+
+ag::Var SelfAttentionEncoder::ForwardPooled(const ag::Var& x) const {
+  ag::Var h = Forward(x);
+  Matrix pool(1, h.rows(), 1.0f / static_cast<float>(h.rows()));
+  return ag::MatMul(ag::Constant(pool), h);
+}
+
+std::vector<ag::Var> SelfAttentionEncoder::Parameters() const {
+  std::vector<ag::Var> params;
+  for (const Linear* l : {&query_, &key_, &value_, &ff1_, &ff2_}) {
+    auto lp = l->Parameters();
+    params.insert(params.end(), lp.begin(), lp.end());
+  }
+  return params;
+}
+
+}  // namespace nn
+}  // namespace clfd

@@ -1,0 +1,49 @@
+#ifndef CLFD_NN_ATTENTION_H_
+#define CLFD_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace clfd {
+namespace nn {
+
+// A compact single-block transformer encoder.
+//
+// Stands in for the BERT backbones of the Few-Shot [2] and LogBert [48]
+// baselines: sinusoidal positional encodings, one scaled-dot-product
+// self-attention block with a residual connection, and a position-wise
+// feed-forward projection. Operates on one session at a time ([T x d]).
+class SelfAttentionEncoder : public Module {
+ public:
+  SelfAttentionEncoder(int model_dim, int ff_dim, Rng* rng);
+
+  // x: [T x model_dim] token embeddings (positional encodings are added
+  // inside). Returns the contextualized sequence [T x model_dim].
+  ag::Var Forward(const ag::Var& x) const;
+
+  // Forward + mean pooling over time: [T x d] -> [1 x d].
+  ag::Var ForwardPooled(const ag::Var& x) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+  int model_dim() const { return query_.in_dim(); }
+
+ private:
+  Linear query_;
+  Linear key_;
+  Linear value_;
+  Linear ff1_;
+  Linear ff2_;
+};
+
+// Sinusoidal positional encoding table [max_len x dim].
+Matrix SinusoidalPositions(int max_len, int dim);
+
+}  // namespace nn
+}  // namespace clfd
+
+#endif  // CLFD_NN_ATTENTION_H_

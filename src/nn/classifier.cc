@@ -1,0 +1,33 @@
+#include "nn/classifier.h"
+
+namespace clfd {
+namespace nn {
+
+FeedForwardClassifier::FeedForwardClassifier(int in_dim, int hidden_dim,
+                                             int num_classes, Rng* rng,
+                                             float leaky_slope)
+    : hidden_(in_dim, hidden_dim, rng),
+      output_(hidden_dim, num_classes, rng),
+      leaky_slope_(leaky_slope) {}
+
+ag::Var FeedForwardClassifier::ForwardLogits(const ag::Var& x) const {
+  return output_.Forward(ag::LeakyRelu(hidden_.Forward(x), leaky_slope_));
+}
+
+ag::Var FeedForwardClassifier::ForwardProbs(const ag::Var& x) const {
+  return ag::SoftmaxRows(ForwardLogits(x));
+}
+
+Matrix FeedForwardClassifier::PredictProbs(const Matrix& x) const {
+  return ForwardProbs(ag::Constant(x)).value();
+}
+
+std::vector<ag::Var> FeedForwardClassifier::Parameters() const {
+  std::vector<ag::Var> params = hidden_.Parameters();
+  auto op = output_.Parameters();
+  params.insert(params.end(), op.begin(), op.end());
+  return params;
+}
+
+}  // namespace nn
+}  // namespace clfd

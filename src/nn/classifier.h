@@ -1,0 +1,44 @@
+#ifndef CLFD_NN_CLASSIFIER_H_
+#define CLFD_NN_CLASSIFIER_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace clfd {
+namespace nn {
+
+// The paper's two-layer FCNN classifier (Sec. III-B2): an input layer with
+// Leaky ReLU activation followed by an output layer with softmax. Used both
+// as the label corrector's classifier and the fraud detector's classifier.
+class FeedForwardClassifier : public Module {
+ public:
+  // in_dim -> hidden_dim (LeakyReLU) -> num_classes (softmax).
+  FeedForwardClassifier(int in_dim, int hidden_dim, int num_classes, Rng* rng,
+                        float leaky_slope = 0.01f);
+
+  // x: [B x in] -> logits [B x classes].
+  ag::Var ForwardLogits(const ag::Var& x) const;
+  // x: [B x in] -> softmax probabilities [B x classes].
+  ag::Var ForwardProbs(const ag::Var& x) const;
+
+  // Inference-only helper on raw features (no graph kept).
+  Matrix PredictProbs(const Matrix& x) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+  int num_classes() const { return output_.out_dim(); }
+
+ private:
+  Linear hidden_;
+  Linear output_;
+  float leaky_slope_;
+};
+
+}  // namespace nn
+}  // namespace clfd
+
+#endif  // CLFD_NN_CLASSIFIER_H_

@@ -1,0 +1,15 @@
+#include "nn/linear.h"
+
+namespace clfd {
+namespace nn {
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng)
+    : weight_(ag::Param(Matrix::Xavier(in_dim, out_dim, rng))),
+      bias_(ag::Param(Matrix(1, out_dim))) {}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  return ag::AddRowBroadcast(ag::MatMul(x, weight_), bias_);
+}
+
+}  // namespace nn
+}  // namespace clfd

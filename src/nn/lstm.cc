@@ -1,0 +1,78 @@
+#include "nn/lstm.h"
+
+namespace clfd {
+namespace nn {
+
+LstmCell::LstmCell(int in_dim, int hidden_dim, Rng* rng) {
+  for (int g = 0; g < 4; ++g) {
+    wx_[g] = ag::Param(Matrix::Xavier(in_dim, hidden_dim, rng));
+    wh_[g] = ag::Param(Matrix::Xavier(hidden_dim, hidden_dim, rng));
+    Matrix bias(1, hidden_dim);
+    if (g == 1) bias.Fill(1.0f);  // forget gate bias = 1
+    b_[g] = ag::Param(bias);
+  }
+}
+
+LstmCell::State LstmCell::InitialState(int batch) const {
+  return {ag::Constant(Matrix(batch, hidden_dim())),
+          ag::Constant(Matrix(batch, hidden_dim()))};
+}
+
+LstmCell::State LstmCell::Step(const ag::Var& x_t, const State& prev) const {
+  auto gate = [&](int g) {
+    return ag::AddRowBroadcast(
+        ag::Add(ag::MatMul(x_t, wx_[g]), ag::MatMul(prev.h, wh_[g])), b_[g]);
+  };
+  ag::Var i = ag::Sigmoid(gate(0));
+  ag::Var f = ag::Sigmoid(gate(1));
+  ag::Var g = ag::Tanh(gate(2));
+  ag::Var o = ag::Sigmoid(gate(3));
+  ag::Var c = ag::Add(ag::Mul(f, prev.c), ag::Mul(i, g));
+  ag::Var h = ag::Mul(o, ag::Tanh(c));
+  return {h, c};
+}
+
+std::vector<ag::Var> LstmCell::Parameters() const {
+  std::vector<ag::Var> params;
+  for (int g = 0; g < 4; ++g) {
+    params.push_back(wx_[g]);
+    params.push_back(wh_[g]);
+    params.push_back(b_[g]);
+  }
+  return params;
+}
+
+Lstm::Lstm(int in_dim, int hidden_dim, int num_layers, Rng* rng) {
+  layers_.reserve(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    layers_.emplace_back(l == 0 ? in_dim : hidden_dim, hidden_dim, rng);
+  }
+}
+
+std::vector<ag::Var> Lstm::Forward(const std::vector<ag::Var>& steps) const {
+  std::vector<ag::Var> current = steps;
+  int batch = steps.empty() ? 0 : steps[0].rows();
+  for (const LstmCell& layer : layers_) {
+    LstmCell::State state = layer.InitialState(batch);
+    std::vector<ag::Var> next;
+    next.reserve(current.size());
+    for (const ag::Var& x_t : current) {
+      state = layer.Step(x_t, state);
+      next.push_back(state.h);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+std::vector<ag::Var> Lstm::Parameters() const {
+  std::vector<ag::Var> params;
+  for (const LstmCell& layer : layers_) {
+    auto lp = layer.Parameters();
+    params.insert(params.end(), lp.begin(), lp.end());
+  }
+  return params;
+}
+
+}  // namespace nn
+}  // namespace clfd

@@ -1,0 +1,71 @@
+#ifndef CLFD_NN_LSTM_H_
+#define CLFD_NN_LSTM_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace clfd {
+namespace nn {
+
+// A single LSTM layer with per-gate weight matrices.
+//
+// Gates (i, f, g, o) each have input weights Wx [in x h], recurrent weights
+// Wh [h x h] and a bias [1 x h]. The forget-gate bias is initialized to 1,
+// the standard trick for gradient flow through time.
+class LstmCell : public Module {
+ public:
+  LstmCell(int in_dim, int hidden_dim, Rng* rng);
+
+  struct State {
+    ag::Var h;  // [B x hidden]
+    ag::Var c;  // [B x hidden]
+  };
+
+  // Zero state for a batch of the given size.
+  State InitialState(int batch) const;
+
+  // One timestep: consumes x_t [B x in] and the previous state.
+  State Step(const ag::Var& x_t, const State& prev) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+  int in_dim() const { return wx_[0].rows(); }
+  int hidden_dim() const { return wx_[0].cols(); }
+
+ private:
+  // Index order: 0 = input gate, 1 = forget, 2 = candidate, 3 = output.
+  ag::Var wx_[4];
+  ag::Var wh_[4];
+  ag::Var b_[4];
+};
+
+// Multi-layer LSTM over a padded batch of sequences.
+//
+// The paper's session encoder is a two-layer LSTM with equal hidden sizes
+// (Sec. III-B1); this class implements the general N-layer unroll and
+// returns the final layer's hidden state at every timestep so the encoder
+// can take the masked mean over valid positions.
+class Lstm : public Module {
+ public:
+  Lstm(int in_dim, int hidden_dim, int num_layers, Rng* rng);
+
+  // steps: time-major inputs, each [B x in]. Returns the final layer's
+  // hidden state at each timestep, each [B x hidden].
+  std::vector<ag::Var> Forward(const std::vector<ag::Var>& steps) const;
+
+  std::vector<ag::Var> Parameters() const override;
+
+  int hidden_dim() const { return layers_[0].hidden_dim(); }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<LstmCell> layers_;
+};
+
+}  // namespace nn
+}  // namespace clfd
+
+#endif  // CLFD_NN_LSTM_H_

@@ -1,0 +1,29 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace clfd {
+namespace nn {
+
+void ZeroGrads(const std::vector<ag::Var>& params) {
+  for (const ag::Var& p : params) {
+    p.node()->grad = Matrix(p.rows(), p.cols());
+  }
+}
+
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {
+  double total = 0.0;
+  for (const ag::Var& p : params) {
+    const Matrix& g = p.grad();
+    for (int i = 0; i < g.size(); ++i) total += g[i] * g[i];
+  }
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    float scale = max_norm / norm;
+    for (const ag::Var& p : params) p.mutable_grad().Scale(scale);
+  }
+  return norm;
+}
+
+}  // namespace nn
+}  // namespace clfd

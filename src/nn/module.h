@@ -1,0 +1,39 @@
+#ifndef CLFD_NN_MODULE_H_
+#define CLFD_NN_MODULE_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace clfd {
+namespace nn {
+
+// Base class for anything that owns trainable parameters. Parameters are
+// ag::Var leaves created with ag::Param; an optimizer updates them in place
+// between graph constructions.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // All trainable parameter leaves of this module (stable order).
+  virtual std::vector<ag::Var> Parameters() const = 0;
+
+  // Total number of scalar parameters.
+  int ParameterCount() const {
+    int n = 0;
+    for (const ag::Var& p : Parameters()) n += p.value().size();
+    return n;
+  }
+};
+
+// Clears the gradient buffers of the given parameters.
+void ZeroGrads(const std::vector<ag::Var>& params);
+
+// Scales gradients so their global L2 norm is at most `max_norm`.
+// Returns the pre-clipping norm. Keeps long LSTM unrolls stable.
+float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm);
+
+}  // namespace nn
+}  // namespace clfd
+
+#endif  // CLFD_NN_MODULE_H_

@@ -1,0 +1,61 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "nn/module.h"
+
+namespace clfd {
+namespace nn {
+
+Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ag::Var& p : params_) {
+    m_.emplace_back(p.rows(), p.cols());
+    v_.emplace_back(p.rows(), p.cols());
+  }
+  ZeroGrad();
+}
+
+void Adam::Step() {
+  ++t_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& value = params_[i].mutable_value();
+    const Matrix& grad = params_[i].grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (int j = 0; j < value.size(); ++j) {
+      float g = grad[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      float mhat = m[j] / bc1;
+      float vhat = v[j] / bc2;
+      value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() { ZeroGrads(params_); }
+
+Sgd::Sgd(std::vector<ag::Var> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  ZeroGrad();
+}
+
+void Sgd::Step() {
+  for (ag::Var& p : params_) {
+    p.mutable_value().AddScaled(p.grad(), -lr_);
+  }
+  ZeroGrad();
+}
+
+void Sgd::ZeroGrad() { ZeroGrads(params_); }
+
+}  // namespace nn
+}  // namespace clfd

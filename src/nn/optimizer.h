@@ -1,0 +1,50 @@
+#ifndef CLFD_NN_OPTIMIZER_H_
+#define CLFD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace clfd {
+namespace nn {
+
+// Adam optimizer (Kingma & Ba, 2015) — the paper trains every component
+// with Adam at learning rate 0.005 (Sec. IV-A2).
+class Adam {
+ public:
+  explicit Adam(std::vector<ag::Var> params, float lr = 0.005f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  // Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  // Zeroes gradients without updating (e.g. before the first backward).
+  void ZeroGrad();
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  std::vector<ag::Var> params_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  float lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+};
+
+// Plain SGD, used by the word2vec trainer and available for ablations.
+class Sgd {
+ public:
+  explicit Sgd(std::vector<ag::Var> params, float lr = 0.01f);
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<ag::Var> params_;
+  float lr_;
+};
+
+}  // namespace nn
+}  // namespace clfd
+
+#endif  // CLFD_NN_OPTIMIZER_H_

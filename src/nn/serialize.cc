@@ -1,0 +1,63 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace clfd {
+namespace nn {
+
+namespace {
+constexpr char kMagic[4] = {'C', 'L', 'F', 'D'};
+}  // namespace
+
+void WriteMatrix(std::ostream& os, const Matrix& m) {
+  int32_t rows = m.rows(), cols = m.cols();
+  os.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  os.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(sizeof(float)) * m.size());
+}
+
+Matrix ReadMatrix(std::istream& is) {
+  int32_t rows = 0, cols = 0;
+  is.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  is.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!is || rows < 0 || cols < 0) return Matrix();
+  Matrix m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(sizeof(float)) * m.size());
+  return m;
+}
+
+bool SaveParameters(const std::vector<ag::Var>& params,
+                    const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os.write(kMagic, sizeof(kMagic));
+  uint32_t count = static_cast<uint32_t>(params.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const ag::Var& p : params) WriteMatrix(os, p.value());
+  return static_cast<bool>(os);
+}
+
+bool LoadParameters(const std::vector<ag::Var>& params,
+                    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  uint32_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is || count != params.size()) return false;
+  for (const ag::Var& p : params) {
+    Matrix m = ReadMatrix(is);
+    if (!m.SameShape(p.value())) return false;
+    p.node()->value = std::move(m);
+  }
+  return true;
+}
+
+}  // namespace nn
+}  // namespace clfd

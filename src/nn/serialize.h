@@ -1,0 +1,29 @@
+#ifndef CLFD_NN_SERIALIZE_H_
+#define CLFD_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace clfd {
+namespace nn {
+
+// Binary round-trip of matrices / module parameters. Checkpoint format:
+//   magic "CLFD" | u32 count | per matrix: i32 rows, i32 cols, f32 data.
+
+void WriteMatrix(std::ostream& os, const Matrix& m);
+Matrix ReadMatrix(std::istream& is);
+
+// Saves/restores parameter values (not optimizer state) in declaration
+// order. Restore requires identical shapes; returns false on mismatch.
+bool SaveParameters(const std::vector<ag::Var>& params,
+                    const std::string& path);
+bool LoadParameters(const std::vector<ag::Var>& params,
+                    const std::string& path);
+
+}  // namespace nn
+}  // namespace clfd
+
+#endif  // CLFD_NN_SERIALIZE_H_

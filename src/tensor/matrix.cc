@@ -1,0 +1,295 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace clfd {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    assert(rows[r].size() == rows[0].size());
+    std::memcpy(m.row(r), rows[r].data(), rows[r].size() * sizeof(float));
+  }
+  return m;
+}
+
+Matrix Matrix::Xavier(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  float s = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (int i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<float>(rng->Uniform(-s, s));
+  }
+  return m;
+}
+
+Matrix Matrix::Randn(int rows, int cols, float stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  assert(SameShape(other));
+  for (int i = 0; i < size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, float s) {
+  assert(SameShape(other));
+  for (int i = 0; i < size(); ++i) data_[i] += s * other.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (float& x : data_) x *= s;
+}
+
+void Matrix::CopyRowFrom(const Matrix& src, int src_r, int r) {
+  assert(src.cols() == cols_);
+  std::memcpy(row(r), src.row(src_r), static_cast<size_t>(cols_) * sizeof(float));
+}
+
+std::string Matrix::DebugString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  for (int r = 0; r < std::min(rows_, max_rows); ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (int c = 0; c < std::min(cols_, max_cols); ++c) {
+      os << at(r, c) << (c + 1 < std::min(cols_, max_cols) ? ", " : "");
+    }
+    os << (cols_ > max_cols ? ", ...]" : "]");
+  }
+  os << (rows_ > max_rows ? ", ...]" : "]");
+  return os.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) t.at(c, r) = a.at(r, c);
+  }
+  return t;
+}
+
+namespace {
+
+template <typename Fn>
+Matrix Binary(const Matrix& a, const Matrix& b, Fn fn) {
+  assert(a.SameShape(b));
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i], b[i]);
+  return c;
+}
+
+template <typename Fn>
+Matrix Unary(const Matrix& a, Fn fn) {
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i]);
+  return c;
+}
+
+}  // namespace
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  return Binary(a, b, [](float x, float y) { return x + y; });
+}
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  return Binary(a, b, [](float x, float y) { return x - y; });
+}
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  return Binary(a, b, [](float x, float y) { return x * y; });
+}
+Matrix Div(const Matrix& a, const Matrix& b) {
+  return Binary(a, b, [](float x, float y) { return x / y; });
+}
+Matrix AddScalar(const Matrix& a, float s) {
+  return Unary(a, [s](float x) { return x + s; });
+}
+Matrix MulScalar(const Matrix& a, float s) {
+  return Unary(a, [s](float x) { return x * s; });
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row_vec) {
+  assert(row_vec.rows() == 1 && row_vec.cols() == a.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    float* crow = c.row(r);
+    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] + row_vec[j];
+  }
+  return c;
+}
+
+Matrix Exp(const Matrix& a) {
+  return Unary(a, [](float x) { return std::exp(x); });
+}
+Matrix Log(const Matrix& a) {
+  return Unary(a, [](float x) { return std::log(std::max(x, 1e-12f)); });
+}
+Matrix Pow(const Matrix& a, float p) {
+  return Unary(a, [p](float x) { return std::pow(x, p); });
+}
+Matrix Tanh(const Matrix& a) {
+  return Unary(a, [](float x) { return std::tanh(x); });
+}
+Matrix Sigmoid(const Matrix& a) {
+  return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Matrix Relu(const Matrix& a) {
+  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Matrix LeakyRelu(const Matrix& a, float slope) {
+  return Unary(a, [slope](float x) { return x > 0.0f ? x : slope * x; });
+}
+
+float SumAll(const Matrix& a) {
+  double acc = 0.0;
+  for (int i = 0; i < a.size(); ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float MeanAll(const Matrix& a) {
+  return a.size() == 0 ? 0.0f : SumAll(a) / static_cast<float>(a.size());
+}
+
+Matrix SumRows(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    double acc = 0.0;
+    for (int c = 0; c < a.cols(); ++c) acc += arow[c];
+    out.at(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Matrix MeanRows(const Matrix& a) {
+  Matrix out = SumRows(a);
+  if (a.cols() > 0) out.Scale(1.0f / static_cast<float>(a.cols()));
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    float* orow = out.row(r);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int c = 0; c < a.cols(); ++c) mx = std::max(mx, arow[c]);
+    double denom = 0.0;
+    for (int c = 0; c < a.cols(); ++c) {
+      orow[c] = std::exp(arow[c] - mx);
+      denom += orow[c];
+    }
+    for (int c = 0; c < a.cols(); ++c) {
+      orow[c] = static_cast<float>(orow[c] / denom);
+    }
+  }
+  return out;
+}
+
+Matrix ConcatRows(const std::vector<Matrix>& blocks) {
+  if (blocks.empty()) return Matrix();
+  int cols = blocks[0].cols();
+  int rows = 0;
+  for (const Matrix& b : blocks) {
+    assert(b.cols() == cols);
+    rows += b.rows();
+  }
+  Matrix out(rows, cols);
+  int r = 0;
+  for (const Matrix& b : blocks) {
+    for (int br = 0; br < b.rows(); ++br) out.CopyRowFrom(b, br, r++);
+  }
+  return out;
+}
+
+Matrix SliceRows(const Matrix& a, int begin, int end) {
+  assert(begin >= 0 && begin <= end && end <= a.rows());
+  Matrix out(end - begin, a.cols());
+  for (int r = begin; r < end; ++r) out.CopyRowFrom(a, r, r - begin);
+  return out;
+}
+
+float RowNorm(const Matrix& a, int r) {
+  const float* arow = a.row(r);
+  double acc = 0.0;
+  for (int c = 0; c < a.cols(); ++c) acc += arow[c] * arow[c];
+  return static_cast<float>(std::sqrt(acc) + 1e-12);
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  if (!a.SameShape(b)) return std::numeric_limits<float>::infinity();
+  float mx = 0.0f;
+  for (int i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+bool HasNonFinite(const Matrix& a) {
+  for (int i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i])) return true;
+  }
+  return false;
+}
+
+}  // namespace clfd

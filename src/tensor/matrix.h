@@ -1,0 +1,134 @@
+#ifndef CLFD_TENSOR_MATRIX_H_
+#define CLFD_TENSOR_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace clfd {
+
+// Dense row-major float matrix.
+//
+// This is the numeric workhorse of the library: the autograd tape, the
+// neural layers and the loss kernels all operate on Matrix values. The
+// dimensions in this codebase are small (embedding/hidden size 50, batch
+// size ~100-120), so straightforward loops with a blocked matmul are fast
+// enough on a single CPU core.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  // Xavier/Glorot uniform initialization: U(-s, s), s = sqrt(6/(in+out)).
+  static Matrix Xavier(int rows, int cols, Rng* rng);
+  // Elementwise N(0, stddev^2).
+  static Matrix Randn(int rows, int cols, float stddev, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float& operator[](int i) { return data_[i]; }
+  float operator[](int i) const { return data_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // In-place mutators.
+  void Fill(float value);
+  void AddInPlace(const Matrix& other);           // this += other
+  void AddScaled(const Matrix& other, float s);   // this += s * other
+  void Scale(float s);                            // this *= s
+
+  // Row r of this becomes a copy of row src_r of src.
+  void CopyRowFrom(const Matrix& src, int src_r, int r);
+
+  std::string DebugString(int max_rows = 6, int max_cols = 8) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+// ---- Free-function kernels (allocate and return the result). ----
+
+// C = A * B. Requires a.cols == b.rows.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+// C = A^T * B. Requires a.rows == b.rows.
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+// C = A * B^T. Requires a.cols == b.cols.
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+Matrix Transpose(const Matrix& a);
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Mul(const Matrix& a, const Matrix& b);  // elementwise (Hadamard)
+Matrix Div(const Matrix& a, const Matrix& b);  // elementwise
+Matrix AddScalar(const Matrix& a, float s);
+Matrix MulScalar(const Matrix& a, float s);
+
+// Adds a [1 x C] row vector to every row of a [R x C] matrix.
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+
+// Elementwise maps.
+Matrix Exp(const Matrix& a);
+Matrix Log(const Matrix& a);  // clamps input at 1e-12 to stay finite
+Matrix Pow(const Matrix& a, float p);
+Matrix Tanh(const Matrix& a);
+Matrix Sigmoid(const Matrix& a);
+Matrix Relu(const Matrix& a);
+Matrix LeakyRelu(const Matrix& a, float slope);
+
+// Reductions.
+float SumAll(const Matrix& a);
+float MeanAll(const Matrix& a);
+Matrix SumRows(const Matrix& a);   // [R x C] -> [R x 1]
+Matrix MeanRows(const Matrix& a);  // [R x C] -> [R x 1]
+
+// Row-wise numerically stable softmax.
+Matrix SoftmaxRows(const Matrix& a);
+
+// Concatenates blocks vertically; all blocks must share the column count.
+Matrix ConcatRows(const std::vector<Matrix>& blocks);
+// Rows [begin, end) of a.
+Matrix SliceRows(const Matrix& a, int begin, int end);
+
+// L2 norm of row r (with a small epsilon floor to avoid division by zero).
+float RowNorm(const Matrix& a, int r);
+
+// Maximum absolute elementwise difference; infinity when shapes differ.
+float MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+// True if any element is NaN or infinite.
+bool HasNonFinite(const Matrix& a);
+
+}  // namespace clfd
+
+#endif  // CLFD_TENSOR_MATRIX_H_

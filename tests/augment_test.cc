@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "augment/augment.h"
+
+namespace clfd {
+namespace {
+
+TEST(ReorderAugmentTest, PreservesMultisetOfActivities) {
+  Rng rng(1);
+  Session s;
+  s.activities = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (int trial = 0; trial < 50; ++trial) {
+    Session aug = ReorderAugment(s, &rng, 3);
+    auto sorted_orig = s.activities;
+    auto sorted_aug = aug.activities;
+    std::sort(sorted_orig.begin(), sorted_orig.end());
+    std::sort(sorted_aug.begin(), sorted_aug.end());
+    EXPECT_EQ(sorted_orig, sorted_aug);
+  }
+}
+
+TEST(ReorderAugmentTest, OnlyWindowOfThreeChanges) {
+  Rng rng(2);
+  Session s;
+  for (int i = 0; i < 20; ++i) s.activities.push_back(i);
+  for (int trial = 0; trial < 50; ++trial) {
+    Session aug = ReorderAugment(s, &rng, 3);
+    int first_diff = -1, last_diff = -1;
+    for (int i = 0; i < 20; ++i) {
+      if (aug.activities[i] != s.activities[i]) {
+        if (first_diff < 0) first_diff = i;
+        last_diff = i;
+      }
+    }
+    if (first_diff >= 0) {
+      EXPECT_LE(last_diff - first_diff, 2);
+    }
+  }
+}
+
+TEST(ReorderAugmentTest, SometimesActuallyReorders) {
+  Rng rng(3);
+  Session s;
+  for (int i = 0; i < 10; ++i) s.activities.push_back(i);
+  int changed = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    if (ReorderAugment(s, &rng, 3).activities != s.activities) ++changed;
+  }
+  EXPECT_GT(changed, 30);
+}
+
+TEST(ReorderAugmentTest, ShortSessionsHandled) {
+  Rng rng(4);
+  Session s1;
+  s1.activities = {7};
+  EXPECT_EQ(ReorderAugment(s1, &rng).activities, std::vector<int>{7});
+  Session s2;
+  s2.activities = {1, 2};
+  Session aug = ReorderAugment(s2, &rng);
+  auto sorted = aug.activities;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{1, 2}));
+  Session s0;
+  EXPECT_TRUE(ReorderAugment(s0, &rng).activities.empty());
+}
+
+TEST(MixupLambdaTest, InUnitIntervalAndCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    double l = SampleMixupLambda(16.0, &rng);
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, 1.0);
+    sum += l;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.02);
+}
+
+TEST(MixupLambdaTest, DegenerateBeta) {
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(SampleMixupLambda(0.0, &rng), 1.0);
+  EXPECT_DOUBLE_EQ(SampleMixupLambda(-1.0, &rng), 1.0);
+}
+
+}  // namespace
+}  // namespace clfd

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace clfd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(1000) == b.UniformInt(1000)) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BetaSymmetricMeanHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Beta(16.0, 16.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BetaLargeParamConcentratesAtHalf) {
+  // Beta(16,16) has std ~ 0.087: most draws land near 0.5, which is what
+  // gives the paper's beta=16 mixup its strong interpolation.
+  Rng rng(17);
+  int near_half = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(rng.Beta(16.0, 16.0) - 0.5) < 0.25) ++near_half;
+  }
+  EXPECT_GT(near_half, n * 95 / 100);
+}
+
+TEST(RngTest, BetaSmallParamPushesToExtremes) {
+  Rng rng(19);
+  int extreme = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Beta(0.2, 0.2);
+    if (x < 0.1 || x > 0.9) ++extreme;
+  }
+  EXPECT_GT(extreme, n / 2);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  auto s = rng.SampleWithoutReplacement(50, 20);
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (int x : s) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 50);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(3);
+  auto s = rng.SampleWithoutReplacement(5, 5);
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.SampleDiscrete(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 10000, 0.9, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(StatsTest, MeanAndStd) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(StdDev(v), 2.1380899, 1e-6);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({3.0}), 0.0);
+}
+
+TEST(StatsTest, MeanStdFormatting) {
+  MeanStd ms;
+  ms.Add(77.90);
+  ms.Add(78.10);
+  EXPECT_EQ(ms.count(), 2);
+  std::string s = ms.ToString();
+  EXPECT_NE(s.find("78.00"), std::string::npos);
+  EXPECT_NE(s.find("±"), std::string::npos);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable t({"Model", "F1"});
+  t.AddRow({"CLFD", "62.77±2.9"});
+  t.AddRow({"DivMix", "14.04"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("CLFD"), std::string::npos);
+  EXPECT_NE(out.find("62.77±2.9"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"x"});
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(EnvTest, FallbackWhenUnset) {
+  unsetenv("CLFD_TEST_ENV_INT");
+  EXPECT_EQ(GetEnvInt("CLFD_TEST_ENV_INT", 7), 7);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CLFD_TEST_ENV_D", 0.5), 0.5);
+}
+
+TEST(EnvTest, ParsesValue) {
+  setenv("CLFD_TEST_ENV_INT", "42", 1);
+  EXPECT_EQ(GetEnvInt("CLFD_TEST_ENV_INT", 7), 42);
+  setenv("CLFD_TEST_ENV_D", "2.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CLFD_TEST_ENV_D", 0.5), 2.25);
+  setenv("CLFD_TEST_ENV_INT", "junk", 1);
+  EXPECT_EQ(GetEnvInt("CLFD_TEST_ENV_INT", 7), 7);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // The fork must not replay the parent's stream.
+  Rng parent2(99);
+  parent2.Fork();
+  double a = child.Uniform();
+  double b = parent.Uniform();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace clfd

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/simulators.h"
+#include "embedding/word2vec.h"
+
+namespace clfd {
+namespace {
+
+// Cosine similarity between two embedding rows.
+double Cosine(const Matrix& emb, int a, int b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int d = 0; d < emb.cols(); ++d) {
+    dot += emb.at(a, d) * emb.at(b, d);
+    na += emb.at(a, d) * emb.at(a, d);
+    nb += emb.at(b, d) * emb.at(b, d);
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+}
+
+TEST(Word2VecTest, ShapeAndFinite) {
+  Rng rng(1);
+  Word2Vec::Config config;
+  config.dim = 16;
+  config.epochs = 2;
+  Word2Vec w2v(10, config, &rng);
+  std::vector<std::vector<int>> corpus = {{0, 1, 2, 3}, {4, 5, 6, 7, 8, 9}};
+  w2v.Train(corpus, &rng);
+  EXPECT_EQ(w2v.embeddings().rows(), 10);
+  EXPECT_EQ(w2v.embeddings().cols(), 16);
+  EXPECT_FALSE(HasNonFinite(w2v.embeddings()));
+}
+
+TEST(Word2VecTest, CooccurringTokensBecomeSimilar) {
+  // Two disjoint "topics": tokens {0,1,2} always co-occur, tokens {3,4,5}
+  // always co-occur. Within-topic similarity must exceed across-topic.
+  Rng rng(2);
+  std::vector<std::vector<int>> corpus;
+  for (int i = 0; i < 300; ++i) {
+    corpus.push_back({0, 1, 2, 1, 0, 2});
+    corpus.push_back({3, 4, 5, 4, 3, 5});
+  }
+  Word2Vec::Config config;
+  config.dim = 12;
+  config.epochs = 3;
+  Word2Vec w2v(6, config, &rng);
+  w2v.Train(corpus, &rng);
+  const Matrix& emb = w2v.embeddings();
+  double within = (Cosine(emb, 0, 1) + Cosine(emb, 3, 4)) / 2.0;
+  double across = (Cosine(emb, 0, 3) + Cosine(emb, 1, 4)) / 2.0;
+  EXPECT_GT(within, across + 0.2);
+}
+
+TEST(Word2VecTest, TrainActivityEmbeddingsOnSimulator) {
+  Rng rng(3);
+  SimulatedData data =
+      MakeCertDataset(PaperSplit(DatasetKind::kCert).Scaled(0.01), &rng);
+  Matrix emb = TrainActivityEmbeddings(data.train, 20, &rng);
+  EXPECT_EQ(emb.rows(), data.train.vocab_size());
+  EXPECT_EQ(emb.cols(), 20);
+  EXPECT_FALSE(HasNonFinite(emb));
+  // Embeddings must not all collapse to the same vector.
+  EXPECT_GT(MaxAbsDiff(SliceRows(emb, 0, 1), SliceRows(emb, 5, 6)), 1e-3f);
+}
+
+}  // namespace
+}  // namespace clfd

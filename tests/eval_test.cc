@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "eval/experiment.h"
+
+namespace clfd {
+namespace {
+
+ClfdConfig TinyConfig() {
+  ClfdConfig config = ClfdConfig::Fast();
+  config.emb_dim = 12;
+  config.hidden_dim = 12;
+  config.batch_size = 24;
+  config.aux_batch_size = 4;
+  config.budget = {2, 30, 2};
+  return config;
+}
+
+TEST(ExperimentContextTest, BuildsConsistentWorld) {
+  SplitSpec split{60, 6, 30, 6};
+  ExperimentContext ctx(DatasetKind::kWiki, split, NoiseSpec::Uniform(0.3),
+                        12, 5);
+  EXPECT_EQ(ctx.train().size(), 66);
+  EXPECT_EQ(ctx.test().size(), 36);
+  EXPECT_EQ(ctx.embeddings().rows(), ctx.train().vocab_size());
+  EXPECT_EQ(ctx.embeddings().cols(), 12);
+  EXPECT_GT(ObservedNoiseRate(ctx.train()), 0.1);
+  // Test labels are never corrupted.
+  EXPECT_DOUBLE_EQ(ObservedNoiseRate(ctx.test()), 0.0);
+}
+
+TEST(ExperimentContextTest, DeterministicPerSeed) {
+  SplitSpec split{40, 6, 20, 6};
+  ExperimentContext a(DatasetKind::kCert, split, NoiseSpec::Uniform(0.2), 8,
+                      9);
+  ExperimentContext b(DatasetKind::kCert, split, NoiseSpec::Uniform(0.2), 8,
+                      9);
+  EXPECT_LT(MaxAbsDiff(a.embeddings(), b.embeddings()), 1e-7f);
+  for (int i = 0; i < a.train().size(); ++i) {
+    EXPECT_EQ(a.train().sessions[i].noisy_label,
+              b.train().sessions[i].noisy_label);
+  }
+}
+
+TEST(RunExperimentTest, AggregatesAcrossSeeds) {
+  SplitSpec split{60, 6, 30, 6};
+  AggregatedMetrics m =
+      RunExperiment("CLDet", DatasetKind::kWiki, split,
+                    NoiseSpec::Uniform(0.1), TinyConfig(), /*seeds=*/2);
+  EXPECT_EQ(m.f1.count(), 2);
+  EXPECT_EQ(m.auc.count(), 2);
+  EXPECT_GE(m.auc.mean(), 0.0);
+  EXPECT_LE(m.auc.mean(), 100.0);
+  EXPECT_GT(m.train_seconds.mean(), 0.0);
+}
+
+TEST(RunCorrectorExperimentTest, ProducesTprTnr) {
+  SplitSpec split{60, 8, 30, 6};
+  CorrectorMetrics m =
+      RunCorrectorExperiment(DatasetKind::kCert, split,
+                             NoiseSpec::Uniform(0.3), TinyConfig(), 2);
+  EXPECT_EQ(m.tpr.count(), 2);
+  EXPECT_GE(m.tnr.mean(), 0.0);
+  EXPECT_LE(m.tnr.mean(), 100.0);
+  // On mostly-normal data the corrector should label most normals normal.
+  EXPECT_GT(m.tnr.mean(), 50.0);
+}
+
+TEST(BenchScaleTest, EnvOverrides) {
+  unsetenv("CLFD_SCALE");
+  unsetenv("CLFD_SEEDS");
+  unsetenv("CLFD_EPOCH_SCALE");
+  BenchScale def = ReadBenchScale(0.05, 3, 0.5);
+  EXPECT_DOUBLE_EQ(def.split_scale, 0.05);
+  EXPECT_EQ(def.seeds, 3);
+  setenv("CLFD_SCALE", "1.0", 1);
+  setenv("CLFD_SEEDS", "5", 1);
+  setenv("CLFD_EPOCH_SCALE", "1.0", 1);
+  BenchScale full = ReadBenchScale(0.05, 3, 0.5);
+  EXPECT_DOUBLE_EQ(full.split_scale, 1.0);
+  EXPECT_EQ(full.seeds, 5);
+  EXPECT_DOUBLE_EQ(full.epoch_scale, 1.0);
+  unsetenv("CLFD_SCALE");
+  unsetenv("CLFD_SEEDS");
+  unsetenv("CLFD_EPOCH_SCALE");
+}
+
+TEST(MakeScaledSetupTest, ShrinksBatchWithSplit) {
+  BenchScale scale{0.01, 2, 0.3};
+  ScaledSetup setup = MakeScaledSetup(DatasetKind::kCert, scale);
+  EXPECT_LT(setup.split.train_normal, 10000);
+  EXPECT_GE(setup.split.train_malicious, 6);
+  EXPECT_LE(setup.config.batch_size, 100);
+  EXPECT_GE(setup.config.batch_size, 20);
+  EXPECT_LE(setup.config.aux_batch_size, setup.config.batch_size / 2);
+  EXPECT_GE(setup.config.budget.classifier_epochs, 1);
+
+  BenchScale full{1.0, 5, 1.0};
+  ScaledSetup paper = MakeScaledSetup(DatasetKind::kCert, full);
+  EXPECT_EQ(paper.split.train_normal, 10000);
+  EXPECT_EQ(paper.config.batch_size, 100);
+  EXPECT_EQ(paper.config.budget.classifier_epochs, 500);
+}
+
+}  // namespace
+}  // namespace clfd

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace clfd {
+namespace {
+
+TEST(ConfusionTest, Counts) {
+  std::vector<int> pred = {1, 1, 0, 0, 1, 0};
+  std::vector<int> truth = {1, 0, 1, 0, 1, 0};
+  ConfusionCounts c = Confusion(pred, truth);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 2);
+  EXPECT_EQ(c.total(), 6);
+}
+
+TEST(F1Test, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(F1Score({1, 1, 0}, {1, 1, 0}), 100.0);
+  EXPECT_DOUBLE_EQ(F1Score({0, 0, 1}, {1, 1, 0}), 0.0);
+}
+
+TEST(F1Test, KnownValue) {
+  // tp=2 fp=1 fn=1 -> precision=2/3 recall=2/3 -> F1 = 2/3.
+  std::vector<int> pred = {1, 1, 0, 1, 0};
+  std::vector<int> truth = {1, 1, 1, 0, 0};
+  EXPECT_NEAR(F1Score(pred, truth), 100.0 * 2.0 / 3.0, 1e-9);
+}
+
+TEST(F1Test, DegenerateAllNegative) {
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(FprTest, KnownValue) {
+  std::vector<int> pred = {1, 0, 1, 0};
+  std::vector<int> truth = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(FalsePositiveRate(pred, truth), 50.0);
+  EXPECT_DOUBLE_EQ(FalsePositiveRate({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(TprTnrTest, KnownValues) {
+  // truths: 4 positives (3 found), 4 negatives (1 false alarm).
+  std::vector<int> pred = {1, 1, 1, 0, 1, 0, 0, 0};
+  std::vector<int> truth = {1, 1, 1, 1, 0, 0, 0, 0};
+  ConfusionCounts c = Confusion(pred, truth);
+  EXPECT_DOUBLE_EQ(TruePositiveRate(c), 75.0);
+  EXPECT_DOUBLE_EQ(TrueNegativeRate(c), 75.0);
+}
+
+TEST(AucTest, PerfectRanking) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<int> truth = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(AucRoc(scores, truth), 100.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  std::vector<int> truth = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(AucRoc(scores, truth), 0.0);
+}
+
+TEST(AucTest, RandomScoresNearFifty) {
+  std::vector<double> scores;
+  std::vector<int> truth;
+  // Deterministic pseudo-random interleave.
+  for (int i = 0; i < 1000; ++i) {
+    scores.push_back((i * 37 % 101) / 101.0);
+    truth.push_back(i % 2);
+  }
+  EXPECT_NEAR(AucRoc(scores, truth), 50.0, 5.0);
+}
+
+TEST(AucTest, TiesGetMidrank) {
+  // All scores equal -> AUC is exactly 50 with midrank handling.
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  std::vector<int> truth = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(AucRoc(scores, truth), 50.0);
+}
+
+TEST(AucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(AucRoc({0.1, 0.9}, {1, 1}), 50.0);
+  EXPECT_DOUBLE_EQ(AucRoc({0.1, 0.9}, {0, 0}), 50.0);
+}
+
+TEST(AucTest, KnownPartialValue) {
+  // positives {0.8, 0.4}, negatives {0.6, 0.2}: pairs won = 3/4.
+  std::vector<double> scores = {0.8, 0.4, 0.6, 0.2};
+  std::vector<int> truth = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(AucRoc(scores, truth), 75.0);
+}
+
+}  // namespace
+}  // namespace clfd

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "autograd/grad_check.h"
+#include "nn/attention.h"
+#include "nn/classifier.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace clfd {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  ag::Var x = ag::Constant(Matrix(2, 4));
+  ag::Var y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 3);
+  // Zero input -> bias (which is zero-initialized).
+  EXPECT_FLOAT_EQ(SumAll(y.value()), 0.0f);
+  EXPECT_EQ(layer.ParameterCount(), 4 * 3 + 3);
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(2);
+  Linear layer(3, 2, &rng);
+  Matrix x = Matrix::Randn(4, 3, 1.0f, &rng);
+  auto params = layer.Parameters();
+  auto result = ag::CheckGradients(
+      [&](const std::vector<ag::Var>&) {
+        ag::Var y = layer.Forward(ag::Constant(x));
+        return ag::SumAll(ag::Mul(y, y));
+      },
+      params);
+  EXPECT_TRUE(result.ok()) << result.max_abs_error;
+}
+
+TEST(LstmTest, OutputShapes) {
+  Rng rng(3);
+  Lstm lstm(5, 7, 2, &rng);
+  std::vector<ag::Var> steps;
+  for (int t = 0; t < 4; ++t) {
+    steps.push_back(ag::Constant(Matrix::Randn(3, 5, 1.0f, &rng)));
+  }
+  auto hs = lstm.Forward(steps);
+  ASSERT_EQ(hs.size(), 4u);
+  for (const auto& h : hs) {
+    EXPECT_EQ(h.rows(), 3);
+    EXPECT_EQ(h.cols(), 7);
+  }
+  EXPECT_EQ(lstm.num_layers(), 2);
+}
+
+TEST(LstmTest, HiddenBounded) {
+  // LSTM hidden state is o * tanh(c), bounded in (-1, 1).
+  Rng rng(4);
+  Lstm lstm(4, 6, 2, &rng);
+  std::vector<ag::Var> steps;
+  for (int t = 0; t < 10; ++t) {
+    steps.push_back(ag::Constant(Matrix::Randn(2, 4, 5.0f, &rng)));
+  }
+  auto hs = lstm.Forward(steps);
+  for (int i = 0; i < hs.back().value().size(); ++i) {
+    EXPECT_LT(std::abs(hs.back().value()[i]), 1.0f);
+  }
+}
+
+TEST(LstmTest, GradCheckThroughTime) {
+  Rng rng(5);
+  Lstm lstm(3, 4, 1, &rng);
+  std::vector<Matrix> inputs;
+  for (int t = 0; t < 3; ++t) {
+    inputs.push_back(Matrix::Randn(2, 3, 1.0f, &rng));
+  }
+  auto params = lstm.Parameters();
+  auto result = ag::CheckGradients(
+      [&](const std::vector<ag::Var>&) {
+        std::vector<ag::Var> steps;
+        for (const auto& m : inputs) steps.push_back(ag::Constant(m));
+        auto hs = lstm.Forward(steps);
+        return ag::SumAll(ag::Mul(hs.back(), hs.back()));
+      },
+      params, 5e-3f);
+  EXPECT_TRUE(result.ok(5e-2f)) << result.max_abs_error;
+}
+
+TEST(LstmTest, SequenceOrderMatters) {
+  // The encoder must be sensitive to ordering (the basis of the session-
+  // reordering augmentation and of sequential detection).
+  Rng rng(6);
+  Lstm lstm(3, 8, 2, &rng);
+  Matrix a = Matrix::Randn(1, 3, 1.0f, &rng);
+  Matrix b = Matrix::Randn(1, 3, 1.0f, &rng);
+  auto run = [&](const Matrix& first, const Matrix& second) {
+    std::vector<ag::Var> steps = {ag::Constant(first), ag::Constant(second)};
+    return lstm.Forward(steps).back().value();
+  };
+  Matrix h_ab = run(a, b);
+  Matrix h_ba = run(b, a);
+  EXPECT_GT(MaxAbsDiff(h_ab, h_ba), 1e-4f);
+}
+
+TEST(ClassifierTest, ProbsSumToOne) {
+  Rng rng(7);
+  FeedForwardClassifier clf(6, 10, 2, &rng);
+  Matrix x = Matrix::Randn(5, 6, 1.0f, &rng);
+  Matrix probs = clf.PredictProbs(x);
+  EXPECT_EQ(probs.rows(), 5);
+  EXPECT_EQ(probs.cols(), 2);
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_NEAR(probs.at(r, 0) + probs.at(r, 1), 1.0f, 1e-5f);
+  }
+}
+
+TEST(ClassifierTest, LearnsLinearlySeparableData) {
+  Rng rng(8);
+  FeedForwardClassifier clf(2, 8, 2, &rng);
+  Adam opt(clf.Parameters(), 0.05f);
+  // Class 1 iff x0 > x1.
+  Matrix x(40, 2);
+  Matrix targets(40, 2);
+  for (int i = 0; i < 40; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.Gaussian());
+    x.at(i, 1) = static_cast<float>(rng.Gaussian());
+    int label = x.at(i, 0) > x.at(i, 1) ? 1 : 0;
+    targets.at(i, label) = 1.0f;
+  }
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    ag::Var probs = clf.ForwardProbs(ag::Constant(x));
+    ag::Var loss = ag::Scale(
+        ag::SumAll(ag::Mul(ag::Constant(targets), ag::Log(probs))), -1.0f);
+    ag::Backward(loss);
+    opt.Step();
+  }
+  Matrix probs = clf.PredictProbs(x);
+  int correct = 0;
+  for (int i = 0; i < 40; ++i) {
+    int pred = probs.at(i, 1) > probs.at(i, 0) ? 1 : 0;
+    int label = x.at(i, 0) > x.at(i, 1) ? 1 : 0;
+    correct += (pred == label);
+  }
+  EXPECT_GE(correct, 37);
+}
+
+TEST(AttentionTest, ShapesAndGradCheck) {
+  Rng rng(9);
+  SelfAttentionEncoder enc(6, 12, &rng);
+  Matrix x = Matrix::Randn(5, 6, 1.0f, &rng);
+  ag::Var out = enc.Forward(ag::Constant(x));
+  EXPECT_EQ(out.rows(), 5);
+  EXPECT_EQ(out.cols(), 6);
+  ag::Var pooled = enc.ForwardPooled(ag::Constant(x));
+  EXPECT_EQ(pooled.rows(), 1);
+  EXPECT_EQ(pooled.cols(), 6);
+
+  auto result = ag::CheckGradients(
+      [&](const std::vector<ag::Var>&) {
+        ag::Var y = enc.ForwardPooled(ag::Constant(x));
+        return ag::SumAll(ag::Mul(y, y));
+      },
+      enc.Parameters(), 5e-3f);
+  EXPECT_TRUE(result.ok(5e-2f)) << result.max_abs_error;
+}
+
+TEST(AttentionTest, PositionalEncodingDistinguishesOrder) {
+  Matrix pe = SinusoidalPositions(10, 8);
+  EXPECT_GT(MaxAbsDiff(SliceRows(pe, 0, 1), SliceRows(pe, 5, 6)), 0.1f);
+}
+
+TEST(OptimizerTest, AdamReducesQuadratic) {
+  ag::Var x = ag::Param(Matrix::FromRows({{5.0f, -3.0f}}));
+  Adam opt({x}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    ag::Var loss = ag::SumAll(ag::Mul(x, x));
+    ag::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(std::abs(x.value()[0]), 0.05f);
+  EXPECT_LT(std::abs(x.value()[1]), 0.05f);
+}
+
+TEST(OptimizerTest, SgdReducesQuadratic) {
+  ag::Var x = ag::Param(Matrix::FromRows({{2.0f}}));
+  Sgd opt({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    ag::Var loss = ag::SumAll(ag::Mul(x, x));
+    ag::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(std::abs(x.value()[0]), 1e-3f);
+}
+
+TEST(ModuleTest, ClipGradNorm) {
+  ag::Var x = ag::Param(Matrix::FromRows({{3.0f, 4.0f}}));
+  ZeroGrads({x});
+  x.mutable_grad().at(0, 0) = 30.0f;
+  x.mutable_grad().at(0, 1) = 40.0f;
+  float norm = ClipGradNorm({x}, 5.0f);
+  EXPECT_NEAR(norm, 50.0f, 1e-3f);
+  EXPECT_NEAR(x.grad().at(0, 0), 3.0f, 1e-4f);
+  EXPECT_NEAR(x.grad().at(0, 1), 4.0f, 1e-4f);
+  // Below the cap: untouched.
+  norm = ClipGradNorm({x}, 100.0f);
+  EXPECT_NEAR(x.grad().at(0, 0), 3.0f, 1e-4f);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(10);
+  Linear a(4, 3, &rng);
+  Linear b(4, 3, &rng);
+  std::string path = ::testing::TempDir() + "/clfd_params.bin";
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path));
+  ASSERT_TRUE(LoadParameters(b.Parameters(), path));
+  auto pa = a.Parameters(), pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(MaxAbsDiff(pa[i].value(), pb[i].value()), 1e-7f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  Rng rng(11);
+  Linear a(4, 3, &rng);
+  Linear b(5, 3, &rng);
+  std::string path = ::testing::TempDir() + "/clfd_params2.bin";
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path));
+  EXPECT_FALSE(LoadParameters(b.Parameters(), path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace clfd

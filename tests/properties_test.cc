@@ -1,0 +1,198 @@
+// Property-based tests: exact mathematical invariants of the losses and
+// metrics, swept over parameter grids with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "losses/contrastive.h"
+#include "losses/robust_losses.h"
+#include "metrics/metrics.h"
+
+namespace clfd {
+namespace {
+
+// ---- Supervised contrastive loss invariants ----
+
+class SupConPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, float>> {
+ protected:
+  void Setup(Matrix* z, std::vector<int>* labels,
+             std::vector<double>* conf) {
+    auto [n, alpha] = GetParam();
+    (void)alpha;
+    Rng rng(n * 31 + 1);
+    *z = Matrix::Randn(n, 8, 1.0f, &rng);
+    labels->resize(n);
+    conf->resize(n);
+    for (int i = 0; i < n; ++i) {
+      (*labels)[i] = i % 3 == 0 ? 1 : 0;
+      (*conf)[i] = rng.Uniform(0.55, 1.0);
+    }
+  }
+};
+
+TEST_P(SupConPropertyTest, ConfidenceScalingIsBilinear) {
+  // Pair weights are c_i * c_p, so scaling every confidence by s scales the
+  // weighted loss by exactly s^2.
+  auto [n, alpha] = GetParam();
+  Matrix z;
+  std::vector<int> labels;
+  std::vector<double> conf;
+  Setup(&z, &labels, &conf);
+  float base =
+      SupConLoss(ag::Constant(z), labels, conf, n, alpha).value()[0];
+  std::vector<double> scaled = conf;
+  for (double& c : scaled) c *= 0.5;
+  float half = SupConLoss(ag::Constant(z), labels, scaled, n, alpha)
+                   .value()[0];
+  EXPECT_NEAR(half, 0.25f * base, std::abs(base) * 1e-3f + 1e-5f);
+}
+
+TEST_P(SupConPropertyTest, InvariantToUniformRepresentationScaling) {
+  // Cosine similarities ignore row magnitudes.
+  auto [n, alpha] = GetParam();
+  Matrix z;
+  std::vector<int> labels;
+  std::vector<double> conf;
+  Setup(&z, &labels, &conf);
+  float base =
+      SupConLoss(ag::Constant(z), labels, conf, n, alpha).value()[0];
+  Matrix scaled = MulScalar(z, 7.3f);
+  float after =
+      SupConLoss(ag::Constant(scaled), labels, conf, n, alpha).value()[0];
+  EXPECT_NEAR(after, base, std::abs(base) * 1e-3f + 1e-4f);
+}
+
+TEST_P(SupConPropertyTest, InvariantToRotation) {
+  // Any orthogonal transform preserves all cosine similarities. Apply a
+  // Givens rotation on dims (0, 1).
+  auto [n, alpha] = GetParam();
+  Matrix z;
+  std::vector<int> labels;
+  std::vector<double> conf;
+  Setup(&z, &labels, &conf);
+  float base =
+      SupConLoss(ag::Constant(z), labels, conf, n, alpha).value()[0];
+  float c = std::cos(0.7f), s = std::sin(0.7f);
+  Matrix rotated = z;
+  for (int i = 0; i < n; ++i) {
+    float a = z.at(i, 0), b = z.at(i, 1);
+    rotated.at(i, 0) = c * a - s * b;
+    rotated.at(i, 1) = s * a + c * b;
+  }
+  float after =
+      SupConLoss(ag::Constant(rotated), labels, conf, n, alpha).value()[0];
+  EXPECT_NEAR(after, base, std::abs(base) * 1e-3f + 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SupConPropertyTest,
+    ::testing::Combine(::testing::Values(6, 12, 24),
+                       ::testing::Values(0.5f, 1.0f, 2.0f)));
+
+// ---- NT-Xent invariants ----
+
+class NtXentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NtXentPropertyTest, ScaleInvarianceAndPositivity) {
+  int n = GetParam();
+  Rng rng(n);
+  Matrix z = Matrix::Randn(2 * n, 6, 1.0f, &rng);
+  float base = NtXentLoss(ag::Constant(z), 0.5f).value()[0];
+  float scaled = NtXentLoss(ag::Constant(MulScalar(z, 3.0f)), 0.5f).value()[0];
+  EXPECT_NEAR(base, scaled, std::abs(base) * 1e-3f + 1e-4f);
+  // NT-Xent lower bound: -log of the best possible ratio; with 2N - 1
+  // contrast terms the loss is at least log(2N-1) - 2/temperature + ... a
+  // loose but useful sanity floor is 0 when temperature <= 1 and
+  // similarities are bounded by 1: log denominator >= max sim.
+  EXPECT_GT(base, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NtXentPropertyTest,
+                         ::testing::Values(2, 4, 8, 16));
+
+// ---- GCE monotonicity over q ----
+
+class GceMonotoneTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(GceMonotoneTest, DecreasingInTargetProbability) {
+  float q = GetParam();
+  float prev = 1e9f;
+  for (float p = 0.05f; p < 1.0f; p += 0.05f) {
+    float probs[2] = {p, 1.0f - p};
+    float target[2] = {1.0f, 0.0f};
+    float loss = GceLossValueRow(probs, target, 2, q);
+    EXPECT_LT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST_P(GceMonotoneTest, SoftTargetLossIsConvexCombination) {
+  // For fixed p, l(m) is linear in the target m, so the mixup loss equals
+  // lambda * l(e_i) + (1 - lambda) * l(e_j) exactly.
+  float q = GetParam();
+  Rng rng(static_cast<uint64_t>(q * 100));
+  for (int trial = 0; trial < 50; ++trial) {
+    float p = static_cast<float>(rng.Uniform(0.05, 0.95));
+    float probs[2] = {p, 1.0f - p};
+    float lambda = static_cast<float>(rng.Uniform(0.0, 1.0));
+    float e0[2] = {1.0f, 0.0f}, e1[2] = {0.0f, 1.0f};
+    float mix[2] = {lambda, 1.0f - lambda};
+    float expected = lambda * GceLossValueRow(probs, e0, 2, q) +
+                     (1.0f - lambda) * GceLossValueRow(probs, e1, 2, q);
+    EXPECT_NEAR(GceLossValueRow(probs, mix, 2, q), expected, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, GceMonotoneTest,
+                         ::testing::Values(0.1f, 0.4f, 0.7f, 1.0f));
+
+// ---- Metric invariants ----
+
+TEST(MetricPropertyTest, AucInvariantToMonotoneTransform) {
+  Rng rng(11);
+  std::vector<double> scores(200);
+  std::vector<int> truths(200);
+  for (int i = 0; i < 200; ++i) {
+    truths[i] = rng.Bernoulli(0.3);
+    scores[i] = rng.Gaussian(truths[i] ? 0.5 : 0.0, 1.0);
+  }
+  double base = AucRoc(scores, truths);
+  std::vector<double> transformed = scores;
+  for (double& s : transformed) s = std::exp(2.0 * s) + 5.0;
+  EXPECT_NEAR(AucRoc(transformed, truths), base, 1e-9);
+}
+
+TEST(MetricPropertyTest, AucComplementOnScoreNegation) {
+  Rng rng(12);
+  std::vector<double> scores(100);
+  std::vector<int> truths(100);
+  for (int i = 0; i < 100; ++i) {
+    truths[i] = i % 3 == 0;
+    scores[i] = rng.Uniform();  // continuous, ties negligible
+  }
+  double base = AucRoc(scores, truths);
+  std::vector<double> negated = scores;
+  for (double& s : negated) s = -s;
+  EXPECT_NEAR(AucRoc(negated, truths), 100.0 - base, 1e-9);
+}
+
+TEST(MetricPropertyTest, F1BoundsAndSymmetryUnderPerfectSwap) {
+  // Predicting everything flipped turns TP into FN and TN into FP.
+  std::vector<int> truth = {1, 1, 0, 0, 1, 0, 0, 0};
+  std::vector<int> pred = {1, 0, 0, 1, 1, 0, 0, 0};
+  double f1 = F1Score(pred, truth);
+  EXPECT_GE(f1, 0.0);
+  EXPECT_LE(f1, 100.0);
+  std::vector<int> flipped(pred.size());
+  for (size_t i = 0; i < pred.size(); ++i) flipped[i] = 1 - pred[i];
+  ConfusionCounts a = Confusion(pred, truth);
+  ConfusionCounts b = Confusion(flipped, truth);
+  EXPECT_EQ(a.tp, b.fn);
+  EXPECT_EQ(a.tn, b.fp);
+}
+
+}  // namespace
+}  // namespace clfd

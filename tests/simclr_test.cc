@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "augment/augment.h"
+#include "data/simulators.h"
+#include "encoders/session_encoder.h"
+#include "encoders/simclr.h"
+#include "losses/contrastive.h"
+
+namespace clfd {
+namespace {
+
+// Mean NT-Xent loss over a few augmented batches with the given encoder.
+float EvalNtXent(const SessionEncoder& encoder, const ProjectionHead& proj,
+                 const SessionDataset& data, const Matrix& embeddings,
+                 uint64_t seed) {
+  Rng rng(seed);
+  float total = 0.0f;
+  const int trials = 4;
+  for (int t = 0; t < trials; ++t) {
+    auto batch = data.MakeBatches(32, &rng)[0];
+    std::vector<Session> augmented;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int idx : batch) {
+        augmented.push_back(ReorderAugment(data.sessions[idx].session, &rng));
+      }
+    }
+    std::vector<const Session*> views;
+    for (const Session& s : augmented) views.push_back(&s);
+    ag::Var z = encoder.EncodeBatch(views, embeddings);
+    total += NtXentLoss(proj.Forward(z), 0.5f).value()[0];
+  }
+  return total / trials;
+}
+
+TEST(SimclrTest, PretrainingReducesContrastiveLoss) {
+  Rng rng(1);
+  SimulatedData data = MakeWikiDataset({120, 12, 20, 6}, &rng);
+  Matrix embeddings = Matrix::Randn(data.train.vocab_size(), 12, 0.5f, &rng);
+
+  Rng init(7);
+  SessionEncoder encoder(12, 12, 2, &init);
+  ProjectionHead projection(12, 12, &init);
+  float before =
+      EvalNtXent(encoder, projection, data.train, embeddings, 99);
+
+  SimclrOptions options;
+  options.epochs = 4;
+  options.batch_size = 32;
+  Rng train_rng(11);
+  SimclrPretrain(&encoder, &projection, data.train, embeddings, options,
+                 &train_rng);
+  float after = EvalNtXent(encoder, projection, data.train, embeddings, 99);
+  EXPECT_LT(after, before);
+}
+
+TEST(SimclrTest, AugmentedViewsStayCloserThanRandomPairs) {
+  // After pre-training, two augmentations of the same session must be more
+  // similar in the representation space than two different sessions.
+  Rng rng(2);
+  SimulatedData data = MakeCertDataset({150, 12, 20, 6}, &rng);
+  Matrix embeddings = Matrix::Randn(data.train.vocab_size(), 12, 0.5f, &rng);
+  Rng init(3);
+  SessionEncoder encoder(12, 12, 2, &init);
+  ProjectionHead projection(12, 12, &init);
+  SimclrOptions options;
+  options.epochs = 3;
+  options.batch_size = 32;
+  SimclrPretrain(&encoder, &projection, data.train, embeddings, options,
+                 &init);
+
+  Rng probe(13);
+  double same = 0.0, cross = 0.0;
+  const int trials = 30;
+  auto cosine = [](const Matrix& m) {
+    double dot = 0.0;
+    for (int d = 0; d < m.cols(); ++d) dot += m.at(0, d) * m.at(1, d);
+    return dot / (RowNorm(m, 0) * RowNorm(m, 1));
+  };
+  for (int t = 0; t < trials; ++t) {
+    int i = probe.UniformInt(data.train.size());
+    int j = (i + 1 + probe.UniformInt(data.train.size() - 1)) %
+            data.train.size();
+    Session view1 = ReorderAugment(data.train.sessions[i].session, &probe);
+    Session view2 = ReorderAugment(data.train.sessions[i].session, &probe);
+    Matrix pair = encoder
+                      .EncodeBatch({&view1, &view2}, embeddings)
+                      .value();
+    same += cosine(pair);
+    Matrix other =
+        encoder
+            .EncodeBatch({&data.train.sessions[i].session,
+                          &data.train.sessions[j].session},
+                         embeddings)
+            .value();
+    cross += cosine(other);
+  }
+  EXPECT_GT(same / trials, cross / trials);
+}
+
+TEST(SimclrTest, HandlesBatchOfTwo) {
+  Rng rng(4);
+  SimulatedData data = MakeOpenStackDataset({20, 6, 6, 6}, &rng);
+  Matrix embeddings = Matrix::Randn(data.train.vocab_size(), 8, 0.5f, &rng);
+  SessionEncoder encoder(8, 8, 1, &rng);
+  ProjectionHead projection(8, 8, &rng);
+  SimclrOptions options;
+  options.epochs = 1;
+  options.batch_size = 2;
+  EXPECT_NO_THROW(
+      SimclrPretrain(&encoder, &projection, data.train, embeddings, options,
+                     &rng));
+}
+
+}  // namespace
+}  // namespace clfd

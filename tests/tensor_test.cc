@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+namespace {
+
+Matrix M22(float a, float b, float c, float d) {
+  return Matrix::FromRows({{a, b}, {c, d}});
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
+  m.at(0, 1) = -2.0f;
+  EXPECT_FLOAT_EQ(m.at(0, 1), -2.0f);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 4.0f);
+}
+
+TEST(MatrixTest, MatMulKnownResult) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(MatrixTest, MatMulRectangular) {
+  Matrix a(3, 4, 1.0f);
+  Matrix b(4, 2, 2.0f);
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_FLOAT_EQ(c.at(2, 1), 8.0f);
+}
+
+TEST(MatrixTest, TransposedMatMulsAgreeWithExplicitTranspose) {
+  Rng rng(1);
+  Matrix a = Matrix::Randn(5, 3, 1.0f, &rng);
+  Matrix b = Matrix::Randn(5, 4, 1.0f, &rng);
+  Matrix c = Matrix::Randn(7, 3, 1.0f, &rng);
+  EXPECT_LT(MaxAbsDiff(MatMulTransposeA(a, b), MatMul(Transpose(a), b)), 1e-5f);
+  EXPECT_LT(MaxAbsDiff(MatMulTransposeB(a, c), MatMul(a, Transpose(c))), 1e-5f);
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = M22(1, 2, 3, 4);
+  Matrix b = M22(5, 6, 7, 8);
+  EXPECT_FLOAT_EQ(Add(a, b).at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(Sub(b, a).at(1, 1), 4.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(1, 0), 21.0f);
+  EXPECT_FLOAT_EQ(Div(b, a).at(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 10.0f).at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(MulScalar(a, -2.0f).at(1, 1), -8.0f);
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix a = M22(1, 2, 3, 4);
+  Matrix row = Matrix::FromRows({{10, 20}});
+  Matrix c = AddRowBroadcast(a, row);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 24.0f);
+}
+
+TEST(MatrixTest, UnaryMaps) {
+  Matrix a = M22(0, 1, -1, 2);
+  EXPECT_FLOAT_EQ(Exp(a).at(0, 0), 1.0f);
+  EXPECT_NEAR(Tanh(a).at(0, 1), std::tanh(1.0f), 1e-6f);
+  EXPECT_NEAR(Sigmoid(a).at(0, 0), 0.5f, 1e-6f);
+  EXPECT_FLOAT_EQ(Relu(a).at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(Relu(a).at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(LeakyRelu(a, 0.1f).at(1, 0), -0.1f);
+}
+
+TEST(MatrixTest, LogClampsAtZero) {
+  Matrix a = M22(0, 1, 2, 4);
+  Matrix l = Log(a);
+  EXPECT_TRUE(std::isfinite(l.at(0, 0)));
+  EXPECT_NEAR(l.at(1, 1), std::log(4.0f), 1e-6f);
+}
+
+TEST(MatrixTest, PowFractional) {
+  Matrix a = M22(4, 9, 16, 25);
+  Matrix p = Pow(a, 0.5f);
+  EXPECT_NEAR(p.at(0, 0), 2.0f, 1e-5f);
+  EXPECT_NEAR(p.at(1, 1), 5.0f, 1e-5f);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix a = M22(1, 2, 3, 4);
+  EXPECT_FLOAT_EQ(SumAll(a), 10.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a), 2.5f);
+  Matrix sr = SumRows(a);
+  EXPECT_EQ(sr.rows(), 2);
+  EXPECT_EQ(sr.cols(), 1);
+  EXPECT_FLOAT_EQ(sr.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(sr.at(1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(MeanRows(a).at(1, 0), 3.5f);
+}
+
+TEST(MatrixTest, SoftmaxRowsSumToOne) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {-5, 0, 5}, {100, 100, 100}});
+  Matrix s = SoftmaxRows(a);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(s.at(r, c), 0.0f);
+      sum += s.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  // Monotone in logits.
+  EXPECT_GT(s.at(0, 2), s.at(0, 0));
+  // Uniform for equal logits.
+  EXPECT_NEAR(s.at(2, 0), 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(MatrixTest, SoftmaxRowsStableForLargeLogits) {
+  Matrix a = Matrix::FromRows({{1000, 1001}});
+  Matrix s = SoftmaxRows(a);
+  EXPECT_FALSE(HasNonFinite(s));
+  EXPECT_GT(s.at(0, 1), s.at(0, 0));
+}
+
+TEST(MatrixTest, ConcatAndSliceRows) {
+  Matrix a = M22(1, 2, 3, 4);
+  Matrix b = Matrix::FromRows({{5, 6}});
+  Matrix c = ConcatRows({a, b});
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_FLOAT_EQ(c.at(2, 1), 6.0f);
+  Matrix s = SliceRows(c, 1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 6.0f);
+}
+
+TEST(MatrixTest, InPlaceMutators) {
+  Matrix a = M22(1, 2, 3, 4);
+  Matrix b = M22(1, 1, 1, 1);
+  a.AddInPlace(b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 2.0f);
+  a.AddScaled(b, -2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 0.0f);
+  a.Scale(3.0f);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 9.0f);
+  a.Fill(7.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 7.0f);
+}
+
+TEST(MatrixTest, XavierBounds) {
+  Rng rng(2);
+  Matrix m = Matrix::Xavier(50, 50, &rng);
+  float bound = std::sqrt(6.0f / 100.0f);
+  for (int i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::abs(m[i]), bound);
+  }
+  // Not all-zero.
+  EXPECT_GT(SumAll(Mul(m, m)), 0.0f);
+}
+
+TEST(MatrixTest, RowNormAndNonFinite) {
+  Matrix a = Matrix::FromRows({{3, 4}});
+  EXPECT_NEAR(RowNorm(a, 0), 5.0f, 1e-5f);
+  EXPECT_FALSE(HasNonFinite(a));
+  a.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(HasNonFinite(a));
+}
+
+TEST(MatrixTest, CopyRowFrom) {
+  Matrix a = M22(1, 2, 3, 4);
+  Matrix b(2, 2);
+  b.CopyRowFrom(a, 1, 0);
+  EXPECT_FLOAT_EQ(b.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(b.at(0, 1), 4.0f);
+}
+
+TEST(MatrixTest, MaxAbsDiffShapeMismatchIsInfinite) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_TRUE(std::isinf(MaxAbsDiff(a, b)));
+}
+
+}  // namespace
+}  // namespace clfd
