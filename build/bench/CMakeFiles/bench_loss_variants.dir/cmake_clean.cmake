@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loss_variants.dir/bench_loss_variants.cc.o"
+  "CMakeFiles/bench_loss_variants.dir/bench_loss_variants.cc.o.d"
+  "bench_loss_variants"
+  "bench_loss_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loss_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_uniform_noise.dir/bench_table1_uniform_noise.cc.o"
+  "CMakeFiles/bench_table1_uniform_noise.dir/bench_table1_uniform_noise.cc.o.d"
+  "bench_table1_uniform_noise"
+  "bench_table1_uniform_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_uniform_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

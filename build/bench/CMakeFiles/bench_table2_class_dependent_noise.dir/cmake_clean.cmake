@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_class_dependent_noise.dir/bench_table2_class_dependent_noise.cc.o"
+  "CMakeFiles/bench_table2_class_dependent_noise.dir/bench_table2_class_dependent_noise.cc.o.d"
+  "bench_table2_class_dependent_noise"
+  "bench_table2_class_dependent_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_class_dependent_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_label_corrector.cc" "bench/CMakeFiles/bench_table3_label_corrector.dir/bench_table3_label_corrector.cc.o" "gcc" "bench/CMakeFiles/bench_table3_label_corrector.dir/bench_table3_label_corrector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/clfd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/clfd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/clfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoders/CMakeFiles/clfd_encoders.dir/DependInfo.cmake"
+  "/root/repo/build/src/losses/CMakeFiles/clfd_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/clfd_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/clfd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/clfd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/clfd_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/clfd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/clfd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/clfd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_label_corrector.dir/bench_table3_label_corrector.cc.o"
+  "CMakeFiles/bench_table3_label_corrector.dir/bench_table3_label_corrector.cc.o.d"
+  "bench_table3_label_corrector"
+  "bench_table3_label_corrector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_label_corrector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ablation_uniform.dir/bench_table4_ablation_uniform.cc.o"
+  "CMakeFiles/bench_table4_ablation_uniform.dir/bench_table4_ablation_uniform.cc.o.d"
+  "bench_table4_ablation_uniform"
+  "bench_table4_ablation_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ablation_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ablation_class_dependent.dir/bench_table5_ablation_class_dependent.cc.o"
+  "CMakeFiles/bench_table5_ablation_class_dependent.dir/bench_table5_ablation_class_dependent.cc.o.d"
+  "bench_table5_ablation_class_dependent"
+  "bench_table5_ablation_class_dependent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ablation_class_dependent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem_bounds.dir/bench_theorem_bounds.cc.o"
+  "CMakeFiles/bench_theorem_bounds.dir/bench_theorem_bounds.cc.o.d"
+  "bench_theorem_bounds"
+  "bench_theorem_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

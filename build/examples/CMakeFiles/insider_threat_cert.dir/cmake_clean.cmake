@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_threat_cert.dir/insider_threat_cert.cpp.o"
+  "CMakeFiles/insider_threat_cert.dir/insider_threat_cert.cpp.o.d"
+  "insider_threat_cert"
+  "insider_threat_cert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_threat_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

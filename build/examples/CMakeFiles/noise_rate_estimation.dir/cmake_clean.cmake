@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_rate_estimation.dir/noise_rate_estimation.cpp.o"
+  "CMakeFiles/noise_rate_estimation.dir/noise_rate_estimation.cpp.o.d"
+  "noise_rate_estimation"
+  "noise_rate_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_rate_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openstack_log_anomaly.dir/openstack_log_anomaly.cpp.o"
+  "CMakeFiles/openstack_log_anomaly.dir/openstack_log_anomaly.cpp.o.d"
+  "openstack_log_anomaly"
+  "openstack_log_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openstack_log_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

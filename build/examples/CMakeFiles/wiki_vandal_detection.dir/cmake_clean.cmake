@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_vandal_detection.dir/wiki_vandal_detection.cpp.o"
+  "CMakeFiles/wiki_vandal_detection.dir/wiki_vandal_detection.cpp.o.d"
+  "wiki_vandal_detection"
+  "wiki_vandal_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_vandal_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

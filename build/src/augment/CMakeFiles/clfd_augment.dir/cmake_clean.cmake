@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_augment.dir/augment.cc.o"
+  "CMakeFiles/clfd_augment.dir/augment.cc.o.d"
+  "libclfd_augment.a"
+  "libclfd_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

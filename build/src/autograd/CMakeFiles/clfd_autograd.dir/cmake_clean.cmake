@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/clfd_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/clfd_autograd.dir/var.cc.o"
+  "CMakeFiles/clfd_autograd.dir/var.cc.o.d"
+  "libclfd_autograd.a"
+  "libclfd_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

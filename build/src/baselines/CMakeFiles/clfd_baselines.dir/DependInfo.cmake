@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cldet.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/cldet.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/cldet.cc.o.d"
+  "/root/repo/src/baselines/ctrr.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/ctrr.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/ctrr.cc.o.d"
+  "/root/repo/src/baselines/deeplog.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/deeplog.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/deeplog.cc.o.d"
+  "/root/repo/src/baselines/divmix.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/divmix.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/divmix.cc.o.d"
+  "/root/repo/src/baselines/few_shot.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/few_shot.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/few_shot.cc.o.d"
+  "/root/repo/src/baselines/gmm1d.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/gmm1d.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/gmm1d.cc.o.d"
+  "/root/repo/src/baselines/knn.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/knn.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/knn.cc.o.d"
+  "/root/repo/src/baselines/logbert.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/logbert.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/logbert.cc.o.d"
+  "/root/repo/src/baselines/lstm_classifier.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/lstm_classifier.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/lstm_classifier.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/selcl.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/selcl.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/selcl.cc.o.d"
+  "/root/repo/src/baselines/ulc.cc" "src/baselines/CMakeFiles/clfd_baselines.dir/ulc.cc.o" "gcc" "src/baselines/CMakeFiles/clfd_baselines.dir/ulc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/clfd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoders/CMakeFiles/clfd_encoders.dir/DependInfo.cmake"
+  "/root/repo/build/src/losses/CMakeFiles/clfd_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/clfd_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/clfd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/clfd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/clfd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/clfd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

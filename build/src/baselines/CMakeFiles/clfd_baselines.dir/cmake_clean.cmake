@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_baselines.dir/cldet.cc.o"
+  "CMakeFiles/clfd_baselines.dir/cldet.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/ctrr.cc.o"
+  "CMakeFiles/clfd_baselines.dir/ctrr.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/deeplog.cc.o"
+  "CMakeFiles/clfd_baselines.dir/deeplog.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/divmix.cc.o"
+  "CMakeFiles/clfd_baselines.dir/divmix.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/few_shot.cc.o"
+  "CMakeFiles/clfd_baselines.dir/few_shot.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/gmm1d.cc.o"
+  "CMakeFiles/clfd_baselines.dir/gmm1d.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/knn.cc.o"
+  "CMakeFiles/clfd_baselines.dir/knn.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/logbert.cc.o"
+  "CMakeFiles/clfd_baselines.dir/logbert.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/lstm_classifier.cc.o"
+  "CMakeFiles/clfd_baselines.dir/lstm_classifier.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/registry.cc.o"
+  "CMakeFiles/clfd_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/selcl.cc.o"
+  "CMakeFiles/clfd_baselines.dir/selcl.cc.o.d"
+  "CMakeFiles/clfd_baselines.dir/ulc.cc.o"
+  "CMakeFiles/clfd_baselines.dir/ulc.cc.o.d"
+  "libclfd_baselines.a"
+  "libclfd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

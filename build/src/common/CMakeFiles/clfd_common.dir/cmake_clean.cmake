@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_common.dir/env.cc.o"
+  "CMakeFiles/clfd_common.dir/env.cc.o.d"
+  "CMakeFiles/clfd_common.dir/rng.cc.o"
+  "CMakeFiles/clfd_common.dir/rng.cc.o.d"
+  "CMakeFiles/clfd_common.dir/stats.cc.o"
+  "CMakeFiles/clfd_common.dir/stats.cc.o.d"
+  "CMakeFiles/clfd_common.dir/table.cc.o"
+  "CMakeFiles/clfd_common.dir/table.cc.o.d"
+  "libclfd_common.a"
+  "libclfd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier_trainer.cc" "src/core/CMakeFiles/clfd_core.dir/classifier_trainer.cc.o" "gcc" "src/core/CMakeFiles/clfd_core.dir/classifier_trainer.cc.o.d"
+  "/root/repo/src/core/clfd.cc" "src/core/CMakeFiles/clfd_core.dir/clfd.cc.o" "gcc" "src/core/CMakeFiles/clfd_core.dir/clfd.cc.o.d"
+  "/root/repo/src/core/co_teaching.cc" "src/core/CMakeFiles/clfd_core.dir/co_teaching.cc.o" "gcc" "src/core/CMakeFiles/clfd_core.dir/co_teaching.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/clfd_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/clfd_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/fraud_detector.cc" "src/core/CMakeFiles/clfd_core.dir/fraud_detector.cc.o" "gcc" "src/core/CMakeFiles/clfd_core.dir/fraud_detector.cc.o.d"
+  "/root/repo/src/core/label_corrector.cc" "src/core/CMakeFiles/clfd_core.dir/label_corrector.cc.o" "gcc" "src/core/CMakeFiles/clfd_core.dir/label_corrector.cc.o.d"
+  "/root/repo/src/core/noise_estimator.cc" "src/core/CMakeFiles/clfd_core.dir/noise_estimator.cc.o" "gcc" "src/core/CMakeFiles/clfd_core.dir/noise_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encoders/CMakeFiles/clfd_encoders.dir/DependInfo.cmake"
+  "/root/repo/build/src/losses/CMakeFiles/clfd_losses.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/clfd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/clfd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/clfd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/clfd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/clfd_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

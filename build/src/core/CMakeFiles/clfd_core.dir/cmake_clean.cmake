@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_core.dir/classifier_trainer.cc.o"
+  "CMakeFiles/clfd_core.dir/classifier_trainer.cc.o.d"
+  "CMakeFiles/clfd_core.dir/clfd.cc.o"
+  "CMakeFiles/clfd_core.dir/clfd.cc.o.d"
+  "CMakeFiles/clfd_core.dir/co_teaching.cc.o"
+  "CMakeFiles/clfd_core.dir/co_teaching.cc.o.d"
+  "CMakeFiles/clfd_core.dir/detector.cc.o"
+  "CMakeFiles/clfd_core.dir/detector.cc.o.d"
+  "CMakeFiles/clfd_core.dir/fraud_detector.cc.o"
+  "CMakeFiles/clfd_core.dir/fraud_detector.cc.o.d"
+  "CMakeFiles/clfd_core.dir/label_corrector.cc.o"
+  "CMakeFiles/clfd_core.dir/label_corrector.cc.o.d"
+  "CMakeFiles/clfd_core.dir/noise_estimator.cc.o"
+  "CMakeFiles/clfd_core.dir/noise_estimator.cc.o.d"
+  "libclfd_core.a"
+  "libclfd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cert_sim.cc" "src/data/CMakeFiles/clfd_data.dir/cert_sim.cc.o" "gcc" "src/data/CMakeFiles/clfd_data.dir/cert_sim.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/clfd_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/clfd_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/clfd_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/clfd_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/noise.cc" "src/data/CMakeFiles/clfd_data.dir/noise.cc.o" "gcc" "src/data/CMakeFiles/clfd_data.dir/noise.cc.o.d"
+  "/root/repo/src/data/openstack_sim.cc" "src/data/CMakeFiles/clfd_data.dir/openstack_sim.cc.o" "gcc" "src/data/CMakeFiles/clfd_data.dir/openstack_sim.cc.o.d"
+  "/root/repo/src/data/session.cc" "src/data/CMakeFiles/clfd_data.dir/session.cc.o" "gcc" "src/data/CMakeFiles/clfd_data.dir/session.cc.o.d"
+  "/root/repo/src/data/sim_common.cc" "src/data/CMakeFiles/clfd_data.dir/sim_common.cc.o" "gcc" "src/data/CMakeFiles/clfd_data.dir/sim_common.cc.o.d"
+  "/root/repo/src/data/simulators.cc" "src/data/CMakeFiles/clfd_data.dir/simulators.cc.o" "gcc" "src/data/CMakeFiles/clfd_data.dir/simulators.cc.o.d"
+  "/root/repo/src/data/wiki_sim.cc" "src/data/CMakeFiles/clfd_data.dir/wiki_sim.cc.o" "gcc" "src/data/CMakeFiles/clfd_data.dir/wiki_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clfd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_data.dir/cert_sim.cc.o"
+  "CMakeFiles/clfd_data.dir/cert_sim.cc.o.d"
+  "CMakeFiles/clfd_data.dir/dataset_io.cc.o"
+  "CMakeFiles/clfd_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/clfd_data.dir/generator.cc.o"
+  "CMakeFiles/clfd_data.dir/generator.cc.o.d"
+  "CMakeFiles/clfd_data.dir/noise.cc.o"
+  "CMakeFiles/clfd_data.dir/noise.cc.o.d"
+  "CMakeFiles/clfd_data.dir/openstack_sim.cc.o"
+  "CMakeFiles/clfd_data.dir/openstack_sim.cc.o.d"
+  "CMakeFiles/clfd_data.dir/session.cc.o"
+  "CMakeFiles/clfd_data.dir/session.cc.o.d"
+  "CMakeFiles/clfd_data.dir/sim_common.cc.o"
+  "CMakeFiles/clfd_data.dir/sim_common.cc.o.d"
+  "CMakeFiles/clfd_data.dir/simulators.cc.o"
+  "CMakeFiles/clfd_data.dir/simulators.cc.o.d"
+  "CMakeFiles/clfd_data.dir/wiki_sim.cc.o"
+  "CMakeFiles/clfd_data.dir/wiki_sim.cc.o.d"
+  "libclfd_data.a"
+  "libclfd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclfd_data.a"
+)

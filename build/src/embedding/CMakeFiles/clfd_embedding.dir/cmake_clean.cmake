@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_embedding.dir/word2vec.cc.o"
+  "CMakeFiles/clfd_embedding.dir/word2vec.cc.o.d"
+  "libclfd_embedding.a"
+  "libclfd_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_encoders.dir/session_encoder.cc.o"
+  "CMakeFiles/clfd_encoders.dir/session_encoder.cc.o.d"
+  "CMakeFiles/clfd_encoders.dir/simclr.cc.o"
+  "CMakeFiles/clfd_encoders.dir/simclr.cc.o.d"
+  "libclfd_encoders.a"
+  "libclfd_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

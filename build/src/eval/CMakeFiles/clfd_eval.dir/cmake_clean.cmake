@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_eval.dir/experiment.cc.o"
+  "CMakeFiles/clfd_eval.dir/experiment.cc.o.d"
+  "libclfd_eval.a"
+  "libclfd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

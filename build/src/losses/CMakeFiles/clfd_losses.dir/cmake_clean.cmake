@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_losses.dir/contrastive.cc.o"
+  "CMakeFiles/clfd_losses.dir/contrastive.cc.o.d"
+  "CMakeFiles/clfd_losses.dir/mixup.cc.o"
+  "CMakeFiles/clfd_losses.dir/mixup.cc.o.d"
+  "CMakeFiles/clfd_losses.dir/robust_losses.cc.o"
+  "CMakeFiles/clfd_losses.dir/robust_losses.cc.o.d"
+  "CMakeFiles/clfd_losses.dir/sce.cc.o"
+  "CMakeFiles/clfd_losses.dir/sce.cc.o.d"
+  "libclfd_losses.a"
+  "libclfd_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_metrics.dir/metrics.cc.o"
+  "CMakeFiles/clfd_metrics.dir/metrics.cc.o.d"
+  "libclfd_metrics.a"
+  "libclfd_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_nn.dir/attention.cc.o"
+  "CMakeFiles/clfd_nn.dir/attention.cc.o.d"
+  "CMakeFiles/clfd_nn.dir/classifier.cc.o"
+  "CMakeFiles/clfd_nn.dir/classifier.cc.o.d"
+  "CMakeFiles/clfd_nn.dir/linear.cc.o"
+  "CMakeFiles/clfd_nn.dir/linear.cc.o.d"
+  "CMakeFiles/clfd_nn.dir/lstm.cc.o"
+  "CMakeFiles/clfd_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/clfd_nn.dir/module.cc.o"
+  "CMakeFiles/clfd_nn.dir/module.cc.o.d"
+  "CMakeFiles/clfd_nn.dir/optimizer.cc.o"
+  "CMakeFiles/clfd_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/clfd_nn.dir/serialize.cc.o"
+  "CMakeFiles/clfd_nn.dir/serialize.cc.o.d"
+  "libclfd_nn.a"
+  "libclfd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_tensor.dir/matrix.cc.o"
+  "CMakeFiles/clfd_tensor.dir/matrix.cc.o.d"
+  "libclfd_tensor.a"
+  "libclfd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simclr_test.dir/simclr_test.cc.o"
+  "CMakeFiles/simclr_test.dir/simclr_test.cc.o.d"
+  "simclr_test"
+  "simclr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simclr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfd_cli.dir/clfd_cli.cc.o"
+  "CMakeFiles/clfd_cli.dir/clfd_cli.cc.o.d"
+  "clfd_cli"
+  "clfd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
