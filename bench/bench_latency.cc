@@ -58,5 +58,6 @@ void RunLatency() {
 
 int main() {
   clfd::RunLatency();
+  clfd::bench::WriteMetricsSidecar("bench_latency");
   return 0;
 }

@@ -110,5 +110,6 @@ void Run() {
 
 int main() {
   clfd::Run();
+  clfd::bench::WriteMetricsSidecar("bench_loss_variants");
   return 0;
 }

@@ -49,5 +49,6 @@ void RunTable1() {
 
 int main() {
   clfd::RunTable1();
+  clfd::bench::WriteMetricsSidecar("bench_table1_uniform_noise");
   return 0;
 }

@@ -38,5 +38,6 @@ void RunTable2() {
 
 int main() {
   clfd::RunTable2();
+  clfd::bench::WriteMetricsSidecar("bench_table2_class_dependent_noise");
   return 0;
 }

@@ -40,5 +40,6 @@ void RunTable3() {
 
 int main() {
   clfd::RunTable3();
+  clfd::bench::WriteMetricsSidecar("bench_table3_label_corrector");
   return 0;
 }

@@ -41,5 +41,6 @@ void RunTable4() {
 
 int main() {
   clfd::RunTable4();
+  clfd::bench::WriteMetricsSidecar("bench_table4_ablation_uniform");
   return 0;
 }

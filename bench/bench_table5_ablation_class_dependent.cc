@@ -41,5 +41,6 @@ void RunTable5() {
 
 int main() {
   clfd::RunTable5();
+  clfd::bench::WriteMetricsSidecar("bench_table5_ablation_class_dependent");
   return 0;
 }

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
 
 namespace clfd {
 namespace bench {
@@ -30,6 +32,24 @@ inline void PrintScaleBanner(const BenchScale& scale) {
       "scale: %.3fx paper split sizes | %d seed(s) | %.2fx paper epochs "
       "(override with CLFD_SCALE / CLFD_SEEDS / CLFD_EPOCH_SCALE)\n\n",
       scale.split_scale, scale.seeds, scale.epoch_scale);
+}
+
+// Dumps the metrics registry as a JSONL sidecar next to the table output,
+// so a BENCH_*.json trajectory can be traced back to kernel counters,
+// per-epoch loss series and phase timings. Knobs:
+//   CLFD_METRICS_SIDECAR=0   disable (default on)
+//   CLFD_METRICS_OUT=PATH    override the output path
+// Default path: "<bench_name>.metrics.jsonl" in the working directory.
+inline void WriteMetricsSidecar(const std::string& bench_name) {
+  if (!GetEnvBool("CLFD_METRICS_SIDECAR", true)) return;
+  std::string path =
+      GetEnvString("CLFD_METRICS_OUT", bench_name + ".metrics.jsonl");
+  if (path.empty()) return;
+  if (obs::MetricsRegistry::Get().WriteJsonLines(path)) {
+    std::printf("metrics sidecar: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write metrics sidecar %s\n", path.c_str());
+  }
 }
 
 // The ablation variants of Tables IV/V (Sec. IV-B4), in table order.

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace clfd {
 namespace ag {
 
@@ -67,6 +69,18 @@ void Backward(const Var& root) {
   if (!root.requires_grad()) return;
   std::vector<Node*> post_order;
   TopoSort(root.node(), &post_order);
+  // Tape telemetry: graph depth is the main memory driver of training
+  // (thousands of nodes per LSTM unroll), so expose the last-seen size, a
+  // distribution, and a cumulative node count.
+  CLFD_METRIC_COUNT("autograd.backward.calls", 1);
+  CLFD_METRIC_COUNT("autograd.tape.nodes_total",
+                    static_cast<int64_t>(post_order.size()));
+  CLFD_METRIC_GAUGE_SET("autograd.tape.nodes",
+                        static_cast<double>(post_order.size()));
+  CLFD_METRIC_HIST_RECORD(
+      "autograd.tape.size",
+      ::clfd::obs::Histogram::ExponentialBounds(16.0, 2.0, 16),
+      static_cast<double>(post_order.size()));
   for (Node* n : post_order) n->EnsureGrad();
   // Seed: d root / d root = 1.
   Node* r = root.node().get();

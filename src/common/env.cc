@@ -1,5 +1,7 @@
 #include "common/env.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 
 namespace clfd {
@@ -20,6 +22,26 @@ double GetEnvDouble(const std::string& name, double fallback) {
   double value = std::strtod(raw, &end);
   if (end == raw) return fallback;
   return value;
+}
+
+std::string GetEnvString(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+bool GetEnvBool(const std::string& name, bool fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  std::string value(raw);
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (value == "1" || value == "true" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "no" || value == "off") {
+    return false;
+  }
+  return fallback;
 }
 
 }  // namespace clfd

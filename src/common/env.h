@@ -14,6 +14,14 @@ int GetEnvInt(const std::string& name, int fallback);
 // Same for doubles.
 double GetEnvDouble(const std::string& name, double fallback);
 
+// Reads a string environment variable, returning `fallback` when unset.
+// An empty value counts as set (returns "").
+std::string GetEnvString(const std::string& name, const std::string& fallback);
+
+// Reads a boolean environment variable. Accepts 1/0, true/false, yes/no,
+// on/off (case-insensitive); anything else falls back.
+bool GetEnvBool(const std::string& name, bool fallback);
+
 }  // namespace clfd
 
 #endif  // CLFD_COMMON_ENV_H_

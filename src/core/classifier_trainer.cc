@@ -7,13 +7,17 @@
 #include "losses/robust_losses.h"
 #include "losses/sce.h"
 #include "nn/optimizer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace clfd {
 
 void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
                                const Matrix& features,
                                const std::vector<int>& labels,
-                               const ClfdConfig& config, Rng* rng) {
+                               const ClfdConfig& config, Rng* rng,
+                               const char* metric_scope) {
   assert(features.rows() == static_cast<int>(labels.size()));
   int n = features.rows();
   if (n == 0) return;
@@ -45,7 +49,15 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
                 ? 0
                 : std::max(1, config.batch_size / 5);
 
+#if !defined(CLFD_OBS_FORCE_OFF)
+  obs::Series* loss_series = obs::MetricsRegistry::Get().GetSeries(
+      std::string(metric_scope) + ".loss");
+#endif
+
   for (int epoch = 0; epoch < config.budget.classifier_epochs; ++epoch) {
+    obs::TraceSpan epoch_span(metric_scope);
+    double loss_sum = 0.0;
+    int batches = 0;
     rng->Shuffle(&order);
     for (int start = 0; start < n; start += config.batch_size) {
       int end = std::min(start + config.batch_size, n);
@@ -130,8 +142,24 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
       }
       ag::Backward(loss);
       optimizer.Step();
+      loss_sum += loss.value()[0];
+      ++batches;
     }
+    double epoch_loss = batches > 0 ? loss_sum / batches : 0.0;
+    epoch_span.Arg("epoch", epoch);
+    epoch_span.Arg("loss", epoch_loss);
+#if !defined(CLFD_OBS_FORCE_OFF)
+    loss_series->Append(epoch, epoch_loss);
+#endif
+    CLFD_LOG(DEBUG) << "classifier epoch done"
+                    << obs::Kv("scope", metric_scope)
+                    << obs::Kv("epoch", epoch)
+                    << obs::Kv("loss", epoch_loss);
   }
+  CLFD_LOG(INFO) << "classifier training done"
+                 << obs::Kv("scope", metric_scope)
+                 << obs::Kv("epochs", config.budget.classifier_epochs)
+                 << obs::Kv("samples", n);
 }
 
 }  // namespace clfd

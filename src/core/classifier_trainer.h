@@ -20,10 +20,15 @@ namespace clfd {
 // cross entropy (ablation "w/o GCE loss"). Mixup partners are drawn from
 // the full feature table so opposite-class partners exist even under
 // extreme imbalance.
+//
+// `metric_scope` names this training loop in the observability layer (a
+// string literal): per-epoch loss lands in the "<metric_scope>.loss"
+// series and epoch trace spans carry the scope name.
 void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
                                const Matrix& features,
                                const std::vector<int>& labels,
-                               const ClfdConfig& config, Rng* rng);
+                               const ClfdConfig& config, Rng* rng,
+                               const char* metric_scope = "classifier");
 
 }  // namespace clfd
 

@@ -2,6 +2,10 @@
 
 #include <cassert>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace clfd {
 
 ClfdModel::ClfdModel(const ClfdConfig& config, uint64_t seed)
@@ -16,10 +20,26 @@ ClfdModel::ClfdModel(const ClfdConfig& config, uint64_t seed)
 }
 
 void ClfdModel::Train(const SessionDataset& train, const Matrix& embeddings) {
+  CLFD_TRACE_SPAN("clfd.train");
   std::vector<Correction> corrections;
   if (corrector_) {
     corrector_->Train(train, embeddings);
     corrections = corrector_->Correct(train);
+    // Corrector-confidence distribution: a healthy corrector is confidently
+    // bimodal; mass piling up near 0.5 signals drift (cf. the per-epoch
+    // telemetry the PLS/ChiMera noisy-label pipelines rely on).
+    int flips = 0;
+    for (int i = 0; i < train.size(); ++i) {
+      CLFD_METRIC_HIST_RECORD(
+          "clfd.corrector.confidence",
+          ::clfd::obs::Histogram::LinearBounds(0.05, 0.05, 20),
+          corrections[i].confidence);
+      flips += (corrections[i].label != train.sessions[i].noisy_label);
+    }
+    CLFD_METRIC_COUNT("clfd.corrector.flips", flips);
+    CLFD_LOG(INFO) << "label corrections applied"
+                   << obs::Kv("flips", flips)
+                   << obs::Kv("sessions", train.size());
   } else {
     // Ablation "w/o LC": the fraud detector consumes the noisy labels
     // directly with full confidence (vanilla supervised contrastive loss).

@@ -8,6 +8,9 @@
 #include "losses/contrastive.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace clfd {
 
@@ -21,8 +24,12 @@ void FraudDetector::Train(const SessionDataset& train,
                           const std::vector<Correction>& corrections,
                           const Matrix& embeddings) {
   embeddings_ = embeddings;
-  SupervisedPretrain(train, corrections, embeddings);
+  {
+    obs::PhaseSpan phase("detector");
+    SupervisedPretrain(train, corrections, embeddings);
+  }
 
+  obs::PhaseSpan phase("classifier");
   // Frozen representations for stage 2 and for centroid inference.
   Matrix features = encoder_.EncodeDataset(train, embeddings_);
   std::vector<int> corrected_labels(train.size());
@@ -32,7 +39,7 @@ void FraudDetector::Train(const SessionDataset& train,
 
   if (config_.use_classifier) {
     TrainClassifierOnFeatures(&classifier_, features, corrected_labels,
-                              config_, &rng_);
+                              config_, &rng_, "detector.classifier");
   } else {
     // "w/o classifier (FD)": per-class centroids of the corrected labels in
     // the encoded representation space [4].
@@ -68,7 +75,15 @@ void FraudDetector::SupervisedPretrain(
     if (corrections[i].label == kMalicious) corrected_malicious.push_back(i);
   }
 
+#if !defined(CLFD_OBS_FORCE_OFF)
+  obs::Series* loss_series =
+      obs::MetricsRegistry::Get().GetSeries("detector.supcon.loss");
+#endif
+
   for (int epoch = 0; epoch < config_.budget.contrastive_epochs; ++epoch) {
+    obs::TraceSpan epoch_span("detector.supcon");
+    double loss_sum = 0.0;
+    int batches = 0;
     for (const auto& batch : train.MakeBatches(config_.batch_size, &rng_)) {
       if (batch.size() < 2) continue;
       std::vector<int> indices = batch;  // S, the anchors
@@ -98,8 +113,22 @@ void FraudDetector::SupervisedPretrain(
       ag::Backward(loss);
       nn::ClipGradNorm(params, config_.grad_clip);
       optimizer.Step();
+      loss_sum += loss.value()[0];
+      ++batches;
     }
+    double epoch_loss = batches > 0 ? loss_sum / batches : 0.0;
+    epoch_span.Arg("epoch", epoch);
+    epoch_span.Arg("loss", epoch_loss);
+#if !defined(CLFD_OBS_FORCE_OFF)
+    loss_series->Append(epoch, epoch_loss);
+#endif
+    CLFD_LOG(DEBUG) << "supcon epoch done" << obs::Kv("epoch", epoch)
+                    << obs::Kv("loss", epoch_loss);
   }
+  CLFD_LOG(INFO) << "fraud detector pretrain done"
+                 << obs::Kv("epochs", config_.budget.contrastive_epochs)
+                 << obs::Kv("corrected_malicious",
+                            corrected_malicious.size());
 }
 
 std::vector<double> FraudDetector::Score(const SessionDataset& data) const {

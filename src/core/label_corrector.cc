@@ -4,6 +4,8 @@
 
 #include "core/classifier_trainer.h"
 #include "encoders/simclr.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace clfd {
 
@@ -17,17 +19,23 @@ LabelCorrector::LabelCorrector(const ClfdConfig& config, uint64_t seed)
 void LabelCorrector::Train(const SessionDataset& train,
                            const Matrix& embeddings) {
   embeddings_ = embeddings;
-  SelfSupervisedPretrain(train, embeddings);
+  {
+    obs::PhaseSpan phase("pretrain");
+    SelfSupervisedPretrain(train, embeddings);
+  }
 
   // Stage 2: classifier over frozen representations, trained on the noisy
   // labels with the configured noise-robust loss.
+  obs::PhaseSpan phase("corrector");
   Matrix features = encoder_.EncodeDataset(train, embeddings_);
   std::vector<int> noisy_labels(train.size());
   for (int i = 0; i < train.size(); ++i) {
     noisy_labels[i] = train.sessions[i].noisy_label;
   }
   TrainClassifierOnFeatures(&classifier_, features, noisy_labels, config_,
-                            &rng_);
+                            &rng_, "corrector.classifier");
+  CLFD_LOG(INFO) << "label corrector trained"
+                 << obs::Kv("sessions", train.size());
 }
 
 void LabelCorrector::SelfSupervisedPretrain(const SessionDataset& train,
@@ -38,6 +46,7 @@ void LabelCorrector::SelfSupervisedPretrain(const SessionDataset& train,
   options.temperature = config_.simclr_temp;
   options.learning_rate = config_.simclr_learning_rate;
   options.grad_clip = config_.grad_clip;
+  options.metric_scope = "corrector.simclr";
   SimclrPretrain(&encoder_, &projection_, train, embeddings, options, &rng_);
 }
 

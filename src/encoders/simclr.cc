@@ -5,6 +5,9 @@
 #include "losses/contrastive.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace clfd {
 
@@ -16,7 +19,15 @@ void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
   params.insert(params.end(), proj_params.begin(), proj_params.end());
   nn::Adam optimizer(params, options.learning_rate);
 
+#if !defined(CLFD_OBS_FORCE_OFF)
+  obs::Series* loss_series = obs::MetricsRegistry::Get().GetSeries(
+      std::string(options.metric_scope) + ".loss");
+#endif
+
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::TraceSpan epoch_span(options.metric_scope);
+    double loss_sum = 0.0;
+    int batches = 0;
     for (const auto& batch : train.MakeBatches(options.batch_size, rng)) {
       if (batch.size() < 2) continue;
       // Two reordering-augmented views per session; rows (i, i + B) pair up.
@@ -38,8 +49,25 @@ void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
       ag::Backward(loss);
       nn::ClipGradNorm(params, options.grad_clip);
       optimizer.Step();
+      loss_sum += loss.value()[0];
+      ++batches;
     }
+    double epoch_loss = batches > 0 ? loss_sum / batches : 0.0;
+    epoch_span.Arg("epoch", epoch);
+    epoch_span.Arg("loss", epoch_loss);
+#if !defined(CLFD_OBS_FORCE_OFF)
+    loss_series->Append(epoch, epoch_loss);
+#endif
+    CLFD_LOG(DEBUG) << "simclr epoch done"
+                    << obs::Kv("scope", options.metric_scope)
+                    << obs::Kv("epoch", epoch)
+                    << obs::Kv("loss", epoch_loss)
+                    << obs::Kv("batches", batches);
   }
+  CLFD_LOG(INFO) << "simclr pretrain done"
+                 << obs::Kv("scope", options.metric_scope)
+                 << obs::Kv("epochs", options.epochs)
+                 << obs::Kv("sessions", train.size());
 }
 
 }  // namespace clfd

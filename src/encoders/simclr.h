@@ -16,6 +16,10 @@ struct SimclrOptions {
   float learning_rate = 0.005f;
   float grad_clip = 5.0f;
   int reorder_sub_len = 3;
+  // Prefix for the observability layer: per-epoch NT-Xent loss lands in the
+  // "<metric_scope>.loss" series and epoch trace spans carry this name.
+  // Must be a string literal (stored, not copied).
+  const char* metric_scope = "simclr";
 };
 
 // Runs SimCLR pre-training in place on (encoder, projection). Label-free:

@@ -9,6 +9,9 @@
 #include "core/label_corrector.h"
 #include "embedding/word2vec.h"
 #include "metrics/metrics.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace clfd {
 
@@ -18,6 +21,39 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+// Snapshot of the obs-layer phase counters (cumulative process-wide
+// microseconds); TrainAndEvaluate diffs two snapshots around Train() to
+// attribute this run's wall-clock to phases.
+struct PhaseSnapshot {
+  int64_t pretrain_us = 0;
+  int64_t corrector_us = 0;
+  int64_t detector_us = 0;
+  int64_t classifier_us = 0;
+
+  static PhaseSnapshot Take() {
+    auto& registry = obs::MetricsRegistry::Get();
+    PhaseSnapshot s;
+    s.pretrain_us = registry.GetCounter("phase.pretrain.micros")->value();
+    s.corrector_us = registry.GetCounter("phase.corrector.micros")->value();
+    s.detector_us = registry.GetCounter("phase.detector.micros")->value();
+    s.classifier_us =
+        registry.GetCounter("phase.classifier.micros")->value();
+    return s;
+  }
+};
+
+PhaseBreakdown DiffSnapshots(const PhaseSnapshot& before,
+                             const PhaseSnapshot& after) {
+  PhaseBreakdown phases;
+  phases.pretrain_seconds = (after.pretrain_us - before.pretrain_us) / 1e6;
+  phases.corrector_seconds =
+      (after.corrector_us - before.corrector_us) / 1e6;
+  phases.detector_seconds = (after.detector_us - before.detector_us) / 1e6;
+  phases.classifier_seconds =
+      (after.classifier_us - before.classifier_us) / 1e6;
+  return phases;
 }
 
 }  // namespace
@@ -34,11 +70,24 @@ ExperimentContext::ExperimentContext(DatasetKind kind, const SplitSpec& split,
 
 RunMetrics TrainAndEvaluate(DetectorModel* model,
                             const ExperimentContext& context) {
+  PhaseSnapshot before = PhaseSnapshot::Take();
   auto start = std::chrono::steady_clock::now();
-  model->Train(context.train(), context.embeddings());
+  {
+    CLFD_TRACE_SPAN("train");
+    model->Train(context.train(), context.embeddings());
+  }
   RunMetrics metrics;
   metrics.train_seconds = SecondsSince(start);
+  metrics.phases = DiffSnapshots(before, PhaseSnapshot::Take());
+  CLFD_LOG(INFO) << "run trained" << obs::Kv("seed", context.seed())
+                 << obs::Kv("train_s", metrics.train_seconds)
+                 << obs::Kv("pretrain_s", metrics.phases.pretrain_seconds)
+                 << obs::Kv("corrector_s", metrics.phases.corrector_seconds)
+                 << obs::Kv("detector_s", metrics.phases.detector_seconds)
+                 << obs::Kv("classifier_s",
+                            metrics.phases.classifier_seconds);
 
+  CLFD_TRACE_SPAN("evaluate");
   std::vector<int> truths = TrueLabels(context.test());
   std::vector<double> scores = model->Score(context.test());
   std::vector<int> preds = model->Predict(context.test());

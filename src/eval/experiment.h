@@ -14,12 +14,29 @@
 
 namespace clfd {
 
+// Where the training wall-clock of one run went, in seconds. Fed by the
+// observability layer's phase counters (obs::PhaseSpan sites in core/):
+// SimCLR pre-training, corrector classifier, SupCon detector pre-training
+// and the final FCNN classifier. Baselines without phase instrumentation
+// report all zeros. With CLFD_OBS_FORCE_OFF builds the breakdown is zero.
+struct PhaseBreakdown {
+  double pretrain_seconds = 0.0;    // corrector SimCLR pre-training
+  double corrector_seconds = 0.0;   // corrector classifier (mixup-GCE)
+  double detector_seconds = 0.0;    // detector SupCon pre-training (L_Sup)
+  double classifier_seconds = 0.0;  // detector FCNN classifier
+  double TotalSeconds() const {
+    return pretrain_seconds + corrector_seconds + detector_seconds +
+           classifier_seconds;
+  }
+};
+
 // Per-run detection metrics on the paper's 0-100 scale.
 struct RunMetrics {
   double f1 = 0.0;
   double fpr = 0.0;
   double auc = 0.0;
   double train_seconds = 0.0;
+  PhaseBreakdown phases;
 };
 
 // mean +/- std over seeds.
@@ -28,12 +45,20 @@ struct AggregatedMetrics {
   MeanStd fpr;
   MeanStd auc;
   MeanStd train_seconds;
+  MeanStd pretrain_seconds;
+  MeanStd corrector_seconds;
+  MeanStd detector_seconds;
+  MeanStd classifier_seconds;
 
   void Add(const RunMetrics& m) {
     f1.Add(m.f1);
     fpr.Add(m.fpr);
     auc.Add(m.auc);
     train_seconds.Add(m.train_seconds);
+    pretrain_seconds.Add(m.phases.pretrain_seconds);
+    corrector_seconds.Add(m.phases.corrector_seconds);
+    detector_seconds.Add(m.phases.detector_seconds);
+    classifier_seconds.Add(m.phases.classifier_seconds);
   }
 };
 

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/env.h"
+#include "obs/log.h"
+
+namespace clfd {
+namespace obs {
+
+namespace {
+
+// Small dense ids (0, 1, 2, ...) render better in the trace viewer than
+// raw pthread handles.
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+int64_t UptimeMicros() {
+  return static_cast<int64_t>(UptimeSeconds() * 1e6);
+}
+
+TraceRecorder& TraceRecorder::Get() {
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    std::string path = GetEnvString("CLFD_TRACE", "");
+    if (!path.empty()) {
+      r->Start(path);
+      // Processes that never call Stop() (benches, one-shot tools) still
+      // get their trace written.
+      std::atexit([] { TraceRecorder::Get().Stop(); });
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+void TraceRecorder::Start(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  path_ = path;
+  events_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+bool TraceRecorder::Stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return true;
+  enabled_.store(false, std::memory_order_relaxed);
+
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "obs: cannot write trace file %s\n", path_.c_str());
+    return false;
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << e.tid << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us;
+    if (!e.args_json.empty()) out << ",\"args\":{" << e.args_json << "}";
+    out << "}";
+  }
+  out << "\n]}\n";
+  size_t count = events_.size();
+  events_.clear();
+  bool ok = out.good();
+  out.close();
+  if (ok) {
+    std::fprintf(stderr,
+                 "obs: wrote %zu trace events to %s (open in "
+                 "chrome://tracing)\n",
+                 count, path_.c_str());
+  }
+  return ok;
+}
+
+size_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::RecordComplete(const std::string& name, int64_t ts_us,
+                                   int64_t dur_us,
+                                   const std::string& args_json) {
+  uint32_t tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  events_.push_back(Event{name, ts_us, dur_us, tid, args_json});
+}
+
+#if !defined(CLFD_OBS_FORCE_OFF)
+
+void TraceSpan::Arg(const char* key, double value) {
+  if (start_us_ < 0) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%.12g",
+                args_json_.empty() ? "" : ",", key, value);
+  args_json_ += buf;
+}
+
+void TraceSpan::Finish() {
+  int64_t end_us = UptimeMicros();
+  TraceRecorder::Get().RecordComplete(name_, start_us_, end_us - start_us_,
+                                      args_json_);
+}
+
+#endif  // !CLFD_OBS_FORCE_OFF
+
+}  // namespace obs
+}  // namespace clfd

@@ -1,0 +1,180 @@
+#ifndef CLFD_OBS_TRACE_H_
+#define CLFD_OBS_TRACE_H_
+
+// RAII tracing for chrome://tracing (or https://ui.perfetto.dev).
+//
+//   void Train(...) {
+//     CLFD_TRACE_SPAN("detector.supcon");   // whole-function span
+//     for (int epoch = ...) {
+//       obs::TraceSpan span("detector.epoch");
+//       span.Arg("epoch", epoch);
+//       ...
+//     }
+//   }
+//
+// Spans record Chrome trace-event "complete" (ph:"X") events; nesting is
+// inferred by the viewer from timestamp containment per thread. Recording
+// is off until TraceRecorder::Get().Start(path) is called — or
+// automatically when the CLFD_TRACE=<path> environment variable is set —
+// and a disabled span costs one relaxed atomic load, no clock read.
+//
+// ScopedTimer is the tracer's metrics-side sibling: it accumulates its
+// lifetime into a Counter of microseconds (and optionally a Histogram),
+// which is how the per-phase breakdown in eval/experiment.h is fed.
+// PhaseSpan bundles both: a trace span plus a "phase.<name>.micros"
+// counter.
+//
+// Building with -DCLFD_OBS_FORCE_OFF turns all three classes into empty
+// shells that the optimizer deletes.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace clfd {
+namespace obs {
+
+// Microseconds since process start on the steady clock; the `ts` axis of
+// every trace event (matches log.h's UptimeSeconds()).
+int64_t UptimeMicros();
+
+class TraceRecorder {
+ public:
+  // Auto-starts from CLFD_TRACE on first access.
+  static TraceRecorder& Get();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Begins recording; events are buffered in memory and written to `path`
+  // by Stop() or at process exit.
+  void Start(const std::string& path);
+  // Writes the buffered events as Chrome trace-event JSON and disables
+  // recording. Returns false when the file cannot be written. Safe to call
+  // when not recording (no-op, returns true).
+  bool Stop();
+
+  // Number of buffered events (test hook).
+  size_t EventCount() const;
+
+  // Records one complete event. `args_json` is either empty or a JSON
+  // object body without braces, e.g. "\"epoch\":3".
+  void RecordComplete(const std::string& name, int64_t ts_us, int64_t dur_us,
+                      const std::string& args_json);
+
+ private:
+  TraceRecorder() = default;
+
+  struct Event {
+    std::string name;
+    int64_t ts_us;
+    int64_t dur_us;
+    uint32_t tid;
+    std::string args_json;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::vector<Event> events_;
+};
+
+#if defined(CLFD_OBS_FORCE_OFF)
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) { (void)name; }
+  void Arg(const char* key, double value) {
+    (void)key;
+    (void)value;
+  }
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter* micros, Histogram* hist = nullptr) {
+    (void)micros;
+    (void)hist;
+  }
+};
+
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* phase) { (void)phase; }
+};
+
+#else
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceRecorder::Get().enabled()) {
+      name_ = name;
+      start_us_ = UptimeMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (start_us_ >= 0) Finish();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches a numeric argument shown in the viewer's detail pane.
+  void Arg(const char* key, double value);
+
+ private:
+  void Finish();
+
+  const char* name_ = nullptr;
+  int64_t start_us_ = -1;
+  std::string args_json_;
+};
+
+// Adds its lifetime in microseconds to `micros` (and, when given, records
+// the duration into `hist` — bounds chosen by the call site).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter* micros, Histogram* hist = nullptr)
+      : micros_(micros), hist_(hist), start_us_(UptimeMicros()) {}
+  ~ScopedTimer() {
+    int64_t elapsed = UptimeMicros() - start_us_;
+    micros_->Add(elapsed);
+    if (hist_ != nullptr) hist_->Record(static_cast<double>(elapsed));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Counter* micros_;
+  Histogram* hist_;
+  int64_t start_us_;
+};
+
+// One training phase: a trace span named "phase.<name>" plus a
+// "phase.<name>.micros" counter that eval/experiment.cc diffs to build the
+// per-run time breakdown. `phase` must be a string literal (the counter
+// pointer is resolved per call, phases fire a handful of times per run).
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* phase)
+      : span_(phase),
+        timer_(MetricsRegistry::Get().GetCounter(
+            std::string("phase.") + phase + ".micros")) {}
+
+ private:
+  TraceSpan span_;
+  ScopedTimer timer_;
+};
+
+#endif  // CLFD_OBS_FORCE_OFF
+
+}  // namespace obs
+}  // namespace clfd
+
+#define CLFD_OBS_CONCAT_INNER_(a, b) a##b
+#define CLFD_OBS_CONCAT_(a, b) CLFD_OBS_CONCAT_INNER_(a, b)
+// Scoped span covering the rest of the enclosing block.
+#define CLFD_TRACE_SPAN(name) \
+  ::clfd::obs::TraceSpan CLFD_OBS_CONCAT_(clfd_trace_span_, __LINE__)(name)
+
+#endif  // CLFD_OBS_TRACE_H_

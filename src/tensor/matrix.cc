@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace clfd {
 
 Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
@@ -74,6 +76,11 @@ std::string Matrix::DebugString(int max_rows, int max_cols) const {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
+  // One relaxed atomic add per kernel call (not per element), so the
+  // counters are always on; 2*M*K*N is the conventional matmul flop count.
+  CLFD_METRIC_COUNT("tensor.matmul.calls", 1);
+  CLFD_METRIC_COUNT("tensor.matmul.flops",
+                    int64_t{2} * a.rows() * a.cols() * b.cols());
   Matrix c(a.rows(), b.cols());
   // i-k-j loop order keeps the inner loop streaming over contiguous rows.
   for (int i = 0; i < a.rows(); ++i) {
@@ -91,6 +98,9 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
+  CLFD_METRIC_COUNT("tensor.matmul_ta.calls", 1);
+  CLFD_METRIC_COUNT("tensor.matmul.flops",
+                    int64_t{2} * a.cols() * a.rows() * b.cols());
   Matrix c(a.cols(), b.cols());
   for (int k = 0; k < a.rows(); ++k) {
     const float* arow = a.row(k);
@@ -107,6 +117,9 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
+  CLFD_METRIC_COUNT("tensor.matmul_tb.calls", 1);
+  CLFD_METRIC_COUNT("tensor.matmul.flops",
+                    int64_t{2} * a.rows() * a.cols() * b.rows());
   Matrix c(a.rows(), b.rows());
   for (int i = 0; i < a.rows(); ++i) {
     const float* arow = a.row(i);
@@ -228,6 +241,7 @@ Matrix MeanRows(const Matrix& a) {
 }
 
 Matrix SoftmaxRows(const Matrix& a) {
+  CLFD_METRIC_COUNT("tensor.softmax.calls", 1);
   Matrix out(a.rows(), a.cols());
   for (int r = 0; r < a.rows(); ++r) {
     const float* arow = a.row(r);

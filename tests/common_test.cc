@@ -181,6 +181,35 @@ TEST(EnvTest, ParsesValue) {
   EXPECT_EQ(GetEnvInt("CLFD_TEST_ENV_INT", 7), 7);
 }
 
+TEST(EnvTest, StringValue) {
+  unsetenv("CLFD_TEST_ENV_S");
+  EXPECT_EQ(GetEnvString("CLFD_TEST_ENV_S", "fallback"), "fallback");
+  setenv("CLFD_TEST_ENV_S", "hello", 1);
+  EXPECT_EQ(GetEnvString("CLFD_TEST_ENV_S", "fallback"), "hello");
+  // An empty value counts as set.
+  setenv("CLFD_TEST_ENV_S", "", 1);
+  EXPECT_EQ(GetEnvString("CLFD_TEST_ENV_S", "fallback"), "");
+  unsetenv("CLFD_TEST_ENV_S");
+}
+
+TEST(EnvTest, BoolValue) {
+  unsetenv("CLFD_TEST_ENV_B");
+  EXPECT_TRUE(GetEnvBool("CLFD_TEST_ENV_B", true));
+  EXPECT_FALSE(GetEnvBool("CLFD_TEST_ENV_B", false));
+  for (const char* truthy : {"1", "true", "TRUE", "Yes", "on"}) {
+    setenv("CLFD_TEST_ENV_B", truthy, 1);
+    EXPECT_TRUE(GetEnvBool("CLFD_TEST_ENV_B", false)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "NO", "off", "Off"}) {
+    setenv("CLFD_TEST_ENV_B", falsy, 1);
+    EXPECT_FALSE(GetEnvBool("CLFD_TEST_ENV_B", true)) << falsy;
+  }
+  setenv("CLFD_TEST_ENV_B", "junk", 1);
+  EXPECT_TRUE(GetEnvBool("CLFD_TEST_ENV_B", true));
+  EXPECT_FALSE(GetEnvBool("CLFD_TEST_ENV_B", false));
+  unsetenv("CLFD_TEST_ENV_B");
+}
+
 TEST(RngTest, ForkIndependence) {
   Rng parent(99);
   Rng child = parent.Fork();

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "core/clfd.h"
 #include "eval/experiment.h"
 
 namespace clfd {
@@ -66,6 +67,45 @@ TEST(RunCorrectorExperimentTest, ProducesTprTnr) {
   // On mostly-normal data the corrector should label most normals normal.
   EXPECT_GT(m.tnr.mean(), 50.0);
 }
+
+#if !defined(CLFD_OBS_FORCE_OFF)
+TEST(TrainAndEvaluateTest, PhaseTimingsSumToTrainSeconds) {
+  SplitSpec split{60, 8, 30, 6};
+  ClfdConfig config = TinyConfig();
+  ExperimentContext context(DatasetKind::kCert, split,
+                            NoiseSpec::Uniform(0.2), config.emb_dim, 11);
+  ClfdModel model(config, 11);
+  RunMetrics m = TrainAndEvaluate(&model, context);
+
+  // The full CLFD pipeline runs all four phases...
+  EXPECT_GT(m.phases.pretrain_seconds, 0.0);
+  EXPECT_GT(m.phases.corrector_seconds, 0.0);
+  EXPECT_GT(m.phases.detector_seconds, 0.0);
+  EXPECT_GT(m.phases.classifier_seconds, 0.0);
+  // ...the phases partition Train() up to glue code (correction inference
+  // between phases), so their sum approximates the total without ever
+  // exceeding it.
+  EXPECT_LE(m.phases.TotalSeconds(), m.train_seconds * 1.001);
+  EXPECT_GE(m.phases.TotalSeconds(), m.train_seconds * 0.5);
+}
+
+TEST(TrainAndEvaluateTest, PhaseBreakdownIsPerRun) {
+  // Phase counters are cumulative process-wide; the per-run breakdown must
+  // diff them, not report totals from earlier runs in the same process.
+  SplitSpec split{40, 6, 20, 4};
+  ClfdConfig config = TinyConfig();
+  ExperimentContext context(DatasetKind::kWiki, split,
+                            NoiseSpec::Uniform(0.2), config.emb_dim, 13);
+  ClfdModel first(config, 13);
+  RunMetrics a = TrainAndEvaluate(&first, context);
+  ClfdModel second(config, 14);
+  RunMetrics b = TrainAndEvaluate(&second, context);
+  // Same work twice: the second run's breakdown must be of the same order,
+  // not the cumulative double.
+  EXPECT_LT(b.phases.TotalSeconds(), 2.0 * a.phases.TotalSeconds());
+  EXPECT_LE(b.phases.TotalSeconds(), b.train_seconds * 1.001);
+}
+#endif  // !CLFD_OBS_FORCE_OFF
 
 TEST(BenchScaleTest, EnvOverrides) {
   unsetenv("CLFD_SCALE");

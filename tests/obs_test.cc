@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace clfd {
+namespace obs {
+namespace {
+
+// ---- Logging ----
+
+TEST(LogTest, ParseLogLevel) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning", LogLevel::kOff), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off", LogLevel::kDebug), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kWarn), LogLevel::kWarn);
+}
+
+TEST(LogTest, LevelFiltering) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+  SetLogLevel(LogLevel::kWarn);
+}
+
+#if !defined(CLFD_OBS_FORCE_OFF)
+TEST(LogTest, FilteredStatementEmitsNothing) {
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  CLFD_LOG(INFO) << "should not appear" << Kv("k", 1);
+  std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(captured.empty());
+  SetLogLevel(LogLevel::kWarn);
+}
+
+TEST(LogTest, EmittedLineHasLevelLocationAndFields) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  CLFD_LOG(INFO) << "hello" << Kv("epoch", 3) << Kv("loss", 0.25);
+  std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("I "), std::string::npos);
+  EXPECT_NE(captured.find("obs_test.cc"), std::string::npos);
+  EXPECT_NE(captured.find("hello"), std::string::npos);
+  EXPECT_NE(captured.find("epoch=3"), std::string::npos);
+  EXPECT_NE(captured.find("loss=0.25"), std::string::npos);
+  EXPECT_EQ(captured.back(), '\n');
+  SetLogLevel(LogLevel::kWarn);
+}
+#endif  // !CLFD_OBS_FORCE_OFF
+
+// ---- Counters / gauges ----
+
+TEST(MetricsTest, CounterMath) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  Gauge g;
+  g.Set(1.5);
+  g.Set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+// ---- Histogram ----
+
+TEST(MetricsTest, HistogramExactPercentilesOnKnownData) {
+  // Bucket bounds match the data resolution, so percentiles are exact.
+  Histogram h(Histogram::LinearBounds(1.0, 1.0, 100));  // 1, 2, ..., 100
+  for (int v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(MetricsTest, HistogramSkewedDistribution) {
+  Histogram h(Histogram::LinearBounds(1.0, 1.0, 10));
+  for (int i = 0; i < 99; ++i) h.Record(1.0);
+  h.Record(10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10.0);
+}
+
+TEST(MetricsTest, HistogramOverflowBucketReportsMax) {
+  Histogram h({1.0, 2.0});
+  h.Record(0.5);
+  h.Record(1000.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+  EXPECT_EQ(h.BucketCount(0), 1);  // <= 1.0
+  EXPECT_EQ(h.BucketCount(1), 0);  // <= 2.0
+  EXPECT_EQ(h.BucketCount(2), 1);  // +inf
+}
+
+TEST(MetricsTest, HistogramEmpty) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+}
+
+TEST(MetricsTest, BoundBuilders) {
+  auto linear = Histogram::LinearBounds(0.05, 0.05, 3);
+  ASSERT_EQ(linear.size(), 3u);
+  EXPECT_NEAR(linear[0], 0.05, 1e-12);
+  EXPECT_NEAR(linear[2], 0.15, 1e-12);
+  auto expo = Histogram::ExponentialBounds(16.0, 2.0, 4);
+  ASSERT_EQ(expo.size(), 4u);
+  EXPECT_DOUBLE_EQ(expo[0], 16.0);
+  EXPECT_DOUBLE_EQ(expo[3], 128.0);
+}
+
+// ---- Series ----
+
+TEST(MetricsTest, SeriesAppendsInOrder) {
+  Series s;
+  s.Append(0, 1.5);
+  s.Append(1, 1.0);
+  s.Append(2, 0.5);
+  auto points = s.Points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].second, 1.5);
+  EXPECT_DOUBLE_EQ(points[2].first, 2.0);
+  EXPECT_DOUBLE_EQ(points[2].second, 0.5);
+}
+
+// ---- Registry ----
+
+TEST(MetricsRegistryTest, StablePointersAndJsonExport) {
+  auto& registry = MetricsRegistry::Get();
+  Counter* c = registry.GetCounter("test.registry.counter");
+  EXPECT_EQ(c, registry.GetCounter("test.registry.counter"));
+  c->Add(7);
+  registry.GetGauge("test.registry.gauge")->Set(2.5);
+  registry
+      .GetHistogram("test.registry.hist", Histogram::LinearBounds(1, 1, 4))
+      ->Record(2.0);
+  registry.GetSeries("test.registry.series")->Append(0, 0.75);
+
+  std::string json = registry.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"test.registry.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.registry.gauge\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":2"), std::string::npos);
+  EXPECT_NE(json.find("[0,0.75]"), std::string::npos);
+
+  std::string jsonl = registry.ToJsonLines();
+  EXPECT_NE(jsonl.find("{\"type\":\"counter\",\"name\":\"test.registry."
+                       "counter\""),
+            std::string::npos);
+  // Every line is one object.
+  std::istringstream lines(jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+
+  // ResetForTest zeroes values but keeps instruments (cached pointers stay
+  // valid).
+  registry.ResetForTest();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(registry.GetCounter("test.registry.counter"), c);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementSmoke) {
+  auto& registry = MetricsRegistry::Get();
+  Counter* c = registry.GetCounter("test.concurrent.counter");
+  Histogram* h = registry.GetHistogram("test.concurrent.hist",
+                                       Histogram::LinearBounds(1, 1, 8));
+  c->Reset();
+  h->Reset();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c->Add(1);
+        h->Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c->value(), kThreads * kIters);
+  EXPECT_EQ(h->count(), kThreads * kIters);
+  EXPECT_DOUBLE_EQ(h->sum(), (1.0 + 2.0 + 3.0 + 4.0) * kIters);
+}
+
+// ---- Tracing ----
+
+#if !defined(CLFD_OBS_FORCE_OFF)
+
+struct ParsedEvent {
+  std::string name;
+  long long ts = 0;
+  long long dur = 0;
+};
+
+// Minimal extraction of (name, ts, dur) triples from the trace JSON.
+std::vector<ParsedEvent> ParseEvents(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  size_t pos = 0;
+  while ((pos = json.find("{\"name\":\"", pos)) != std::string::npos) {
+    ParsedEvent e;
+    size_t name_begin = pos + 9;
+    size_t name_end = json.find('"', name_begin);
+    e.name = json.substr(name_begin, name_end - name_begin);
+    size_t ts_pos = json.find("\"ts\":", pos);
+    size_t dur_pos = json.find("\"dur\":", pos);
+    e.ts = std::atoll(json.c_str() + ts_pos + 5);
+    e.dur = std::atoll(json.c_str() + dur_pos + 6);
+    events.push_back(e);
+    pos = name_end;
+  }
+  return events;
+}
+
+TEST(TraceTest, NestedSpansProduceContainedEvents) {
+  const char* path = "obs_test_trace.json";
+  auto& recorder = TraceRecorder::Get();
+  recorder.Start(path);
+  {
+    TraceSpan outer("outer");
+    outer.Arg("epoch", 1);
+    {
+      TraceSpan inner("inner");
+      // Ensure measurable, strictly nested durations.
+      volatile double sink = 0;
+      for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+    }
+  }
+  EXPECT_EQ(recorder.EventCount(), 2u);
+  ASSERT_TRUE(recorder.Stop());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  std::remove(path);
+
+  // Valid trace-event envelope.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"epoch\":1}"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  // Spans close in LIFO order (inner first) and the outer event's interval
+  // contains the inner one — that is what chrome://tracing nests on.
+  auto events = ParseEvents(json);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  const ParsedEvent& inner = events[0];
+  const ParsedEvent& outer = events[1];
+  EXPECT_LE(outer.ts, inner.ts);
+  EXPECT_GE(outer.ts + outer.dur, inner.ts + inner.dur);
+}
+
+TEST(TraceTest, DisabledRecorderBuffersNothing) {
+  auto& recorder = TraceRecorder::Get();
+  ASSERT_TRUE(recorder.Stop());  // make sure recording is off
+  {
+    TraceSpan span("ignored");
+  }
+  EXPECT_EQ(recorder.EventCount(), 0u);
+}
+
+TEST(TraceTest, ScopedTimerAccumulatesMicros) {
+  auto& registry = MetricsRegistry::Get();
+  Counter* micros = registry.GetCounter("test.scoped_timer.micros");
+  micros->Reset();
+  {
+    ScopedTimer timer(micros);
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  }
+  EXPECT_GT(micros->value(), 0);
+}
+
+TEST(TraceTest, PhaseSpanFeedsPhaseCounter) {
+  auto& registry = MetricsRegistry::Get();
+  Counter* counter = registry.GetCounter("phase.test_phase.micros");
+  counter->Reset();
+  {
+    PhaseSpan phase("test_phase");
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  }
+  EXPECT_GT(counter->value(), 0);
+}
+
+#endif  // !CLFD_OBS_FORCE_OFF
+
+}  // namespace
+}  // namespace obs
+}  // namespace clfd

@@ -11,6 +11,11 @@
 //       --seed 1 --train train.txt --test test.txt
 //   clfd_cli run --model CLFD --train train.txt --test test.txt --budget fast
 //   clfd_cli correct --train train.txt --budget fast
+//
+// Observability flags (valid with every subcommand, --key=value syntax):
+//   --trace=FILE        write a Chrome trace-event file (chrome://tracing)
+//   --metrics-out=FILE  dump the metrics registry (JSON; .jsonl for lines)
+//   --log-level=LVL     debug|info|warn|error|off (default: CLFD_LOG_LEVEL)
 
 #include <cstdio>
 #include <cstring>
@@ -25,11 +30,15 @@
 #include "data/simulators.h"
 #include "embedding/word2vec.h"
 #include "metrics/metrics.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace clfd {
 namespace {
 
 struct Args {
+  std::string command;
   std::map<std::string, std::string> values;
 
   const char* Get(const std::string& key, const char* fallback) const {
@@ -46,12 +55,25 @@ struct Args {
   }
 };
 
-Args ParseArgs(int argc, char** argv, int first) {
+// Accepts both "--key value" and "--key=value"; the first bare token is the
+// subcommand, so obs flags may appear before or after it.
+Args ParseArgs(int argc, char** argv) {
   Args args;
-  for (int i = first; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.values[key] = argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      std::string key = token.substr(2);
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        args.values[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc) {
+        args.values[key] = argv[++i];
+      } else {
+        args.values[key] = "";
+      }
+    } else if (args.command.empty()) {
+      args.command = token;
+    }
   }
   return args;
 }
@@ -66,6 +88,8 @@ int Usage() {
       "  clfd_cli run --model NAME --train FILE --test FILE\n"
       "           [--budget fast|paper] [--seed N] [--dim N]\n"
       "  clfd_cli correct --train FILE [--budget fast|paper] [--seed N]\n"
+      "observability (any subcommand):\n"
+      "  --trace=FILE --metrics-out=FILE[.jsonl] --log-level=LVL\n"
       "models: CLFD DivMix ULC Sel-CL CTRR Few-Shot CLDet DeepLog LogBert\n");
   return 2;
 }
@@ -214,14 +238,55 @@ int Correct(const Args& args) {
   return 0;
 }
 
+int Dispatch(const Args& args) {
+  if (args.command == "generate") return Generate(args);
+  if (args.command == "run") return Run(args);
+  if (args.command == "correct") return Correct(args);
+  return Usage();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  std::string command = argv[1];
-  Args args = ParseArgs(argc, argv, 2);
-  if (command == "generate") return Generate(args);
-  if (command == "run") return Run(args);
-  if (command == "correct") return Correct(args);
-  return Usage();
+  Args args = ParseArgs(argc, argv);
+
+  std::string log_level = args.Get("log-level", "");
+  if (!log_level.empty()) {
+    // A recognized name parses the same under any fallback; an unknown one
+    // echoes whichever fallback it is given.
+    if (obs::ParseLogLevel(log_level, obs::LogLevel::kDebug) !=
+        obs::ParseLogLevel(log_level, obs::LogLevel::kOff)) {
+      std::fprintf(stderr,
+                   "warning: unknown --log-level '%s' "
+                   "(want debug|info|warn|error|off); using warn\n",
+                   log_level.c_str());
+    }
+    obs::SetLogLevel(obs::ParseLogLevel(log_level, obs::LogLevel::kWarn));
+  }
+  std::string trace_path = args.Get("trace", "");
+  if (!trace_path.empty()) obs::TraceRecorder::Get().Start(trace_path);
+
+  int rc = Dispatch(args);
+
+  if (!trace_path.empty() && !obs::TraceRecorder::Get().Stop() && rc == 0) {
+    rc = 1;  // Stop() already reported the write failure to stderr.
+  }
+  std::string metrics_path = args.Get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    auto& registry = obs::MetricsRegistry::Get();
+    bool jsonl = metrics_path.size() >= 6 &&
+                 metrics_path.rfind(".jsonl") == metrics_path.size() - 6;
+    bool ok = jsonl ? registry.WriteJsonLines(metrics_path)
+                    : registry.WriteJson(metrics_path);
+    if (ok) {
+      std::fprintf(stderr, "obs: wrote metrics to %s\n",
+                   metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "obs: cannot write metrics file %s\n",
+                   metrics_path.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
