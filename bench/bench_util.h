@@ -8,6 +8,7 @@
 #include "common/env.h"
 #include "eval/experiment.h"
 #include "obs/metrics.h"
+#include "parallel/thread_pool.h"
 
 namespace clfd {
 namespace bench {
@@ -30,8 +31,10 @@ inline std::string Cell(const MeanStd& m) { return m.ToString(2); }
 inline void PrintScaleBanner(const BenchScale& scale) {
   std::printf(
       "scale: %.3fx paper split sizes | %d seed(s) | %.2fx paper epochs "
-      "(override with CLFD_SCALE / CLFD_SEEDS / CLFD_EPOCH_SCALE)\n\n",
-      scale.split_scale, scale.seeds, scale.epoch_scale);
+      "| %d thread(s) (override with CLFD_SCALE / CLFD_SEEDS / "
+      "CLFD_EPOCH_SCALE / CLFD_THREADS)\n\n",
+      scale.split_scale, scale.seeds, scale.epoch_scale,
+      parallel::GlobalThreadCount());
 }
 
 // Dumps the metrics registry as a JSONL sidecar next to the table output,

@@ -13,8 +13,13 @@ namespace ag {
 struct GradCheckResult {
   float max_abs_error = 0.0f;   // max |analytic - numeric| over all entries
   float max_rel_error = 0.0f;   // relative version with an absolute floor
+  // Max |serial - parallel| over the analytic gradients when both kernel
+  // paths were exercised (CheckGradientsBothKernelPaths); the paths share
+  // per-row code, so any nonzero value is a bug.
+  float serial_parallel_grad_diff = 0.0f;
   bool ok(float tol = 2e-2f) const {
-    return max_abs_error < tol || max_rel_error < tol;
+    return (max_abs_error < tol || max_rel_error < tol) &&
+           serial_parallel_grad_diff == 0.0f;
   }
 };
 
@@ -27,6 +32,15 @@ struct GradCheckResult {
 // layer (the substrate substituting for PyTorch must compute the same
 // gradients PyTorch would).
 GradCheckResult CheckGradients(
+    const std::function<Var(const std::vector<Var>&)>& build_loss,
+    const std::vector<Var>& params, float epsilon = 1e-3f);
+
+// Runs the finite-difference check twice — once with the matmul parallel
+// threshold forced up (every kernel serial) and once with it forced to zero
+// (every eligible kernel row-parallel) — and additionally compares the two
+// analytic gradient sets bitwise (serial_parallel_grad_diff). This is how
+// properties_test.cc extends gradient coverage to the parallel kernel path.
+GradCheckResult CheckGradientsBothKernelPaths(
     const std::function<Var(const std::vector<Var>&)>& build_loss,
     const std::vector<Var>& params, float epsilon = 1e-3f);
 

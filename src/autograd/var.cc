@@ -64,7 +64,11 @@ Var Param(Matrix value) {
   return Var(std::move(node));
 }
 
-void Backward(const Var& root) {
+namespace {
+
+// Shared engine for Backward / BackwardWithGrad. `seed` null means scalar
+// seed 1 on every element of the root.
+void BackwardImpl(const Var& root, const Matrix* seed) {
   assert(root.defined());
   if (!root.requires_grad()) return;
   std::vector<Node*> post_order;
@@ -82,13 +86,26 @@ void Backward(const Var& root) {
       ::clfd::obs::Histogram::ExponentialBounds(16.0, 2.0, 16),
       static_cast<double>(post_order.size()));
   for (Node* n : post_order) n->EnsureGrad();
-  // Seed: d root / d root = 1.
   Node* r = root.node().get();
-  for (int i = 0; i < r->grad.size(); ++i) r->grad[i] += 1.0f;
+  if (seed != nullptr) {
+    assert(seed->SameShape(r->value));
+    r->grad.AddInPlace(*seed);
+  } else {
+    // d root / d root = 1.
+    for (int i = 0; i < r->grad.size(); ++i) r->grad[i] += 1.0f;
+  }
   // Reverse topological order = post-order reversed.
   for (auto it = post_order.rbegin(); it != post_order.rend(); ++it) {
     if ((*it)->backward_fn) (*it)->backward_fn(*it);
   }
+}
+
+}  // namespace
+
+void Backward(const Var& root) { BackwardImpl(root, nullptr); }
+
+void BackwardWithGrad(const Var& root, const Matrix& seed) {
+  BackwardImpl(root, &seed);
 }
 
 Var MatMul(const Var& a, const Var& b) {

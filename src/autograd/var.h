@@ -68,6 +68,13 @@ Var Param(Matrix value);
 // optimizer clears them.
 void Backward(const Var& root);
 
+// Backward with an explicit upstream gradient: seeds d(loss)/d(root) +=
+// seed (same shape as root's value) instead of 1. This is how a tape that
+// was cut at `root` is resumed — the sharded training step backpropagates
+// the loss through a small serial head, then feeds each shard's slice of
+// the head-input gradient into that shard's own tape.
+void BackwardWithGrad(const Var& root, const Matrix& seed);
+
 // ---- Differentiable ops. Shapes follow the tensor/matrix.h kernels. ----
 
 Var MatMul(const Var& a, const Var& b);

@@ -5,6 +5,25 @@
 
 namespace clfd {
 
+namespace {
+
+// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::Child(uint64_t key) const {
+  // Mix the key before combining so consecutive keys (0, 1, 2, ...) land on
+  // unrelated seeds, then mix again so children of consecutive parents
+  // differ too.
+  return Rng(SplitMix64(seed_ ^ SplitMix64(key + 0x632be59bd9b4e019ULL)));
+}
+
 double Rng::Beta(double a, double b) {
   std::gamma_distribution<double> ga(a, 1.0);
   std::gamma_distribution<double> gb(b, 1.0);

@@ -16,7 +16,7 @@ namespace clfd {
 // Beta(beta, beta) sampler used by the mixup strategy (Sec. III-A1).
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : engine_(seed) {}
+  explicit Rng(uint64_t seed) : seed_(seed), engine_(seed) {}
 
   // Uniform real in [0, 1).
   double Uniform() { return unit_(engine_); }
@@ -68,11 +68,21 @@ class Rng {
   int SampleDiscrete(const std::vector<double>& weights);
 
   // Derive an independent child generator (e.g. one per experiment seed).
+  // Mutates this generator: consecutive Fork() calls give distinct children.
   Rng Fork() { return Rng(engine_()); }
+
+  // Derive an independent child stream keyed by `key`. Unlike Fork() this is
+  // pure: the child depends only on the construction seed and the key, never
+  // on how many draws have been made or on the calling thread. The parallel
+  // training loops key per-example streams by example index so results are
+  // invariant to how examples are distributed over workers (DESIGN.md,
+  // "Threading model").
+  Rng Child(uint64_t key) const;
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 engine_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};

@@ -5,6 +5,7 @@
 
 #include "autograd/var.h"
 #include "core/classifier_trainer.h"
+#include "encoders/sharded_step.h"
 #include "losses/contrastive.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
@@ -67,6 +68,7 @@ void FraudDetector::SupervisedPretrain(
     const Matrix& embeddings) {
   std::vector<ag::Var> params = encoder_.Parameters();
   nn::Adam optimizer(params, config_.learning_rate);
+  ShardedEncoderTrainer trainer(&encoder_);
 
   // T-tilde^1: sessions the corrector predicted malicious (Algorithm 1
   // line 2), from which the auxiliary batches S^1 are drawn.
@@ -105,15 +107,15 @@ void FraudDetector::SupervisedPretrain(
         confidences.push_back(corrections[idx].confidence);
       }
 
-      ag::Var z = encoder_.EncodeBatch(sessions, embeddings);
-      ag::Var loss =
-          SupConLoss(z, labels, confidences, num_anchors,
-                     config_.supcon_alpha, config_.supcon_variant,
-                     config_.filter_tau);
-      ag::Backward(loss);
+      float loss = trainer.Step(
+          sessions, embeddings, [&](const ag::Var& z) {
+            return SupConLoss(z, labels, confidences, num_anchors,
+                              config_.supcon_alpha, config_.supcon_variant,
+                              config_.filter_tau);
+          });
       nn::ClipGradNorm(params, config_.grad_clip);
       optimizer.Step();
-      loss_sum += loss.value()[0];
+      loss_sum += loss;
       ++batches;
     }
     double epoch_loss = batches > 0 ? loss_sum / batches : 0.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parallel/thread_pool.h"
+
 namespace clfd {
 
 PaddedBatch BuildPaddedBatch(const std::vector<const Session*>& sessions,
@@ -74,8 +76,12 @@ Matrix SessionEncoder::EncodeDataset(const SessionDataset& dataset,
                                      const Matrix& embeddings,
                                      int chunk) const {
   Matrix out(dataset.size(), hidden_dim());
-  for (int start = 0; start < dataset.size(); start += chunk) {
-    int end = std::min(start + chunk, dataset.size());
+  if (dataset.size() == 0) return out;
+  // Forward-only: concurrent EncodeBatch calls read the shared parameter
+  // values but never touch gradients, and each chunk writes its own rows.
+  parallel::ParallelFor(0, dataset.size(), chunk, [&](int64_t lo,
+                                                      int64_t hi) {
+    int start = static_cast<int>(lo), end = static_cast<int>(hi);
     std::vector<const Session*> batch;
     batch.reserve(end - start);
     for (int i = start; i < end; ++i) {
@@ -85,7 +91,7 @@ Matrix SessionEncoder::EncodeDataset(const SessionDataset& dataset,
     for (int i = start; i < end; ++i) {
       out.CopyRowFrom(encoded, i - start, i);
     }
-  }
+  });
   return out;
 }
 

@@ -34,12 +34,17 @@ class SessionEncoder : public nn::Module {
 
   // Inference helper: encodes every session of `dataset` in chunks of
   // `chunk` and returns the [N x hidden] value matrix (no graph retained).
+  // Chunks run in parallel on the global pool; chunk boundaries depend only
+  // on `chunk`, and chunks write disjoint output rows, so the result is
+  // identical at any thread count.
   Matrix EncodeDataset(const SessionDataset& dataset, const Matrix& embeddings,
                        int chunk = 128) const;
 
   std::vector<ag::Var> Parameters() const override;
 
+  int emb_dim() const { return input_skip_.in_dim(); }
   int hidden_dim() const { return lstm_.hidden_dim(); }
+  int num_layers() const { return lstm_.num_layers(); }
 
  private:
   nn::Lstm lstm_;

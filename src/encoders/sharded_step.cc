@@ -1,0 +1,94 @@
+#include "encoders/sharded_step.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nn/module.h"
+#include "parallel/reduce.h"
+#include "parallel/thread_pool.h"
+
+namespace clfd {
+
+ShardedEncoderTrainer::ShardedEncoderTrainer(SessionEncoder* live)
+    : live_(live) {}
+
+void ShardedEncoderTrainer::EnsureReplicas(int count) {
+  while (static_cast<int>(replicas_.size()) < count) {
+    // The init draws are overwritten by CopyParameterValues every step; the
+    // seed only has to make construction deterministic.
+    Rng init_rng(0x5eedu + replicas_.size());
+    replicas_.push_back(std::make_unique<SessionEncoder>(
+        live_->emb_dim(), live_->hidden_dim(), live_->num_layers(),
+        &init_rng));
+    replica_params_.push_back(replicas_.back()->Parameters());
+  }
+}
+
+float ShardedEncoderTrainer::Step(
+    const std::vector<const Session*>& sessions, const Matrix& embeddings,
+    const std::function<ag::Var(const ag::Var&)>& head) {
+  const int batch = static_cast<int>(sessions.size());
+  assert(batch > 0);
+  const int num_shards =
+      (batch + kExampleShardGrain - 1) / kExampleShardGrain;
+  EnsureReplicas(num_shards);
+  std::vector<ag::Var> live_params = live_->Parameters();
+
+  // Refresh replica weights from the live module and run the shard
+  // forwards, each on its own tape. Shards write disjoint slots.
+  std::vector<ag::Var> shard_roots(num_shards);
+  parallel::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      nn::CopyParameterValues(live_params, replica_params_[s]);
+      int row0 = static_cast<int>(s) * kExampleShardGrain;
+      int row1 = std::min(row0 + kExampleShardGrain, batch);
+      std::vector<const Session*> shard(sessions.begin() + row0,
+                                        sessions.begin() + row1);
+      shard_roots[s] = replicas_[s]->EncodeBatch(shard, embeddings);
+    }
+  });
+
+  // Serial loss head on the concatenated encodings. The Param leaf cuts the
+  // tape: Backward stops here and deposits dL/dz in the leaf's grad.
+  std::vector<Matrix> shard_values;
+  shard_values.reserve(num_shards);
+  for (const ag::Var& r : shard_roots) shard_values.push_back(r.value());
+  ag::Var z = ag::Param(ConcatRows(shard_values));
+  ag::Var loss = head(z);
+  float loss_value = loss.value()[0];
+  ag::Backward(loss);
+
+  // Resume each shard's tape from its slice of dL/dz, accumulating into
+  // the shard replica's private gradient buffers.
+  parallel::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      int row0 = static_cast<int>(s) * kExampleShardGrain;
+      int row1 = std::min(row0 + kExampleShardGrain, batch);
+      ag::BackwardWithGrad(shard_roots[s],
+                           SliceRows(z.grad(), row0, row1));
+    }
+  });
+
+  // Merge: per parameter, fold the shard gradients with a fixed balanced
+  // tree, then add to the live gradient. The add order depends only on the
+  // shard count, so the merged gradient is thread-count-invariant.
+  // Parameters are disjoint buffers, so the merge itself parallelizes.
+  const int num_params = static_cast<int>(live_params.size());
+  parallel::ParallelFor(0, num_params, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t p = lo; p < hi; ++p) {
+      std::vector<Matrix*> slots(num_shards);
+      for (int s = 0; s < num_shards; ++s) {
+        slots[s] = &replica_params_[s][p].mutable_grad();
+      }
+      Matrix* total = parallel::TreeReduce(
+          &slots, [](Matrix** into, Matrix* from) {
+            (*into)->AddInPlace(*from);
+          });
+      live_params[p].node()->EnsureGrad();
+      live_params[p].mutable_grad().AddInPlace(*total);
+    }
+  });
+  return loss_value;
+}
+
+}  // namespace clfd

@@ -2,12 +2,14 @@
 
 #include "augment/augment.h"
 #include "autograd/var.h"
+#include "encoders/sharded_step.h"
 #include "losses/contrastive.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 
 namespace clfd {
 
@@ -24,32 +26,41 @@ void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
       std::string(options.metric_scope) + ".loss");
 #endif
 
+  ShardedEncoderTrainer trainer(encoder);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     obs::TraceSpan epoch_span(options.metric_scope);
     double loss_sum = 0.0;
     int batches = 0;
     for (const auto& batch : train.MakeBatches(options.batch_size, rng)) {
       if (batch.size() < 2) continue;
-      // Two reordering-augmented views per session; rows (i, i + B) pair up.
-      std::vector<Session> augmented;
-      augmented.reserve(2 * batch.size());
-      for (int pass = 0; pass < 2; ++pass) {
-        for (int idx : batch) {
-          augmented.push_back(ReorderAugment(train.sessions[idx].session, rng,
-                                             options.reorder_sub_len));
+      const int b = static_cast<int>(batch.size());
+      // Two reordering-augmented views per session; rows (i, i + B) pair
+      // up. Each view draws from a child stream keyed by its view index —
+      // one serial Fork() per batch gives the nonce, Child(view) splits it
+      // — so the augmentations are independent of how views are
+      // distributed over workers.
+      Rng batch_rng = rng->Fork();
+      std::vector<Session> augmented(2 * b);
+      parallel::ParallelFor(0, 2 * b, kExampleShardGrain,
+                            [&](int64_t lo, int64_t hi) {
+        for (int64_t v = lo; v < hi; ++v) {
+          int idx = batch[static_cast<int>(v) % b];
+          Rng view_rng = batch_rng.Child(static_cast<uint64_t>(v));
+          augmented[v] = ReorderAugment(train.sessions[idx].session,
+                                        &view_rng, options.reorder_sub_len);
         }
-      }
+      });
       std::vector<const Session*> views;
       views.reserve(augmented.size());
       for (const Session& s : augmented) views.push_back(&s);
 
-      ag::Var z = encoder->EncodeBatch(views, embeddings);
-      ag::Var projected = projection->Forward(z);
-      ag::Var loss = NtXentLoss(projected, options.temperature);
-      ag::Backward(loss);
+      float loss = trainer.Step(
+          views, embeddings, [&](const ag::Var& z) {
+            return NtXentLoss(projection->Forward(z), options.temperature);
+          });
       nn::ClipGradNorm(params, options.grad_clip);
       optimizer.Step();
-      loss_sum += loss.value()[0];
+      loss_sum += loss;
       ++batches;
     }
     double epoch_loss = batches > 0 ? loss_sum / batches : 0.0;

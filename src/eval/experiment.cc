@@ -12,6 +12,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 
 namespace clfd {
 
@@ -21,39 +22,6 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
-}
-
-// Snapshot of the obs-layer phase counters (cumulative process-wide
-// microseconds); TrainAndEvaluate diffs two snapshots around Train() to
-// attribute this run's wall-clock to phases.
-struct PhaseSnapshot {
-  int64_t pretrain_us = 0;
-  int64_t corrector_us = 0;
-  int64_t detector_us = 0;
-  int64_t classifier_us = 0;
-
-  static PhaseSnapshot Take() {
-    auto& registry = obs::MetricsRegistry::Get();
-    PhaseSnapshot s;
-    s.pretrain_us = registry.GetCounter("phase.pretrain.micros")->value();
-    s.corrector_us = registry.GetCounter("phase.corrector.micros")->value();
-    s.detector_us = registry.GetCounter("phase.detector.micros")->value();
-    s.classifier_us =
-        registry.GetCounter("phase.classifier.micros")->value();
-    return s;
-  }
-};
-
-PhaseBreakdown DiffSnapshots(const PhaseSnapshot& before,
-                             const PhaseSnapshot& after) {
-  PhaseBreakdown phases;
-  phases.pretrain_seconds = (after.pretrain_us - before.pretrain_us) / 1e6;
-  phases.corrector_seconds =
-      (after.corrector_us - before.corrector_us) / 1e6;
-  phases.detector_seconds = (after.detector_us - before.detector_us) / 1e6;
-  phases.classifier_seconds =
-      (after.classifier_us - before.classifier_us) / 1e6;
-  return phases;
 }
 
 }  // namespace
@@ -70,15 +38,24 @@ ExperimentContext::ExperimentContext(DatasetKind kind, const SplitSpec& split,
 
 RunMetrics TrainAndEvaluate(DetectorModel* model,
                             const ExperimentContext& context) {
-  PhaseSnapshot before = PhaseSnapshot::Take();
+  RunMetrics metrics;
   auto start = std::chrono::steady_clock::now();
   {
-    CLFD_TRACE_SPAN("train");
-    model->Train(context.train(), context.embeddings());
+    // Per-run, per-thread phase accounting: the PhaseSpan sites in core/
+    // report into this capture, so runs executing concurrently on different
+    // seed workers never see each other's time (the process-global
+    // "phase.*.micros" counters still accumulate for the metrics dump).
+    obs::PhaseCapture capture;
+    {
+      CLFD_TRACE_SPAN("train");
+      model->Train(context.train(), context.embeddings());
+    }
+    metrics.train_seconds = SecondsSince(start);
+    metrics.phases.pretrain_seconds = capture.Micros("pretrain") / 1e6;
+    metrics.phases.corrector_seconds = capture.Micros("corrector") / 1e6;
+    metrics.phases.detector_seconds = capture.Micros("detector") / 1e6;
+    metrics.phases.classifier_seconds = capture.Micros("classifier") / 1e6;
   }
-  RunMetrics metrics;
-  metrics.train_seconds = SecondsSince(start);
-  metrics.phases = DiffSnapshots(before, PhaseSnapshot::Take());
   CLFD_LOG(INFO) << "run trained" << obs::Kv("seed", context.seed())
                  << obs::Kv("train_s", metrics.train_seconds)
                  << obs::Kv("pretrain_s", metrics.phases.pretrain_seconds)
@@ -103,14 +80,23 @@ AggregatedMetrics RunExperimentWithFactory(
         factory,
     DatasetKind kind, const SplitSpec& split, const NoiseSpec& noise,
     int emb_dim, int seeds, uint64_t base_seed) {
+  // Seeds are embarrassingly parallel: each builds its world and model from
+  // its own seed-derived Rngs, so runs share no mutable state. Workers
+  // write into per-seed slots; aggregation then walks the slots in seed
+  // order (MeanStd accumulation is order-sensitive and not thread-safe),
+  // making the aggregate identical at any thread count.
+  std::vector<RunMetrics> results(seeds);
+  parallel::ParallelFor(0, seeds, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      uint64_t seed = base_seed + static_cast<uint64_t>(s);
+      ExperimentContext context(kind, split, noise, emb_dim, seed);
+      auto model = factory(seed * 31 + 7);
+      assert(model != nullptr);
+      results[s] = TrainAndEvaluate(model.get(), context);
+    }
+  });
   AggregatedMetrics aggregated;
-  for (int s = 0; s < seeds; ++s) {
-    uint64_t seed = base_seed + s;
-    ExperimentContext context(kind, split, noise, emb_dim, seed);
-    auto model = factory(seed * 31 + 7);
-    assert(model != nullptr);
-    aggregated.Add(TrainAndEvaluate(model.get(), context));
-  }
+  for (const RunMetrics& m : results) aggregated.Add(m);
   return aggregated;
 }
 
@@ -129,21 +115,28 @@ CorrectorMetrics RunCorrectorExperiment(DatasetKind kind,
                                         const NoiseSpec& noise,
                                         const ClfdConfig& config, int seeds,
                                         uint64_t base_seed) {
-  CorrectorMetrics metrics;
-  for (int s = 0; s < seeds; ++s) {
-    uint64_t seed = base_seed + s;
-    ExperimentContext context(kind, split, noise, config.emb_dim, seed);
-    LabelCorrector corrector(config, seed * 31 + 7);
-    corrector.Train(context.train(), context.embeddings());
-    auto corrections = corrector.Correct(context.train());
+  // Same seed-parallel pattern as RunExperimentWithFactory: per-seed slots,
+  // ordered aggregation.
+  std::vector<ConfusionCounts> counts(seeds);
+  parallel::ParallelFor(0, seeds, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t s = lo; s < hi; ++s) {
+      uint64_t seed = base_seed + static_cast<uint64_t>(s);
+      ExperimentContext context(kind, split, noise, config.emb_dim, seed);
+      LabelCorrector corrector(config, seed * 31 + 7);
+      corrector.Train(context.train(), context.embeddings());
+      auto corrections = corrector.Correct(context.train());
 
-    std::vector<int> preds(corrections.size());
-    for (size_t i = 0; i < corrections.size(); ++i) {
-      preds[i] = corrections[i].label;
+      std::vector<int> preds(corrections.size());
+      for (size_t i = 0; i < corrections.size(); ++i) {
+        preds[i] = corrections[i].label;
+      }
+      counts[s] = Confusion(preds, TrueLabels(context.train()));
     }
-    ConfusionCounts counts = Confusion(preds, TrueLabels(context.train()));
-    metrics.tpr.Add(TruePositiveRate(counts));
-    metrics.tnr.Add(TrueNegativeRate(counts));
+  });
+  CorrectorMetrics metrics;
+  for (const ConfusionCounts& c : counts) {
+    metrics.tpr.Add(TruePositiveRate(c));
+    metrics.tnr.Add(TrueNegativeRate(c));
   }
   return metrics;
 }

@@ -1,5 +1,6 @@
 #include "nn/module.h"
 
+#include <cassert>
 #include <cmath>
 
 namespace clfd {
@@ -8,6 +9,16 @@ namespace nn {
 void ZeroGrads(const std::vector<ag::Var>& params) {
   for (const ag::Var& p : params) {
     p.node()->grad = Matrix(p.rows(), p.cols());
+  }
+}
+
+void CopyParameterValues(const std::vector<ag::Var>& src,
+                         const std::vector<ag::Var>& dst) {
+  assert(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    assert(src[i].value().SameShape(dst[i].value()));
+    dst[i].mutable_value() = src[i].value();
+    dst[i].mutable_grad() = Matrix(src[i].rows(), src[i].cols());
   }
 }
 

@@ -29,6 +29,13 @@ class Module {
 // Clears the gradient buffers of the given parameters.
 void ZeroGrads(const std::vector<ag::Var>& params);
 
+// Copies parameter values from `src` into `dst` (same count and shapes,
+// e.g. two modules built with identical dimensions) and clears dst's
+// gradients. The sharded training step uses this to refresh per-shard
+// encoder replicas from the live module before each parallel forward.
+void CopyParameterValues(const std::vector<ag::Var>& src,
+                         const std::vector<ag::Var>& dst);
+
 // Scales gradients so their global L2 norm is at most `max_norm`.
 // Returns the pre-clipping norm. Keeps long LSTM unrolls stable.
 float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm);

@@ -98,6 +98,36 @@ void TraceRecorder::RecordComplete(const std::string& name, int64_t ts_us,
 
 #if !defined(CLFD_OBS_FORCE_OFF)
 
+namespace {
+
+// Innermost active capture of the current thread (null when none).
+thread_local PhaseCapture* tls_phase_capture = nullptr;
+
+}  // namespace
+
+PhaseCapture::PhaseCapture() : prev_(tls_phase_capture) {
+  tls_phase_capture = this;
+}
+
+PhaseCapture::~PhaseCapture() { tls_phase_capture = prev_; }
+
+int64_t PhaseCapture::Micros(const char* phase) const {
+  auto it = micros_.find(phase);
+  return it == micros_.end() ? 0 : it->second;
+}
+
+void PhaseCapture::Add(const char* phase, int64_t micros) {
+  micros_[phase] += micros;
+}
+
+PhaseSpan::~PhaseSpan() {
+  int64_t elapsed = UptimeMicros() - start_us_;
+  counter_->Add(elapsed);
+  if (tls_phase_capture != nullptr) {
+    tls_phase_capture->Add(phase_, elapsed);
+  }
+}
+
 void TraceSpan::Arg(const char* key, double value) {
   if (start_us_ < 0) return;
   char buf[64];

@@ -28,6 +28,7 @@
 // shells that the optimizer deletes.
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "obs/metrics.h"
@@ -103,6 +104,15 @@ class PhaseSpan {
   explicit PhaseSpan(const char* phase) { (void)phase; }
 };
 
+class PhaseCapture {
+ public:
+  PhaseCapture() = default;
+  int64_t Micros(const char* phase) const {
+    (void)phase;
+    return 0;
+  }
+};
+
 #else
 
 class TraceSpan {
@@ -150,20 +160,55 @@ class ScopedTimer {
   int64_t start_us_;
 };
 
-// One training phase: a trace span named "phase.<name>" plus a
-// "phase.<name>.micros" counter that eval/experiment.cc diffs to build the
-// per-run time breakdown. `phase` must be a string literal (the counter
-// pointer is resolved per call, phases fire a handful of times per run).
+// Accumulates the durations of PhaseSpans that close on the *current
+// thread* while this capture is the innermost one (captures nest; the
+// inner one shadows the outer for its lifetime). eval/experiment.cc opens
+// one capture per run, which stays correct when several runs execute
+// concurrently on different workers — unlike diffing the process-global
+// "phase.*.micros" counters, which would attribute every concurrent run's
+// time to whichever run diffed last.
+class PhaseCapture {
+ public:
+  PhaseCapture();
+  ~PhaseCapture();
+  PhaseCapture(const PhaseCapture&) = delete;
+  PhaseCapture& operator=(const PhaseCapture&) = delete;
+
+  // Total microseconds recorded for `phase` so far (0 when never seen).
+  int64_t Micros(const char* phase) const;
+
+  // Called by ~PhaseSpan on the owning thread; not thread-safe by design
+  // (a capture belongs to exactly one thread).
+  void Add(const char* phase, int64_t micros);
+
+ private:
+  std::map<std::string, int64_t> micros_;
+  PhaseCapture* prev_;  // restored on destruction (nesting)
+};
+
+// One training phase: a trace span named after the phase, a
+// "phase.<name>.micros" counter (cumulative, process-wide), and — when the
+// calling thread has an active PhaseCapture — a per-capture entry that
+// eval/experiment.cc reads to build the per-run time breakdown. `phase`
+// must be a string literal (the counter pointer is resolved per call,
+// phases fire a handful of times per run).
 class PhaseSpan {
  public:
   explicit PhaseSpan(const char* phase)
-      : span_(phase),
-        timer_(MetricsRegistry::Get().GetCounter(
-            std::string("phase.") + phase + ".micros")) {}
+      : phase_(phase),
+        span_(phase),
+        counter_(MetricsRegistry::Get().GetCounter(
+            std::string("phase.") + phase + ".micros")),
+        start_us_(UptimeMicros()) {}
+  ~PhaseSpan();
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
 
  private:
+  const char* phase_;
   TraceSpan span_;
-  ScopedTimer timer_;
+  Counter* counter_;
+  int64_t start_us_;
 };
 
 #endif  // CLFD_OBS_FORCE_OFF

@@ -1,0 +1,46 @@
+#ifndef CLFD_PARALLEL_REDUCE_H_
+#define CLFD_PARALLEL_REDUCE_H_
+
+// Order-fixed reductions for parallel results.
+//
+// Floating-point addition is not associative, so "sum the per-chunk partials
+// in whatever order they finish" yields results that drift with the thread
+// count. TreeReduce instead combines slot i with slot i+stride for stride =
+// 1, 2, 4, ... — a balanced binary tree whose shape depends only on the
+// number of slots. Callers collect per-chunk partials into an
+// index-addressed vector (one slot per chunk, chunk count fixed by the
+// grain) and reduce once all chunks are in; the result is then bitwise
+// identical at any thread count.
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace clfd {
+namespace parallel {
+
+// Reduces `slots` in place with a fixed balanced tree and returns the root.
+// combine(&into, from) must fold `from` into `into`. The vector's contents
+// are consumed (slot 0 ends up holding the result).
+template <typename T, typename Combine>
+T TreeReduce(std::vector<T>* slots, Combine combine) {
+  assert(!slots->empty());
+  for (size_t stride = 1; stride < slots->size(); stride *= 2) {
+    for (size_t i = 0; i + stride < slots->size(); i += 2 * stride) {
+      combine(&(*slots)[i], (*slots)[i + stride]);
+    }
+  }
+  return std::move((*slots)[0]);
+}
+
+// Tree-ordered sum of doubles; 0.0 for an empty vector.
+inline double TreeSum(std::vector<double> slots) {
+  if (slots.empty()) return 0.0;
+  return TreeReduce(&slots, [](double* into, double from) { *into += from; });
+}
+
+}  // namespace parallel
+}  // namespace clfd
+
+#endif  // CLFD_PARALLEL_REDUCE_H_

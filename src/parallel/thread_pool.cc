@@ -1,0 +1,201 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/env.h"
+
+namespace clfd {
+namespace parallel {
+
+namespace {
+
+// > 0 while the current thread is executing a ParallelFor chunk; nested
+// calls see it and run inline instead of re-entering the pool.
+thread_local int tls_parallel_depth = 0;
+
+struct DepthGuard {
+  DepthGuard() { ++tls_parallel_depth; }
+  ~DepthGuard() { --tls_parallel_depth; }
+};
+
+}  // namespace
+
+// One ParallelFor invocation. Chunks are claimed with an atomic counter;
+// completion is tracked with a second counter so the submitting thread can
+// wait for chunks that other workers are still running.
+struct ThreadPool::Job {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> done_chunks{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+};
+
+ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
+  workers_.reserve(size_ - 1);
+  for (int i = 0; i < size_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::InParallelRegion() { return tls_parallel_depth > 0; }
+
+void ThreadPool::RunChunks(Job* job) {
+  DepthGuard depth;
+  for (;;) {
+    int64_t chunk = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job->num_chunks) return;
+    if (!job->failed.load(std::memory_order_relaxed)) {
+      int64_t lo = job->begin + chunk * job->grain;
+      int64_t hi = std::min(lo + job->grain, job->end);
+      try {
+        (*job->body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job->error_mutex);
+        if (!job->failed.load(std::memory_order_relaxed)) {
+          job->error = std::current_exception();
+          job->failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    // acq_rel: makes this chunk's writes visible to whoever observes the
+    // final count and wakes the submitter after the last chunk.
+    if (job->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->num_chunks) {
+      std::lock_guard<std::mutex> lock(job->done_mutex);
+      job->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_ || job_generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = job_generation_;
+      job = current_job_;
+    }
+    if (job) RunChunks(job.get());
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const int64_t range = end - begin;
+  const int64_t num_chunks = (range + grain - 1) / grain;
+
+  // Inline path: nested call, single-lane pool, or a single chunk. Chunk
+  // boundaries and order are identical to the pooled path, so the numeric
+  // result cannot depend on which path ran.
+  if (InParallelRegion() || workers_.empty() || num_chunks == 1) {
+    DepthGuard depth;
+    for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+      int64_t lo = begin + chunk * grain;
+      int64_t hi = std::min(lo + grain, end);
+      body(lo, hi);
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    current_job_ = job;
+    ++job_generation_;
+  }
+  wake_cv_.notify_all();
+
+  RunChunks(job.get());
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->done_chunks.load(std::memory_order_acquire) == num_chunks;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    current_job_ = nullptr;
+    ++job_generation_;
+  }
+  if (job->failed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(job->error_mutex);
+    std::rethrow_exception(job->error);
+  }
+}
+
+namespace {
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+int DefaultThreads() {
+  int n = GetEnvInt("CLFD_THREADS", HardwareThreads());
+  return std::min(std::max(n, 1), 1024);
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  return *g_pool;
+}
+
+void SetGlobalThreads(int n) {
+  int target = n < 1 ? DefaultThreads() : std::min(n, 1024);
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool && g_pool->size() == target) return;
+  g_pool.reset();  // joins the old workers before the new pool spawns
+  g_pool = std::make_unique<ThreadPool>(target);
+}
+
+int GlobalThreadCount() { return GlobalPool().size(); }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  GlobalPool().ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace parallel
+}  // namespace clfd

@@ -1,12 +1,15 @@
 #include "tensor/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <sstream>
 
+#include "common/env.h"
 #include "obs/metrics.h"
+#include "parallel/thread_pool.h"
 
 namespace clfd {
 
@@ -74,18 +77,22 @@ std::string Matrix::DebugString(int max_rows, int max_cols) const {
   return os.str();
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
-  // One relaxed atomic add per kernel call (not per element), so the
-  // counters are always on; 2*M*K*N is the conventional matmul flop count.
-  CLFD_METRIC_COUNT("tensor.matmul.calls", 1);
-  CLFD_METRIC_COUNT("tensor.matmul.flops",
-                    int64_t{2} * a.rows() * a.cols() * b.cols());
-  Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (int i = 0; i < a.rows(); ++i) {
+namespace {
+
+// -1 = read CLFD_PARALLEL_MIN_FLOPS (default 128k flops) on first use.
+std::atomic<int64_t> g_matmul_threshold{-1};
+
+// Per-row kernel bodies, shared verbatim by the serial and parallel
+// dispatch paths. One compiled function per kernel guarantees the two paths
+// perform identical float operations in identical order (same vectorization
+// and FMA contraction), which is what makes the bit-exactness tests in
+// tests/parallel_test.cc hold by construction rather than by luck.
+
+// Rows [r0, r1) of C = A * B; i-k-j order streams over contiguous rows.
+void MatMulRows(const Matrix& a, const Matrix& b, Matrix* c, int r0, int r1) {
+  for (int i = r0; i < r1; ++i) {
     const float* arow = a.row(i);
-    float* crow = c.row(i);
+    float* crow = c->row(i);
     for (int k = 0; k < a.cols(); ++k) {
       float aik = arow[k];
       if (aik == 0.0f) continue;
@@ -93,37 +100,30 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
       for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
     }
   }
-  return c;
 }
 
-Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
-  CLFD_METRIC_COUNT("tensor.matmul_ta.calls", 1);
-  CLFD_METRIC_COUNT("tensor.matmul.flops",
-                    int64_t{2} * a.cols() * a.rows() * b.cols());
-  Matrix c(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const float* arow = a.row(k);
-    const float* brow = b.row(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      float aki = arow[i];
+// Rows [r0, r1) of C = A^T * B (row i of C reads column i of A). Each
+// output element accumulates over k in ascending order with the same
+// zero-skip the historical k-outer loop used, so values are unchanged.
+void MatMulTransposeARows(const Matrix& a, const Matrix& b, Matrix* c, int r0,
+                          int r1) {
+  for (int i = r0; i < r1; ++i) {
+    float* crow = c->row(i);
+    for (int k = 0; k < a.rows(); ++k) {
+      float aki = a.at(k, i);
       if (aki == 0.0f) continue;
-      float* crow = c.row(i);
+      const float* brow = b.row(k);
       for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
     }
   }
-  return c;
 }
 
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.cols());
-  CLFD_METRIC_COUNT("tensor.matmul_tb.calls", 1);
-  CLFD_METRIC_COUNT("tensor.matmul.flops",
-                    int64_t{2} * a.rows() * a.cols() * b.rows());
-  Matrix c(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
+// Rows [r0, r1) of C = A * B^T; dot-product accumulator per element.
+void MatMulTransposeBRows(const Matrix& a, const Matrix& b, Matrix* c, int r0,
+                          int r1) {
+  for (int i = r0; i < r1; ++i) {
     const float* arow = a.row(i);
-    float* crow = c.row(i);
+    float* crow = c->row(i);
     for (int j = 0; j < b.rows(); ++j) {
       const float* brow = b.row(j);
       float acc = 0.0f;
@@ -131,6 +131,72 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
       crow[j] = acc;
     }
   }
+}
+
+// Runs rows(a, b, &c, lo, hi) over all output rows, splitting across the
+// pool when the shape is worth it. Workers write disjoint row ranges of c.
+template <typename RowsFn>
+void DispatchRows(const Matrix& a, const Matrix& b, Matrix* c, int64_t flops,
+                  RowsFn rows_fn) {
+  int rows = c->rows();
+  if (rows > 1 && flops >= MatmulParallelThreshold() &&
+      !parallel::ThreadPool::InParallelRegion() &&
+      parallel::GlobalThreadCount() > 1) {
+    CLFD_METRIC_COUNT("tensor.matmul.parallel_dispatches", 1);
+    parallel::ParallelFor(0, rows, 1, [&](int64_t lo, int64_t hi) {
+      rows_fn(a, b, c, static_cast<int>(lo), static_cast<int>(hi));
+    });
+  } else {
+    rows_fn(a, b, c, 0, rows);
+  }
+}
+
+}  // namespace
+
+int64_t MatmulParallelThreshold() {
+  int64_t t = g_matmul_threshold.load(std::memory_order_relaxed);
+  if (t < 0) {
+    t = GetEnvInt("CLFD_PARALLEL_MIN_FLOPS", 128 * 1024);
+    if (t < 0) t = 0;
+    g_matmul_threshold.store(t, std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void SetMatmulParallelThreshold(int64_t flops) {
+  g_matmul_threshold.store(std::max<int64_t>(0, flops),
+                           std::memory_order_relaxed);
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  // One relaxed atomic add per kernel call (not per element), so the
+  // counters are always on; 2*M*K*N is the conventional matmul flop count.
+  CLFD_METRIC_COUNT("tensor.matmul.calls", 1);
+  const int64_t flops = int64_t{2} * a.rows() * a.cols() * b.cols();
+  CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  Matrix c(a.rows(), b.cols());
+  DispatchRows(a, b, &c, flops, MatMulRows);
+  return c;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  CLFD_METRIC_COUNT("tensor.matmul_ta.calls", 1);
+  const int64_t flops = int64_t{2} * a.cols() * a.rows() * b.cols();
+  CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  Matrix c(a.cols(), b.cols());
+  DispatchRows(a, b, &c, flops, MatMulTransposeARows);
+  return c;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  CLFD_METRIC_COUNT("tensor.matmul_tb.calls", 1);
+  const int64_t flops = int64_t{2} * a.rows() * a.cols() * b.rows();
+  CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  Matrix c(a.rows(), b.rows());
+  DispatchRows(a, b, &c, flops, MatMulTransposeBRows);
   return c;
 }
 

@@ -14,9 +14,12 @@ namespace clfd {
 //
 // This is the numeric workhorse of the library: the autograd tape, the
 // neural layers and the loss kernels all operate on Matrix values. The
-// dimensions in this codebase are small (embedding/hidden size 50, batch
-// size ~100-120), so straightforward loops with a blocked matmul are fast
-// enough on a single CPU core.
+// dimensions in this codebase are modest (embedding/hidden size 50, batch
+// size ~100-120), so the kernels are straightforward loops; the matmul
+// family additionally splits output rows across the global thread pool
+// (src/parallel/) once a shape is large enough to amortize dispatch — see
+// MatmulParallelThreshold below. Serial and parallel paths share the same
+// per-row code, so results never depend on the thread count.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -78,6 +81,32 @@ class Matrix {
 };
 
 // ---- Free-function kernels (allocate and return the result). ----
+
+// The matmul kernels split their output rows across the global thread pool
+// when the nominal flop count (2*M*K*N) reaches this threshold; below it
+// they run serially. Both paths execute the *same* per-row code, so the
+// result is bitwise identical either way — the threshold trades dispatch
+// overhead against parallelism, never accuracy. The default comes from the
+// CLFD_PARALLEL_MIN_FLOPS environment variable (128k flops when unset).
+int64_t MatmulParallelThreshold();
+void SetMatmulParallelThreshold(int64_t flops);
+
+// Scoped override used by tests to force one kernel path: 0 forces the
+// parallel path for every shape, a huge value forces the serial path.
+class ScopedMatmulParallelThreshold {
+ public:
+  explicit ScopedMatmulParallelThreshold(int64_t flops)
+      : saved_(MatmulParallelThreshold()) {
+    SetMatmulParallelThreshold(flops);
+  }
+  ~ScopedMatmulParallelThreshold() { SetMatmulParallelThreshold(saved_); }
+  ScopedMatmulParallelThreshold(const ScopedMatmulParallelThreshold&) = delete;
+  ScopedMatmulParallelThreshold& operator=(
+      const ScopedMatmulParallelThreshold&) = delete;
+
+ private:
+  int64_t saved_;
+};
 
 // C = A * B. Requires a.cols == b.rows.
 Matrix MatMul(const Matrix& a, const Matrix& b);

@@ -4,6 +4,7 @@
 
 #include "core/clfd.h"
 #include "eval/experiment.h"
+#include "parallel/thread_pool.h"
 
 namespace clfd {
 namespace {
@@ -54,6 +55,64 @@ TEST(RunExperimentTest, AggregatesAcrossSeeds) {
   EXPECT_GE(m.auc.mean(), 0.0);
   EXPECT_LE(m.auc.mean(), 100.0);
   EXPECT_GT(m.train_seconds.mean(), 0.0);
+}
+
+TEST(ThreadInvarianceTest, SingleRunMetricsBitwiseIdentical) {
+  // The full CLFD pipeline — SimCLR pretrain, corrector, SupCon detector,
+  // classifier — must produce the same numbers to the last bit at any
+  // thread count. Only the wall-clock fields may differ.
+  SplitSpec split{40, 6, 20, 4};
+  ClfdConfig config = TinyConfig();
+  RunMetrics runs[2];
+  int widths[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    parallel::SetGlobalThreads(widths[i]);
+    ExperimentContext context(DatasetKind::kWiki, split,
+                              NoiseSpec::Uniform(0.3), config.emb_dim, 21);
+    ClfdModel model(config, 21);
+    runs[i] = TrainAndEvaluate(&model, context);
+  }
+  parallel::SetGlobalThreads(0);
+  EXPECT_EQ(runs[0].f1, runs[1].f1);
+  EXPECT_EQ(runs[0].fpr, runs[1].fpr);
+  EXPECT_EQ(runs[0].auc, runs[1].auc);
+}
+
+TEST(ThreadInvarianceTest, SeedParallelAggregateBitwiseIdentical) {
+  // Seed-parallel execution (seeds run concurrently at width 4) must
+  // aggregate to the same per-seed values as fully serial execution.
+  SplitSpec split{40, 6, 20, 4};
+  ClfdConfig config = TinyConfig();
+  AggregatedMetrics per_width[3];
+  int widths[3] = {1, 2, 4};
+  for (int i = 0; i < 3; ++i) {
+    parallel::SetGlobalThreads(widths[i]);
+    per_width[i] = RunExperiment("CLFD", DatasetKind::kWiki, split,
+                                 NoiseSpec::Uniform(0.3), config,
+                                 /*seeds=*/2);
+  }
+  parallel::SetGlobalThreads(0);
+  for (int i = 1; i < 3; ++i) {
+    EXPECT_EQ(per_width[i].f1.values(), per_width[0].f1.values())
+        << "threads=" << widths[i];
+    EXPECT_EQ(per_width[i].fpr.values(), per_width[0].fpr.values())
+        << "threads=" << widths[i];
+    EXPECT_EQ(per_width[i].auc.values(), per_width[0].auc.values())
+        << "threads=" << widths[i];
+  }
+#if !defined(CLFD_OBS_FORCE_OFF)
+  // Phase accounting stays per-run even when seeds train concurrently: the
+  // per-seed breakdown must never exceed that seed's own wall-clock.
+  const AggregatedMetrics& wide = per_width[2];
+  for (int s = 0; s < 2; ++s) {
+    double phase_total = wide.pretrain_seconds.values()[s] +
+                         wide.corrector_seconds.values()[s] +
+                         wide.detector_seconds.values()[s] +
+                         wide.classifier_seconds.values()[s];
+    EXPECT_GT(phase_total, 0.0);
+    EXPECT_LE(phase_total, wide.train_seconds.values()[s] * 1.001);
+  }
+#endif  // !CLFD_OBS_FORCE_OFF
 }
 
 TEST(RunCorrectorExperimentTest, ProducesTprTnr) {

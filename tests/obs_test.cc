@@ -221,6 +221,59 @@ TEST(MetricsRegistryTest, ConcurrentIncrementSmoke) {
   EXPECT_DOUBLE_EQ(h->sum(), (1.0 + 2.0 + 3.0 + 4.0) * kIters);
 }
 
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndExportAreWellFormed) {
+  // Unlike ConcurrentIncrementSmoke (which races only on Add), this races
+  // instrument *creation*: same-name and distinct-name lookups from many
+  // threads, interleaved with records and JSON exports.
+  auto& registry = MetricsRegistry::Get();
+  registry.GetCounter("test.mt.shared")->Reset();
+  registry
+      .GetHistogram("test.mt.hist", Histogram::LinearBounds(1, 1, 8))
+      ->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Counter* shared = registry.GetCounter("test.mt.shared");
+      Counter* own = registry.GetCounter("test.mt.t" + std::to_string(t));
+      own->Reset();
+      Histogram* h = registry.GetHistogram(
+          "test.mt.hist", Histogram::LinearBounds(1, 1, 8));
+      for (int i = 0; i < kIters; ++i) {
+        shared->Add(1);
+        own->Add(1);
+        h->Record(static_cast<double>(t + 1));
+        if (i % 1024 == 0) {
+          std::string json = registry.ToJson();  // export under contention
+          EXPECT_FALSE(json.empty());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.GetCounter("test.mt.shared")->value(),
+            kThreads * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.GetCounter("test.mt.t" + std::to_string(t))->value(),
+              kIters);
+  }
+  Histogram* h = registry.GetHistogram("test.mt.hist",
+                                       Histogram::LinearBounds(1, 1, 8));
+  EXPECT_EQ(h->count(), kThreads * kIters);
+  double expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += (t + 1.0) * kIters;
+  EXPECT_DOUBLE_EQ(h->sum(), expected_sum);
+
+  std::string json = registry.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"test.mt.shared\""), std::string::npos);
+}
+
 // ---- Tracing ----
 
 #if !defined(CLFD_OBS_FORCE_OFF)
@@ -326,6 +379,100 @@ TEST(TraceTest, PhaseSpanFeedsPhaseCounter) {
     for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
   }
   EXPECT_GT(counter->value(), 0);
+}
+
+TEST(TraceTest, ConcurrentSpansAllRecordedAndJsonWellFormed) {
+  const char* path = "obs_test_trace_mt.json";
+  auto& recorder = TraceRecorder::Get();
+  recorder.Start(path);
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpans; ++i) {
+        TraceSpan span("mt_span");
+        span.Arg("thread", t);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.EventCount(),
+            static_cast<size_t>(kThreads) * kSpans);
+  ASSERT_TRUE(recorder.Stop());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  std::remove(path);
+
+  // No event torn or dropped, and the JSON stays structurally sound under
+  // contention.
+  auto events = ParseEvents(json);
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads) * kSpans);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(PhaseCaptureTest, CapturesOnlyTheOwningThread) {
+  // Two threads run PhaseSpans of the same phase concurrently; each
+  // thread's capture must account only its own spans — this is what keeps
+  // per-run phase breakdowns honest when seeds train in parallel.
+  constexpr int kThreads = 4;
+  MetricsRegistry::Get().GetCounter("phase.mt_phase.micros")->Reset();
+  int64_t captured[kThreads] = {0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      PhaseCapture capture;
+      for (int i = 0; i < 20; ++i) {
+        PhaseSpan span("mt_phase");
+        volatile double sink = 0;
+        for (int j = 0; j < 20000; ++j) sink = sink + j * 0.5;
+      }
+      captured[t] = capture.Micros("mt_phase");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  Counter* total =
+      MetricsRegistry::Get().GetCounter("phase.mt_phase.micros");
+  int64_t sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_GT(captured[t], 0) << t;
+    sum += captured[t];
+  }
+  // The process-global counter saw every span exactly once, so the
+  // per-thread captures partition it.
+  EXPECT_EQ(sum, total->value());
+  total->Reset();
+}
+
+TEST(PhaseCaptureTest, InnerCaptureShadowsOuter) {
+  PhaseCapture outer;
+  {
+    PhaseSpan span("shadow_phase");
+    volatile double sink = 0;
+    for (int i = 0; i < 50000; ++i) sink = sink + i * 0.5;
+  }
+  int64_t outer_before = outer.Micros("shadow_phase");
+  EXPECT_GT(outer_before, 0);
+  {
+    PhaseCapture inner;
+    {
+      PhaseSpan span("shadow_phase");
+      volatile double sink = 0;
+      for (int i = 0; i < 50000; ++i) sink = sink + i * 0.5;
+    }
+    EXPECT_GT(inner.Micros("shadow_phase"), 0);
+  }
+  // The inner capture absorbed its span; the outer total is unchanged.
+  EXPECT_EQ(outer.Micros("shadow_phase"), outer_before);
+  MetricsRegistry::Get().GetCounter("phase.shadow_phase.micros")->Reset();
 }
 
 #endif  // !CLFD_OBS_FORCE_OFF

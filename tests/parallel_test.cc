@@ -1,0 +1,294 @@
+// Tests for the deterministic execution engine: ThreadPool/ParallelFor
+// semantics, order-fixed tree reductions, RNG stream derivation, and
+// serial-vs-parallel bit-exactness of the matmul kernels.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "parallel/reduce.h"
+#include "parallel/thread_pool.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+namespace parallel {
+namespace {
+
+using ChunkSet = std::set<std::pair<int64_t, int64_t>>;
+
+// Runs pool.ParallelFor and returns the set of (lo, hi) chunks the body saw.
+ChunkSet CollectChunks(ThreadPool* pool, int64_t begin, int64_t end,
+                      int64_t grain) {
+  ChunkSet chunks;
+  std::mutex mutex;
+  pool->ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.insert({lo, hi});
+  });
+  return chunks;
+}
+
+TEST(ThreadPoolTest, SizeClampsToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.size(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4);
+}
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(0, kN, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { calls++; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  ChunkSet chunks = CollectChunks(&pool, 10, 17, 100);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(*chunks.begin(), std::make_pair(int64_t{10}, int64_t{17}));
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  // The determinism contract: chunks are a pure function of
+  // (begin, end, grain), never of the pool width.
+  ChunkSet expected;
+  for (int64_t lo = 3; lo < 100; lo += 16) {
+    expected.insert({lo, std::min<int64_t>(lo + 16, 100)});
+  }
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(CollectChunks(&pool, 3, 100, 16), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  auto throwing_run = [&] {
+    pool.ParallelFor(0, 64, 1, [&](int64_t lo, int64_t) {
+      if (lo == 13) throw std::runtime_error("chunk 13 failed");
+    });
+  };
+  EXPECT_THROW(throwing_run(), std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 100, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A ParallelFor issued from inside a chunk must not re-enter the pool
+  // (self-deadlock on the run lock); it runs inline on the issuing thread.
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 8, kInner = 32;
+  std::vector<std::atomic<int>> cells(kOuter * kInner);
+  for (auto& c : cells) c.store(0);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  pool.ParallelFor(0, kOuter, 1, [&](int64_t olo, int64_t ohi) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    for (int64_t o = olo; o < ohi; ++o) {
+      pool.ParallelFor(0, kInner, 4, [&](int64_t ilo, int64_t ihi) {
+        for (int64_t i = ilo; i < ihi; ++i) {
+          cells[o * kInner + i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  });
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  for (const auto& c : cells) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  int64_t sum = 0;  // no atomics needed: everything runs on this thread
+  pool.ParallelFor(0, 50, 3, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+TEST(GlobalPoolTest, SetGlobalThreadsResizes) {
+  SetGlobalThreads(3);
+  EXPECT_EQ(GlobalThreadCount(), 3);
+  SetGlobalThreads(1);
+  EXPECT_EQ(GlobalThreadCount(), 1);
+  SetGlobalThreads(0);  // restore the environment-derived default
+  EXPECT_GE(GlobalThreadCount(), 1);
+}
+
+// ---- Order-fixed reductions ----
+
+TEST(TreeReduceTest, SingleSlotReturnsIt) {
+  std::vector<double> one = {4.25};
+  EXPECT_EQ(TreeSum(std::move(one)), 4.25);
+  EXPECT_EQ(TreeSum({}), 0.0);
+}
+
+TEST(TreeReduceTest, FiveSlotsUseTheBalancedTree) {
+  // Stride doubling folds five slots as ((a+b) + (c+d)) + e. With these
+  // values the balanced tree and a left-to-right fold give different
+  // floats, so this pins the exact reduction order.
+  const double a = 1.0, b = 1e16, c = -1e16, d = 1.0, e = 1.0;
+  const double tree = ((a + b) + (c + d)) + e;
+  const double left_fold = (((a + b) + c) + d) + e;
+  ASSERT_NE(tree, left_fold);
+  EXPECT_EQ(TreeSum({a, b, c, d, e}), tree);
+}
+
+TEST(TreeReduceTest, CombineSeesFixedPairing) {
+  // Record the combine order symbolically: the tree shape must depend only
+  // on the slot count.
+  std::vector<std::string> slots = {"a", "b", "c", "d", "e", "f"};
+  std::string root = TreeReduce(&slots, [](std::string* into,
+                                           const std::string& from) {
+    *into = "(" + *into + "+" + from + ")";
+  });
+  EXPECT_EQ(root, "(((a+b)+(c+d))+(e+f))");
+}
+
+// ---- RNG stream derivation ----
+
+TEST(RngChildTest, PureFunctionOfSeedAndKey) {
+  Rng a(42);
+  // Drawing from the parent must not perturb child derivation: Child is
+  // keyed off the construction seed, not the engine state.
+  for (int i = 0; i < 100; ++i) a.Uniform();
+  Rng fresh(42);
+  Rng child_after_draws = a.Child(7);
+  Rng child_fresh = fresh.Child(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child_after_draws.Uniform(), child_fresh.Uniform());
+  }
+}
+
+TEST(RngChildTest, DistinctKeysAndSeedsGiveDistinctStreams) {
+  Rng parent(42);
+  Rng c0 = parent.Child(0);
+  Rng c1 = parent.Child(1);
+  Rng other = Rng(43).Child(0);
+  bool differs_by_key = false, differs_by_seed = false;
+  Rng c0_again = parent.Child(0);
+  for (int i = 0; i < 16; ++i) {
+    double v = c0.Uniform();
+    differs_by_key |= (v != c1.Uniform());
+    differs_by_seed |= (v != other.Uniform());
+    EXPECT_EQ(v, c0_again.Uniform());  // same key replays the same stream
+  }
+  EXPECT_TRUE(differs_by_key);
+  EXPECT_TRUE(differs_by_seed);
+}
+
+// ---- Serial vs parallel kernel bit-exactness ----
+
+struct Shape {
+  int m, k, n;
+};
+
+class MatMulEquivalenceTest : public ::testing::TestWithParam<Shape> {
+ protected:
+  void SetUp() override { SetGlobalThreads(4); }
+  void TearDown() override { SetGlobalThreads(0); }
+};
+
+TEST_P(MatMulEquivalenceTest, AllKernelsBitExactAcrossPaths) {
+  auto [m, k, n] = GetParam();
+  Rng rng(m * 1000003 + k * 1009 + n);
+  Matrix a = Matrix::Randn(m, k, 1.0f, &rng);
+  Matrix b = Matrix::Randn(k, n, 1.0f, &rng);
+  Matrix at = Matrix::Randn(k, m, 1.0f, &rng);  // for MatMulTransposeA
+  Matrix bt = Matrix::Randn(n, k, 1.0f, &rng);  // for MatMulTransposeB
+
+  Matrix serial_ab, serial_ta, serial_tb;
+  {
+    ScopedMatmulParallelThreshold force_serial(
+        std::numeric_limits<int64_t>::max());
+    serial_ab = MatMul(a, b);
+    serial_ta = MatMulTransposeA(at, b);
+    serial_tb = MatMulTransposeB(a, bt);
+  }
+  Matrix parallel_ab, parallel_ta, parallel_tb;
+  {
+    ScopedMatmulParallelThreshold force_parallel(0);
+    parallel_ab = MatMul(a, b);
+    parallel_ta = MatMulTransposeA(at, b);
+    parallel_tb = MatMulTransposeB(a, bt);
+  }
+  // Bitwise identity, not closeness: both paths run the same per-row code.
+  EXPECT_EQ(MaxAbsDiff(serial_ab, parallel_ab), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(serial_ta, parallel_ta), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(serial_tb, parallel_tb), 0.0f);
+}
+
+TEST_P(MatMulEquivalenceTest, DefaultThresholdInvariantToThreadCount) {
+  // No threshold override: small shapes stay below the flop cutoff and run
+  // serial, large ones dispatch to the pool — either way the product must
+  // not depend on the thread count.
+  auto [m, k, n] = GetParam();
+  Rng rng(m * 31 + k * 7 + n);
+  Matrix a = Matrix::Randn(m, k, 1.0f, &rng);
+  Matrix b = Matrix::Randn(k, n, 1.0f, &rng);
+  SetGlobalThreads(1);
+  Matrix one_thread = MatMul(a, b);
+  SetGlobalThreads(4);
+  Matrix four_threads = MatMul(a, b);
+  EXPECT_EQ(MaxAbsDiff(one_thread, four_threads), 0.0f);
+}
+
+// Shapes straddle the default parallel threshold (128 * 1024 flops):
+// {3,5,7} and {17,32,9} stay serial, {40,41,42} and {64,64,64} cross it.
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulEquivalenceTest,
+                         ::testing::Values(Shape{1, 8, 1}, Shape{3, 5, 7},
+                                           Shape{17, 32, 9},
+                                           Shape{40, 41, 42},
+                                           Shape{64, 64, 64},
+                                           Shape{128, 40, 80}));
+
+TEST(MatMulDispatchTest, NestedRegionsNeverDoubleDispatch) {
+  // A matmul issued from inside a ParallelFor body must take the serial
+  // path (InParallelRegion guard) and still match the top-level result.
+  SetGlobalThreads(4);
+  Rng rng(99);
+  Matrix a = Matrix::Randn(48, 64, 1.0f, &rng);
+  Matrix b = Matrix::Randn(64, 48, 1.0f, &rng);
+  ScopedMatmulParallelThreshold force_parallel(0);
+  Matrix top_level = MatMul(a, b);
+  std::vector<Matrix> nested(4);
+  ParallelFor(0, 4, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) nested[i] = MatMul(a, b);
+  });
+  for (const Matrix& p : nested) {
+    EXPECT_EQ(MaxAbsDiff(top_level, p), 0.0f);
+  }
+  SetGlobalThreads(0);
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace clfd

@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "losses/contrastive.h"
 #include "losses/robust_losses.h"
 #include "metrics/metrics.h"
+#include "parallel/thread_pool.h"
+#include "tensor/matrix.h"
 
 namespace clfd {
 namespace {
@@ -87,6 +90,29 @@ TEST_P(SupConPropertyTest, InvariantToRotation) {
   EXPECT_NEAR(after, base, std::abs(base) * 1e-3f + 1e-4f);
 }
 
+TEST_P(SupConPropertyTest, IdenticalOnBothKernelPaths) {
+  // Loss values must be bitwise equal whether the matmuls inside run
+  // serial or row-parallel (they share the same per-row code).
+  auto [n, alpha] = GetParam();
+  Matrix z;
+  std::vector<int> labels;
+  std::vector<double> conf;
+  Setup(&z, &labels, &conf);
+  parallel::SetGlobalThreads(4);
+  float serial, par;
+  {
+    ScopedMatmulParallelThreshold force_serial(
+        std::numeric_limits<int64_t>::max());
+    serial = SupConLoss(ag::Constant(z), labels, conf, n, alpha).value()[0];
+  }
+  {
+    ScopedMatmulParallelThreshold force_parallel(0);
+    par = SupConLoss(ag::Constant(z), labels, conf, n, alpha).value()[0];
+  }
+  parallel::SetGlobalThreads(0);
+  EXPECT_EQ(serial, par);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, SupConPropertyTest,
     ::testing::Combine(::testing::Values(6, 12, 24),
@@ -108,6 +134,25 @@ TEST_P(NtXentPropertyTest, ScaleInvarianceAndPositivity) {
   // loose but useful sanity floor is 0 when temperature <= 1 and
   // similarities are bounded by 1: log denominator >= max sim.
   EXPECT_GT(base, 0.0f);
+}
+
+TEST_P(NtXentPropertyTest, IdenticalOnBothKernelPaths) {
+  int n = GetParam();
+  Rng rng(n + 77);
+  Matrix z = Matrix::Randn(2 * n, 6, 1.0f, &rng);
+  parallel::SetGlobalThreads(4);
+  float serial, par;
+  {
+    ScopedMatmulParallelThreshold force_serial(
+        std::numeric_limits<int64_t>::max());
+    serial = NtXentLoss(ag::Constant(z), 0.5f).value()[0];
+  }
+  {
+    ScopedMatmulParallelThreshold force_parallel(0);
+    par = NtXentLoss(ag::Constant(z), 0.5f).value()[0];
+  }
+  parallel::SetGlobalThreads(0);
+  EXPECT_EQ(serial, par);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, NtXentPropertyTest,

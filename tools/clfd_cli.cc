@@ -16,6 +16,8 @@
 //   --trace=FILE        write a Chrome trace-event file (chrome://tracing)
 //   --metrics-out=FILE  dump the metrics registry (JSON; .jsonl for lines)
 //   --log-level=LVL     debug|info|warn|error|off (default: CLFD_LOG_LEVEL)
+//   --threads=N         parallel width (default: CLFD_THREADS env, else all
+//                       hardware threads); results are identical for any N
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +35,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 
 namespace clfd {
 namespace {
@@ -90,6 +93,9 @@ int Usage() {
       "  clfd_cli correct --train FILE [--budget fast|paper] [--seed N]\n"
       "observability (any subcommand):\n"
       "  --trace=FILE --metrics-out=FILE[.jsonl] --log-level=LVL\n"
+      "execution (any subcommand):\n"
+      "  --threads=N   thread-pool width (default CLFD_THREADS or all\n"
+      "                cores; never changes results, only speed)\n"
       "models: CLFD DivMix ULC Sel-CL CTRR Few-Shot CLDet DeepLog LogBert\n");
   return 2;
 }
@@ -264,6 +270,9 @@ int Main(int argc, char** argv) {
   }
   std::string trace_path = args.Get("trace", "");
   if (!trace_path.empty()) obs::TraceRecorder::Get().Start(trace_path);
+
+  int threads = args.GetInt("threads", 0);
+  if (threads > 0) parallel::SetGlobalThreads(threads);
 
   int rc = Dispatch(args);
 
