@@ -1,5 +1,4 @@
-#ifndef CLFD_BENCH_BENCH_UTIL_H_
-#define CLFD_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -91,4 +90,3 @@ inline std::vector<std::pair<std::string, ClfdConfig>> AblationVariants(
 }  // namespace bench
 }  // namespace clfd
 
-#endif  // CLFD_BENCH_BENCH_UTIL_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_AUGMENT_AUGMENT_H_
-#define CLFD_AUGMENT_AUGMENT_H_
+#pragma once
 
 #include "common/rng.h"
 #include "data/session.h"
@@ -19,4 +18,3 @@ double SampleMixupLambda(double beta, Rng* rng);
 
 }  // namespace clfd
 
-#endif  // CLFD_AUGMENT_AUGMENT_H_

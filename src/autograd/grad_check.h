@@ -1,5 +1,4 @@
-#ifndef CLFD_AUTOGRAD_GRAD_CHECK_H_
-#define CLFD_AUTOGRAD_GRAD_CHECK_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -47,4 +46,3 @@ GradCheckResult CheckGradientsBothKernelPaths(
 }  // namespace ag
 }  // namespace clfd
 
-#endif  // CLFD_AUTOGRAD_GRAD_CHECK_H_

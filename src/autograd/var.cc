@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 
 namespace clfd {
@@ -13,9 +14,25 @@ namespace ag {
 namespace {
 
 // Creates an interior node whose requires_grad is inherited from parents.
-Var MakeOp(Matrix value, std::vector<NodePtr> parents,
+// `op` is the provenance tag the invariant checker reports; when checks are
+// enabled every op output is scanned for NaN/Inf and every parent is
+// verified to come from a tape that has not already been consumed by a
+// backward pass (reusing one would double-propagate its gradients).
+Var MakeOp(const char* op, Matrix value, std::vector<NodePtr> parents,
            std::function<void(Node*)> backward_fn) {
+  if (check::Enabled()) {
+    CheckFinite(value, op);
+    for (const NodePtr& p : parents) {
+      if (p->backward_runs > 0) {
+        check::Fail(std::string("autograd tape misuse: op '") + op +
+                    "' built on the output of '" + p->op +
+                    "' whose tape was already consumed by a backward pass; "
+                    "rebuild the forward graph instead of reusing it");
+      }
+    }
+  }
   auto node = std::make_shared<Node>();
+  node->op = op;
   node->value = std::move(value);
   bool any_grad = false;
   for (const NodePtr& p : parents) any_grad = any_grad || p->requires_grad;
@@ -30,6 +47,9 @@ Var MakeOp(Matrix value, std::vector<NodePtr> parents,
 void TopoSort(const NodePtr& root, std::vector<Node*>* order) {
   // Iterative post-order DFS (graphs can be thousands of nodes deep for
   // long LSTM unrolls; recursion would risk stack overflow).
+  // Pointer-identity membership set; it is never iterated, so its
+  // unspecified ordering cannot leak into results.
+  // clfd-lint: allow(determinism-unordered)
   std::unordered_set<Node*> visited;
   std::vector<std::pair<Node*, size_t>> stack;
   stack.emplace_back(root.get(), 0);
@@ -51,14 +71,18 @@ void TopoSort(const NodePtr& root, std::vector<Node*>* order) {
 }  // namespace
 
 Var Constant(Matrix value) {
+  CheckFinite(value, "ag::Constant");
   auto node = std::make_shared<Node>();
+  node->op = "ag::Constant";
   node->value = std::move(value);
   node->requires_grad = false;
   return Var(std::move(node));
 }
 
 Var Param(Matrix value) {
+  CheckFinite(value, "ag::Param");
   auto node = std::make_shared<Node>();
+  node->op = "ag::Param";
   node->value = std::move(value);
   node->requires_grad = true;
   return Var(std::move(node));
@@ -88,7 +112,13 @@ void BackwardImpl(const Var& root, const Matrix* seed) {
   for (Node* n : post_order) n->EnsureGrad();
   Node* r = root.node().get();
   if (seed != nullptr) {
+    if (check::Enabled() && !seed->SameShape(r->value)) {
+      check::Fail(std::string("BackwardWithGrad: seed shape does not match "
+                              "root '") +
+                  r->op + "' value shape");
+    }
     assert(seed->SameShape(r->value));
+    if (check::Enabled()) CheckFinite(*seed, "BackwardWithGrad seed");
     r->grad.AddInPlace(*seed);
   } else {
     // d root / d root = 1.
@@ -96,7 +126,15 @@ void BackwardImpl(const Var& root, const Matrix* seed) {
   }
   // Reverse topological order = post-order reversed.
   for (auto it = post_order.rbegin(); it != post_order.rend(); ++it) {
-    if ((*it)->backward_fn) (*it)->backward_fn(*it);
+    Node* n = *it;
+    if (!n->backward_fn) continue;
+    if (check::Enabled() && n->backward_runs > 0) {
+      check::Fail(std::string("autograd tape misuse: backward through op '") +
+                  n->op + "' ran twice; Backward was called again on a "
+                  "consumed tape (grads would double-count)");
+    }
+    ++n->backward_runs;
+    n->backward_fn(n);
   }
 }
 
@@ -110,7 +148,7 @@ void BackwardWithGrad(const Var& root, const Matrix& seed) {
 
 Var MatMul(const Var& a, const Var& b) {
   NodePtr an = a.node(), bn = b.node();
-  return MakeOp(clfd::MatMul(an->value, bn->value), {an, bn},
+  return MakeOp("ag::MatMul", clfd::MatMul(an->value, bn->value), {an, bn},
                 [an, bn](Node* out) {
                   if (an->requires_grad) {
                     an->EnsureGrad();
@@ -125,7 +163,7 @@ Var MatMul(const Var& a, const Var& b) {
 
 Var MatMulTransposeB(const Var& a, const Var& b) {
   NodePtr an = a.node(), bn = b.node();
-  return MakeOp(clfd::MatMulTransposeB(an->value, bn->value), {an, bn},
+  return MakeOp("ag::MatMulTransposeB", clfd::MatMulTransposeB(an->value, bn->value), {an, bn},
                 [an, bn](Node* out) {
                   // out = a b^T; d a = g b; d b = g^T a.
                   if (an->requires_grad) {
@@ -141,7 +179,7 @@ Var MatMulTransposeB(const Var& a, const Var& b) {
 
 Var Add(const Var& a, const Var& b) {
   NodePtr an = a.node(), bn = b.node();
-  return MakeOp(clfd::Add(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
+  return MakeOp("ag::Add", clfd::Add(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
     if (an->requires_grad) {
       an->EnsureGrad();
       an->grad.AddInPlace(out->grad);
@@ -155,7 +193,7 @@ Var Add(const Var& a, const Var& b) {
 
 Var Sub(const Var& a, const Var& b) {
   NodePtr an = a.node(), bn = b.node();
-  return MakeOp(clfd::Sub(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
+  return MakeOp("ag::Sub", clfd::Sub(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
     if (an->requires_grad) {
       an->EnsureGrad();
       an->grad.AddInPlace(out->grad);
@@ -169,7 +207,7 @@ Var Sub(const Var& a, const Var& b) {
 
 Var Mul(const Var& a, const Var& b) {
   NodePtr an = a.node(), bn = b.node();
-  return MakeOp(clfd::Mul(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
+  return MakeOp("ag::Mul", clfd::Mul(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
     if (an->requires_grad) {
       an->EnsureGrad();
       an->grad.AddInPlace(clfd::Mul(out->grad, bn->value));
@@ -183,7 +221,7 @@ Var Mul(const Var& a, const Var& b) {
 
 Var AddScalar(const Var& a, float s) {
   NodePtr an = a.node();
-  return MakeOp(clfd::AddScalar(an->value, s), {an}, [an](Node* out) {
+  return MakeOp("ag::AddScalar", clfd::AddScalar(an->value, s), {an}, [an](Node* out) {
     an->EnsureGrad();
     an->grad.AddInPlace(out->grad);
   });
@@ -191,7 +229,7 @@ Var AddScalar(const Var& a, float s) {
 
 Var Scale(const Var& a, float s) {
   NodePtr an = a.node();
-  return MakeOp(clfd::MulScalar(an->value, s), {an}, [an, s](Node* out) {
+  return MakeOp("ag::Scale", clfd::MulScalar(an->value, s), {an}, [an, s](Node* out) {
     an->EnsureGrad();
     an->grad.AddScaled(out->grad, s);
   });
@@ -199,7 +237,7 @@ Var Scale(const Var& a, float s) {
 
 Var AddRowBroadcast(const Var& a, const Var& bias) {
   NodePtr an = a.node(), bn = bias.node();
-  return MakeOp(clfd::AddRowBroadcast(an->value, bn->value), {an, bn},
+  return MakeOp("ag::AddRowBroadcast", clfd::AddRowBroadcast(an->value, bn->value), {an, bn},
                 [an, bn](Node* out) {
                   if (an->requires_grad) {
                     an->EnsureGrad();
@@ -226,7 +264,7 @@ Var RowScaleConst(const Var& a, const Matrix& col) {
     float* row = value.row(r);
     for (int c = 0; c < value.cols(); ++c) row[c] *= s;
   }
-  return MakeOp(std::move(value), {an}, [an, col](Node* out) {
+  return MakeOp("ag::RowScaleConst", std::move(value), {an}, [an, col](Node* out) {
     an->EnsureGrad();
     for (int r = 0; r < out->grad.rows(); ++r) {
       float s = col.at(r, 0);
@@ -240,7 +278,7 @@ Var RowScaleConst(const Var& a, const Matrix& col) {
 Var Exp(const Var& a) {
   NodePtr an = a.node();
   Matrix value = clfd::Exp(an->value);
-  return MakeOp(value, {an}, [an, value](Node* out) {
+  return MakeOp("ag::Exp", value, {an}, [an, value](Node* out) {
     an->EnsureGrad();
     an->grad.AddInPlace(clfd::Mul(out->grad, value));
   });
@@ -248,7 +286,7 @@ Var Exp(const Var& a) {
 
 Var Log(const Var& a) {
   NodePtr an = a.node();
-  return MakeOp(clfd::Log(an->value), {an}, [an](Node* out) {
+  return MakeOp("ag::Log", clfd::Log(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
     for (int i = 0; i < out->grad.size(); ++i) {
       an->grad[i] += out->grad[i] / std::max(an->value[i], 1e-12f);
@@ -258,7 +296,7 @@ Var Log(const Var& a) {
 
 Var Pow(const Var& a, float p) {
   NodePtr an = a.node();
-  return MakeOp(clfd::Pow(an->value, p), {an}, [an, p](Node* out) {
+  return MakeOp("ag::Pow", clfd::Pow(an->value, p), {an}, [an, p](Node* out) {
     an->EnsureGrad();
     for (int i = 0; i < out->grad.size(); ++i) {
       // d/dx x^p = p x^(p-1); clamp the base so p < 1 stays finite at 0.
@@ -271,7 +309,7 @@ Var Pow(const Var& a, float p) {
 Var Tanh(const Var& a) {
   NodePtr an = a.node();
   Matrix value = clfd::Tanh(an->value);
-  return MakeOp(value, {an}, [an, value](Node* out) {
+  return MakeOp("ag::Tanh", value, {an}, [an, value](Node* out) {
     an->EnsureGrad();
     for (int i = 0; i < out->grad.size(); ++i) {
       an->grad[i] += out->grad[i] * (1.0f - value[i] * value[i]);
@@ -282,7 +320,7 @@ Var Tanh(const Var& a) {
 Var Sigmoid(const Var& a) {
   NodePtr an = a.node();
   Matrix value = clfd::Sigmoid(an->value);
-  return MakeOp(value, {an}, [an, value](Node* out) {
+  return MakeOp("ag::Sigmoid", value, {an}, [an, value](Node* out) {
     an->EnsureGrad();
     for (int i = 0; i < out->grad.size(); ++i) {
       an->grad[i] += out->grad[i] * value[i] * (1.0f - value[i]);
@@ -292,7 +330,7 @@ Var Sigmoid(const Var& a) {
 
 Var Relu(const Var& a) {
   NodePtr an = a.node();
-  return MakeOp(clfd::Relu(an->value), {an}, [an](Node* out) {
+  return MakeOp("ag::Relu", clfd::Relu(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
     for (int i = 0; i < out->grad.size(); ++i) {
       if (an->value[i] > 0.0f) an->grad[i] += out->grad[i];
@@ -302,7 +340,7 @@ Var Relu(const Var& a) {
 
 Var LeakyRelu(const Var& a, float slope) {
   NodePtr an = a.node();
-  return MakeOp(clfd::LeakyRelu(an->value, slope), {an}, [an, slope](Node* out) {
+  return MakeOp("ag::LeakyRelu", clfd::LeakyRelu(an->value, slope), {an}, [an, slope](Node* out) {
     an->EnsureGrad();
     for (int i = 0; i < out->grad.size(); ++i) {
       an->grad[i] += out->grad[i] * (an->value[i] > 0.0f ? 1.0f : slope);
@@ -313,7 +351,7 @@ Var LeakyRelu(const Var& a, float slope) {
 Var SoftmaxRows(const Var& a) {
   NodePtr an = a.node();
   Matrix value = clfd::SoftmaxRows(an->value);
-  return MakeOp(value, {an}, [an, value](Node* out) {
+  return MakeOp("ag::SoftmaxRows", value, {an}, [an, value](Node* out) {
     an->EnsureGrad();
     // d x_j = s_j * (g_j - sum_k g_k s_k) per row.
     for (int r = 0; r < value.rows(); ++r) {
@@ -333,7 +371,7 @@ Var SumAll(const Var& a) {
   NodePtr an = a.node();
   Matrix value(1, 1);
   value[0] = clfd::SumAll(an->value);
-  return MakeOp(std::move(value), {an}, [an](Node* out) {
+  return MakeOp("ag::SumAll", std::move(value), {an}, [an](Node* out) {
     an->EnsureGrad();
     float g = out->grad[0];
     for (int i = 0; i < an->grad.size(); ++i) an->grad[i] += g;
@@ -349,7 +387,7 @@ Var MeanAll(const Var& a) {
 
 Var SumRows(const Var& a) {
   NodePtr an = a.node();
-  return MakeOp(clfd::SumRows(an->value), {an}, [an](Node* out) {
+  return MakeOp("ag::SumRows", clfd::SumRows(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
     for (int r = 0; r < an->grad.rows(); ++r) {
       float g = out->grad.at(r, 0);
@@ -368,7 +406,7 @@ Var ConcatRows(const std::vector<Var>& blocks) {
     values.push_back(b.value());
     parents.push_back(b.node());
   }
-  return MakeOp(clfd::ConcatRows(values), parents, [parents](Node* out) {
+  return MakeOp("ag::ConcatRows", clfd::ConcatRows(values), parents, [parents](Node* out) {
     int r = 0;
     for (const NodePtr& p : parents) {
       if (p->requires_grad) {
@@ -386,7 +424,7 @@ Var ConcatRows(const std::vector<Var>& blocks) {
 
 Var SliceRows(const Var& a, int begin, int end) {
   NodePtr an = a.node();
-  return MakeOp(clfd::SliceRows(an->value, begin, end), {an},
+  return MakeOp("ag::SliceRows", clfd::SliceRows(an->value, begin, end), {an},
                 [an, begin](Node* out) {
                   an->EnsureGrad();
                   for (int r = 0; r < out->grad.rows(); ++r) {
@@ -408,7 +446,7 @@ Var NormalizeRows(const Var& a) {
     float* row = value.row(r);
     for (int c = 0; c < value.cols(); ++c) row[c] /= norms[r];
   }
-  return MakeOp(std::move(value), {an}, [an, norms](Node* out) {
+  return MakeOp("ag::NormalizeRows", std::move(value), {an}, [an, norms](Node* out) {
     an->EnsureGrad();
     // For y = x / |x|: dx = (g - y (g . y)) / |x|.
     for (int r = 0; r < out->grad.rows(); ++r) {

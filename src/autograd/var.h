@@ -1,5 +1,4 @@
-#ifndef CLFD_AUTOGRAD_VAR_H_
-#define CLFD_AUTOGRAD_VAR_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -24,6 +23,14 @@ class Node {
   std::vector<std::shared_ptr<Node>> parents;
   // Propagates this node's grad into parents' grads. Null for leaves.
   std::function<void(Node*)> backward_fn;
+  // Provenance + tape-misuse accounting for the invariant checker
+  // (common/check.h): which op built this node, and how many times its
+  // backward_fn has executed. A second execution means the same tape
+  // section would double-propagate gradients — Backward called twice on one
+  // root, or new ops built on a Var whose tape was already consumed — and
+  // fails loudly when checks are enabled.
+  const char* op = "leaf";
+  int backward_runs = 0;
 
   void EnsureGrad() {
     if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
@@ -117,4 +124,3 @@ Var NormalizeRows(const Var& a);
 }  // namespace ag
 }  // namespace clfd
 
-#endif  // CLFD_AUTOGRAD_VAR_H_

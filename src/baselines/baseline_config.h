@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_BASELINE_CONFIG_H_
-#define CLFD_BASELINES_BASELINE_CONFIG_H_
+#pragma once
 
 #include "core/config.h"
 
@@ -36,4 +35,3 @@ struct BaselineConfig {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_BASELINE_CONFIG_H_

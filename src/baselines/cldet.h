@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_CLDET_H_
-#define CLFD_BASELINES_CLDET_H_
+#pragma once
 
 #include <memory>
 
@@ -34,4 +33,3 @@ class CldetModel : public DetectorModel {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_CLDET_H_

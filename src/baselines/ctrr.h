@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_CTRR_H_
-#define CLFD_BASELINES_CTRR_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -37,4 +36,3 @@ class CtrrModel : public DetectorModel {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_CTRR_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_DEEPLOG_H_
-#define CLFD_BASELINES_DEEPLOG_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -43,4 +42,3 @@ class DeepLogModel : public DetectorModel {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_DEEPLOG_H_

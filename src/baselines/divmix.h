@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_DIVMIX_H_
-#define CLFD_BASELINES_DIVMIX_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -47,4 +46,3 @@ class DivMixModel : public DetectorModel {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_DIVMIX_H_

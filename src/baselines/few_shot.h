@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_FEW_SHOT_H_
-#define CLFD_BASELINES_FEW_SHOT_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -36,4 +35,3 @@ class FewShotModel : public DetectorModel {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_FEW_SHOT_H_

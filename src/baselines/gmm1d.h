@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_GMM1D_H_
-#define CLFD_BASELINES_GMM1D_H_
+#pragma once
 
 #include <vector>
 
@@ -35,4 +34,3 @@ class GaussianMixture1D {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_GMM1D_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_KNN_H_
-#define CLFD_BASELINES_KNN_H_
+#pragma once
 
 #include <vector>
 
@@ -25,4 +24,3 @@ std::vector<int> KnnCorrectLabels(const Matrix& reps,
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_KNN_H_

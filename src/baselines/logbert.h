@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_LOGBERT_H_
-#define CLFD_BASELINES_LOGBERT_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -48,4 +47,3 @@ class LogBertModel : public DetectorModel {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_LOGBERT_H_

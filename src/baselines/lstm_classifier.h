@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_LSTM_CLASSIFIER_H_
-#define CLFD_BASELINES_LSTM_CLASSIFIER_H_
+#pragma once
 
 #include <vector>
 
@@ -58,4 +57,3 @@ void TrainCeEpoch(LstmClassifier* model, const SessionDataset& train,
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_LSTM_CLASSIFIER_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_REGISTRY_H_
-#define CLFD_BASELINES_REGISTRY_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -26,4 +25,3 @@ std::vector<std::string> BaselineModelNames();
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_REGISTRY_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_SELCL_H_
-#define CLFD_BASELINES_SELCL_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -42,4 +41,3 @@ class SelClModel : public DetectorModel {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_SELCL_H_

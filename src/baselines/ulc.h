@@ -1,5 +1,4 @@
-#ifndef CLFD_BASELINES_ULC_H_
-#define CLFD_BASELINES_ULC_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -39,4 +38,3 @@ class UlcModel : public DetectorModel {
 
 }  // namespace clfd
 
-#endif  // CLFD_BASELINES_ULC_H_

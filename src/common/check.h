@@ -1,0 +1,53 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace clfd {
+namespace check {
+
+// Runtime invariant checks for the numeric core: NaN/Inf detection at
+// tensor-op boundaries, shape assertions in Matrix/Var kernels, and
+// autograd tape misuse detection (backward-twice, building ops on a
+// consumed tape). The checks are always compiled in but gated on a single
+// relaxed-atomic flag, so a disabled check costs one predictable branch.
+//
+// The default state comes from the CLFD_CHECK CMake option (compile
+// definition CLFD_CHECK): ON builds start enabled, regular builds start
+// disabled. Tests flip the flag at runtime with ScopedEnable, so every
+// build configuration exercises the checks.
+//
+// Failures throw InvariantError rather than aborting: the message carries
+// op provenance (which kernel, which shapes), and tests can assert that a
+// specific misuse fires.
+
+class InvariantError : public std::runtime_error {
+ public:
+  explicit InvariantError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+// Current state of the global check flag.
+bool Enabled();
+void SetEnabled(bool on);
+
+// RAII toggle used by tests and by callers that want checks around one
+// region only.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true) : saved_(Enabled()) {
+    SetEnabled(on);
+  }
+  ~ScopedEnable() { SetEnabled(saved_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool saved_;
+};
+
+// Throws InvariantError with `message`.
+[[noreturn]] void Fail(const std::string& message);
+
+}  // namespace check
+}  // namespace clfd

@@ -1,5 +1,4 @@
-#ifndef CLFD_COMMON_ENV_H_
-#define CLFD_COMMON_ENV_H_
+#pragma once
 
 #include <string>
 
@@ -24,4 +23,3 @@ bool GetEnvBool(const std::string& name, bool fallback);
 
 }  // namespace clfd
 
-#endif  // CLFD_COMMON_ENV_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_COMMON_RNG_H_
-#define CLFD_COMMON_RNG_H_
+#pragma once
 
 #include <cstdint>
 #include <random>
@@ -90,4 +89,3 @@ class Rng {
 
 }  // namespace clfd
 
-#endif  // CLFD_COMMON_RNG_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_COMMON_STATS_H_
-#define CLFD_COMMON_STATS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -31,4 +30,3 @@ class MeanStd {
 
 }  // namespace clfd
 
-#endif  // CLFD_COMMON_STATS_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_COMMON_TABLE_H_
-#define CLFD_COMMON_TABLE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -24,4 +23,3 @@ class TextTable {
 
 }  // namespace clfd
 
-#endif  // CLFD_COMMON_TABLE_H_

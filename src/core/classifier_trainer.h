@@ -1,5 +1,4 @@
-#ifndef CLFD_CORE_CLASSIFIER_TRAINER_H_
-#define CLFD_CORE_CLASSIFIER_TRAINER_H_
+#pragma once
 
 #include <vector>
 
@@ -32,4 +31,3 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
 
 }  // namespace clfd
 
-#endif  // CLFD_CORE_CLASSIFIER_TRAINER_H_

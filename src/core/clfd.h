@@ -1,5 +1,4 @@
-#ifndef CLFD_CORE_CLFD_H_
-#define CLFD_CORE_CLFD_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -48,4 +47,3 @@ class ClfdModel : public DetectorModel {
 
 }  // namespace clfd
 
-#endif  // CLFD_CORE_CLFD_H_

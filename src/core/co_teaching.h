@@ -1,5 +1,4 @@
-#ifndef CLFD_CORE_CO_TEACHING_H_
-#define CLFD_CORE_CO_TEACHING_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -50,4 +49,3 @@ std::vector<Correction> FuseCorrections(const std::vector<Correction>& a,
 
 }  // namespace clfd
 
-#endif  // CLFD_CORE_CO_TEACHING_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_CORE_CONFIG_H_
-#define CLFD_CORE_CONFIG_H_
+#pragma once
 
 #include <algorithm>
 
@@ -81,4 +80,3 @@ struct ClfdConfig {
 
 }  // namespace clfd
 
-#endif  // CLFD_CORE_CONFIG_H_

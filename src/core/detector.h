@@ -1,5 +1,4 @@
-#ifndef CLFD_CORE_DETECTOR_H_
-#define CLFD_CORE_DETECTOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -38,4 +37,3 @@ std::vector<int> TrueLabels(const SessionDataset& data);
 
 }  // namespace clfd
 
-#endif  // CLFD_CORE_DETECTOR_H_

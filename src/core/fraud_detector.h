@@ -1,5 +1,4 @@
-#ifndef CLFD_CORE_FRAUD_DETECTOR_H_
-#define CLFD_CORE_FRAUD_DETECTOR_H_
+#pragma once
 
 #include <vector>
 
@@ -59,4 +58,3 @@ class FraudDetector {
 
 }  // namespace clfd
 
-#endif  // CLFD_CORE_FRAUD_DETECTOR_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_CORE_LABEL_CORRECTOR_H_
-#define CLFD_CORE_LABEL_CORRECTOR_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -60,4 +59,3 @@ class LabelCorrector {
 
 }  // namespace clfd
 
-#endif  // CLFD_CORE_LABEL_CORRECTOR_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_CORE_NOISE_ESTIMATOR_H_
-#define CLFD_CORE_NOISE_ESTIMATOR_H_
+#pragma once
 
 #include <vector>
 
@@ -40,4 +39,3 @@ NoiseEstimate EstimateNoise(const SessionDataset& data,
 
 }  // namespace clfd
 
-#endif  // CLFD_CORE_NOISE_ESTIMATOR_H_

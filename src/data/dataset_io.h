@@ -1,5 +1,4 @@
-#ifndef CLFD_DATA_DATASET_IO_H_
-#define CLFD_DATA_DATASET_IO_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -29,4 +28,3 @@ bool LoadDataset(const std::string& path, SessionDataset* dataset);
 
 }  // namespace clfd
 
-#endif  // CLFD_DATA_DATASET_IO_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_DATA_GENERATOR_H_
-#define CLFD_DATA_GENERATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -58,4 +57,3 @@ void GenerateSessions(const TemplateMixture& mixture, int count, int label,
 
 }  // namespace clfd
 
-#endif  // CLFD_DATA_GENERATOR_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_DATA_NOISE_H_
-#define CLFD_DATA_NOISE_H_
+#pragma once
 
 #include "common/rng.h"
 #include "data/session.h"
@@ -51,4 +50,3 @@ struct NoiseSpec {
 
 }  // namespace clfd
 
-#endif  // CLFD_DATA_NOISE_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_DATA_SESSION_H_
-#define CLFD_DATA_SESSION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -59,4 +58,3 @@ class SessionDataset {
 
 }  // namespace clfd
 
-#endif  // CLFD_DATA_SESSION_H_

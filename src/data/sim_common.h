@@ -1,5 +1,4 @@
-#ifndef CLFD_DATA_SIM_COMMON_H_
-#define CLFD_DATA_SIM_COMMON_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -26,4 +25,3 @@ Phase MakePhase(std::vector<std::pair<int, double>> bag, int min_len,
 }  // namespace sim_internal
 }  // namespace clfd
 
-#endif  // CLFD_DATA_SIM_COMMON_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_DATA_SIMULATORS_H_
-#define CLFD_DATA_SIMULATORS_H_
+#pragma once
 
 #include <string>
 
@@ -53,4 +52,3 @@ SimulatedData MakeDataset(DatasetKind kind, const SplitSpec& split, Rng* rng);
 
 }  // namespace clfd
 
-#endif  // CLFD_DATA_SIMULATORS_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_EMBEDDING_WORD2VEC_H_
-#define CLFD_EMBEDDING_WORD2VEC_H_
+#pragma once
 
 #include <vector>
 
@@ -51,4 +50,3 @@ Matrix TrainActivityEmbeddings(const SessionDataset& train, int dim, Rng* rng);
 
 }  // namespace clfd
 
-#endif  // CLFD_EMBEDDING_WORD2VEC_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_ENCODERS_SESSION_ENCODER_H_
-#define CLFD_ENCODERS_SESSION_ENCODER_H_
+#pragma once
 
 #include <vector>
 
@@ -79,4 +78,3 @@ PaddedBatch BuildPaddedBatch(const std::vector<const Session*>& sessions,
 
 }  // namespace clfd
 
-#endif  // CLFD_ENCODERS_SESSION_ENCODER_H_

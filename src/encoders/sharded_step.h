@@ -1,5 +1,4 @@
-#ifndef CLFD_ENCODERS_SHARDED_STEP_H_
-#define CLFD_ENCODERS_SHARDED_STEP_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -56,4 +55,3 @@ class ShardedEncoderTrainer {
 
 }  // namespace clfd
 
-#endif  // CLFD_ENCODERS_SHARDED_STEP_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_ENCODERS_SIMCLR_H_
-#define CLFD_ENCODERS_SIMCLR_H_
+#pragma once
 
 #include "common/rng.h"
 #include "data/session.h"
@@ -31,4 +30,3 @@ void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
 
 }  // namespace clfd
 
-#endif  // CLFD_ENCODERS_SIMCLR_H_

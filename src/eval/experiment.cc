@@ -18,7 +18,11 @@ namespace clfd {
 
 namespace {
 
+// Wall-clock reads here time *reporting* fields (RunMetrics.*_seconds);
+// they never feed model math, so run-to-run timing jitter cannot move a
+// single table number.
 double SecondsSince(std::chrono::steady_clock::time_point start) {
+  // clfd-lint: allow(determinism-time)
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
@@ -39,7 +43,7 @@ ExperimentContext::ExperimentContext(DatasetKind kind, const SplitSpec& split,
 RunMetrics TrainAndEvaluate(DetectorModel* model,
                             const ExperimentContext& context) {
   RunMetrics metrics;
-  auto start = std::chrono::steady_clock::now();
+  auto start = std::chrono::steady_clock::now();  // clfd-lint: allow(determinism-time)
   {
     // Per-run, per-thread phase accounting: the PhaseSpan sites in core/
     // report into this capture, so runs executing concurrently on different

@@ -1,5 +1,4 @@
-#ifndef CLFD_EVAL_EXPERIMENT_H_
-#define CLFD_EVAL_EXPERIMENT_H_
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -138,4 +137,3 @@ ScaledSetup MakeScaledSetup(DatasetKind kind, const BenchScale& scale);
 
 }  // namespace clfd
 
-#endif  // CLFD_EVAL_EXPERIMENT_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_LOSSES_CONTRASTIVE_H_
-#define CLFD_LOSSES_CONTRASTIVE_H_
+#pragma once
 
 #include <vector>
 
@@ -37,4 +36,3 @@ ag::Var SupConLoss(const ag::Var& z, const std::vector<int>& labels,
 
 }  // namespace clfd
 
-#endif  // CLFD_LOSSES_CONTRASTIVE_H_

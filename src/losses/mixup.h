@@ -1,5 +1,4 @@
-#ifndef CLFD_LOSSES_MIXUP_H_
-#define CLFD_LOSSES_MIXUP_H_
+#pragma once
 
 #include <vector>
 
@@ -39,4 +38,3 @@ Matrix OneHot(const std::vector<int>& labels, int num_classes = 2);
 
 }  // namespace clfd
 
-#endif  // CLFD_LOSSES_MIXUP_H_

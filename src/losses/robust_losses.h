@@ -1,5 +1,4 @@
-#ifndef CLFD_LOSSES_ROBUST_LOSSES_H_
-#define CLFD_LOSSES_ROBUST_LOSSES_H_
+#pragma once
 
 #include "autograd/var.h"
 #include "tensor/matrix.h"
@@ -39,4 +38,3 @@ float GceMixupUpperBound(float q);
 
 }  // namespace clfd
 
-#endif  // CLFD_LOSSES_ROBUST_LOSSES_H_

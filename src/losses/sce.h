@@ -1,5 +1,4 @@
-#ifndef CLFD_LOSSES_SCE_H_
-#define CLFD_LOSSES_SCE_H_
+#pragma once
 
 #include "autograd/var.h"
 #include "tensor/matrix.h"
@@ -21,4 +20,3 @@ ag::Var SceLoss(const ag::Var& probs, const Matrix& targets,
 
 }  // namespace clfd
 
-#endif  // CLFD_LOSSES_SCE_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_METRICS_METRICS_H_
-#define CLFD_METRICS_METRICS_H_
+#pragma once
 
 #include <vector>
 
@@ -41,4 +40,3 @@ double AucRoc(const std::vector<double>& scores,
 
 }  // namespace clfd
 
-#endif  // CLFD_METRICS_METRICS_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_NN_ATTENTION_H_
-#define CLFD_NN_ATTENTION_H_
+#pragma once
 
 #include <vector>
 
@@ -46,4 +45,3 @@ Matrix SinusoidalPositions(int max_len, int dim);
 }  // namespace nn
 }  // namespace clfd
 
-#endif  // CLFD_NN_ATTENTION_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_NN_CLASSIFIER_H_
-#define CLFD_NN_CLASSIFIER_H_
+#pragma once
 
 #include <vector>
 
@@ -41,4 +40,3 @@ class FeedForwardClassifier : public Module {
 }  // namespace nn
 }  // namespace clfd
 
-#endif  // CLFD_NN_CLASSIFIER_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_NN_LINEAR_H_
-#define CLFD_NN_LINEAR_H_
+#pragma once
 
 #include <vector>
 
@@ -31,4 +30,3 @@ class Linear : public Module {
 }  // namespace nn
 }  // namespace clfd
 
-#endif  // CLFD_NN_LINEAR_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_NN_LSTM_H_
-#define CLFD_NN_LSTM_H_
+#pragma once
 
 #include <vector>
 
@@ -68,4 +67,3 @@ class Lstm : public Module {
 }  // namespace nn
 }  // namespace clfd
 
-#endif  // CLFD_NN_LSTM_H_

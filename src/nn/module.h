@@ -1,5 +1,4 @@
-#ifndef CLFD_NN_MODULE_H_
-#define CLFD_NN_MODULE_H_
+#pragma once
 
 #include <vector>
 
@@ -43,4 +42,3 @@ float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm);
 }  // namespace nn
 }  // namespace clfd
 
-#endif  // CLFD_NN_MODULE_H_

@@ -1,5 +1,4 @@
-#ifndef CLFD_NN_OPTIMIZER_H_
-#define CLFD_NN_OPTIMIZER_H_
+#pragma once
 
 #include <vector>
 
@@ -47,4 +46,3 @@ class Sgd {
 }  // namespace nn
 }  // namespace clfd
 
-#endif  // CLFD_NN_OPTIMIZER_H_

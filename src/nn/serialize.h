@@ -1,5 +1,4 @@
-#ifndef CLFD_NN_SERIALIZE_H_
-#define CLFD_NN_SERIALIZE_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -26,4 +25,3 @@ bool LoadParameters(const std::vector<ag::Var>& params,
 }  // namespace nn
 }  // namespace clfd
 
-#endif  // CLFD_NN_SERIALIZE_H_

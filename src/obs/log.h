@@ -1,5 +1,4 @@
-#ifndef CLFD_OBS_LOG_H_
-#define CLFD_OBS_LOG_H_
+#pragma once
 
 // Leveled structured logger, the "L" of the observability layer.
 //
@@ -114,4 +113,3 @@ inline constexpr LogLevel ERROR = LogLevel::kError;
                             __FILE__, __LINE__)
 #endif
 
-#endif  // CLFD_OBS_LOG_H_

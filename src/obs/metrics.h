@@ -1,5 +1,4 @@
-#ifndef CLFD_OBS_METRICS_H_
-#define CLFD_OBS_METRICS_H_
+#pragma once
 
 // Process-wide metrics registry: counters, gauges, fixed-bucket histograms
 // and step series, exportable as JSON or JSONL.
@@ -188,4 +187,3 @@ class MetricsRegistry {
   } while (0)
 #endif
 
-#endif  // CLFD_OBS_METRICS_H_

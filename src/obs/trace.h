@@ -1,5 +1,4 @@
-#ifndef CLFD_OBS_TRACE_H_
-#define CLFD_OBS_TRACE_H_
+#pragma once
 
 // RAII tracing for chrome://tracing (or https://ui.perfetto.dev).
 //
@@ -222,4 +221,3 @@ class PhaseSpan {
 #define CLFD_TRACE_SPAN(name) \
   ::clfd::obs::TraceSpan CLFD_OBS_CONCAT_(clfd_trace_span_, __LINE__)(name)
 
-#endif  // CLFD_OBS_TRACE_H_

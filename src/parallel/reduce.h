@@ -1,5 +1,4 @@
-#ifndef CLFD_PARALLEL_REDUCE_H_
-#define CLFD_PARALLEL_REDUCE_H_
+#pragma once
 
 // Order-fixed reductions for parallel results.
 //
@@ -43,4 +42,3 @@ inline double TreeSum(std::vector<double> slots) {
 }  // namespace parallel
 }  // namespace clfd
 
-#endif  // CLFD_PARALLEL_REDUCE_H_

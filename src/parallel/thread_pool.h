@@ -1,5 +1,4 @@
-#ifndef CLFD_PARALLEL_THREAD_POOL_H_
-#define CLFD_PARALLEL_THREAD_POOL_H_
+#pragma once
 
 // Deterministic fork-join parallelism for the CLFD library.
 //
@@ -106,4 +105,3 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 }  // namespace parallel
 }  // namespace clfd
 
-#endif  // CLFD_PARALLEL_THREAD_POOL_H_

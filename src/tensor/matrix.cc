@@ -7,11 +7,38 @@
 #include <limits>
 #include <sstream>
 
+#include "common/check.h"
 #include "common/env.h"
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 
 namespace clfd {
+
+namespace {
+
+std::string ShapeStr(const Matrix& m) {
+  return "[" + std::to_string(m.rows()) + "x" + std::to_string(m.cols()) +
+         "]";
+}
+
+}  // namespace
+
+void CheckFinite(const Matrix& a, const char* op) {
+  if (!check::Enabled()) return;
+  for (int i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a[i])) {
+      check::Fail(std::string(op) + ": non-finite value " +
+                  std::to_string(a[i]) + " at flat index " +
+                  std::to_string(i) + " of " + ShapeStr(a) + " result");
+    }
+  }
+}
+
+void CheckShape(bool ok, const char* op, const Matrix& a, const Matrix& b) {
+  if (ok || !check::Enabled()) return;
+  check::Fail(std::string(op) + ": incompatible shapes " + ShapeStr(a) +
+              " vs " + ShapeStr(b));
+}
 
 Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
   if (rows.empty()) return Matrix();
@@ -45,11 +72,13 @@ void Matrix::Fill(float value) {
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
+  CheckShape(SameShape(other), "Matrix::AddInPlace", *this, other);
   assert(SameShape(other));
   for (int i = 0; i < size(); ++i) data_[i] += other.data_[i];
 }
 
 void Matrix::AddScaled(const Matrix& other, float s) {
+  CheckShape(SameShape(other), "Matrix::AddScaled", *this, other);
   assert(SameShape(other));
   for (int i = 0; i < size(); ++i) data_[i] += s * other.data_[i];
 }
@@ -59,6 +88,7 @@ void Matrix::Scale(float s) {
 }
 
 void Matrix::CopyRowFrom(const Matrix& src, int src_r, int r) {
+  CheckShape(src.cols() == cols_, "Matrix::CopyRowFrom", *this, src);
   assert(src.cols() == cols_);
   std::memcpy(row(r), src.row(src_r), static_cast<size_t>(cols_) * sizeof(float));
 }
@@ -80,6 +110,10 @@ std::string Matrix::DebugString(int max_rows, int max_cols) const {
 namespace {
 
 // -1 = read CLFD_PARALLEL_MIN_FLOPS (default 128k flops) on first use.
+// Deliberate mutable global: a dispatch *threshold*, not numeric state —
+// both kernel paths produce bitwise-identical results, so its value can
+// never change what is computed, only where.
+// clfd-lint: allow(concurrency-mutable-global)
 std::atomic<int64_t> g_matmul_threshold{-1};
 
 // Per-row kernel bodies, shared verbatim by the serial and parallel
@@ -169,6 +203,7 @@ void SetMatmulParallelThreshold(int64_t flops) {
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CheckShape(a.cols() == b.rows(), "MatMul", a, b);
   assert(a.cols() == b.rows());
   // One relaxed atomic add per kernel call (not per element), so the
   // counters are always on; 2*M*K*N is the conventional matmul flop count.
@@ -181,6 +216,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  CheckShape(a.rows() == b.rows(), "MatMulTransposeA", a, b);
   assert(a.rows() == b.rows());
   CLFD_METRIC_COUNT("tensor.matmul_ta.calls", 1);
   const int64_t flops = int64_t{2} * a.cols() * a.rows() * b.cols();
@@ -191,6 +227,7 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  CheckShape(a.cols() == b.cols(), "MatMulTransposeB", a, b);
   assert(a.cols() == b.cols());
   CLFD_METRIC_COUNT("tensor.matmul_tb.calls", 1);
   const int64_t flops = int64_t{2} * a.rows() * a.cols() * b.rows();
@@ -212,6 +249,7 @@ namespace {
 
 template <typename Fn>
 Matrix Binary(const Matrix& a, const Matrix& b, Fn fn) {
+  CheckShape(a.SameShape(b), "Matrix elementwise op", a, b);
   assert(a.SameShape(b));
   Matrix c(a.rows(), a.cols());
   for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i], b[i]);
@@ -247,6 +285,8 @@ Matrix MulScalar(const Matrix& a, float s) {
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row_vec) {
+  CheckShape(row_vec.rows() == 1 && row_vec.cols() == a.cols(),
+             "AddRowBroadcast", a, row_vec);
   assert(row_vec.rows() == 1 && row_vec.cols() == a.cols());
   Matrix c(a.rows(), a.cols());
   for (int r = 0; r < a.rows(); ++r) {
@@ -331,6 +371,7 @@ Matrix ConcatRows(const std::vector<Matrix>& blocks) {
   int cols = blocks[0].cols();
   int rows = 0;
   for (const Matrix& b : blocks) {
+    CheckShape(b.cols() == cols, "ConcatRows", blocks[0], b);
     assert(b.cols() == cols);
     rows += b.rows();
   }
@@ -343,6 +384,11 @@ Matrix ConcatRows(const std::vector<Matrix>& blocks) {
 }
 
 Matrix SliceRows(const Matrix& a, int begin, int end) {
+  if (check::Enabled() && !(begin >= 0 && begin <= end && end <= a.rows())) {
+    check::Fail("SliceRows: range [" + std::to_string(begin) + ", " +
+                std::to_string(end) + ") out of bounds for " +
+                ShapeStr(a));
+  }
   assert(begin >= 0 && begin <= end && end <= a.rows());
   Matrix out(end - begin, a.cols());
   for (int r = begin; r < end; ++r) out.CopyRowFrom(a, r, r - begin);

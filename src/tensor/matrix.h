@@ -1,5 +1,4 @@
-#ifndef CLFD_TENSOR_MATRIX_H_
-#define CLFD_TENSOR_MATRIX_H_
+#pragma once
 
 #include <cassert>
 #include <cstddef>
@@ -158,6 +157,15 @@ float MaxAbsDiff(const Matrix& a, const Matrix& b);
 // True if any element is NaN or infinite.
 bool HasNonFinite(const Matrix& a);
 
+// Runtime invariant hooks (common/check.h). No-ops while checks are
+// disabled; when enabled, CheckFinite throws check::InvariantError if `a`
+// holds a NaN/Inf and CheckShape throws when `ok` is false — both messages
+// carry `op` as provenance plus the offending shapes/values. The autograd
+// layer calls CheckFinite on every op output; the kernels here call
+// CheckShape ahead of their asserts so misuse reports as a catchable error
+// with context instead of an assert abort.
+void CheckFinite(const Matrix& a, const char* op);
+void CheckShape(bool ok, const char* op, const Matrix& a, const Matrix& b);
+
 }  // namespace clfd
 
-#endif  // CLFD_TENSOR_MATRIX_H_

@@ -1,0 +1,163 @@
+// Tests that the runtime invariant layer (common/check.h + the hooks in
+// tensor/ and autograd/) actually fires: NaN/Inf detection with op
+// provenance, throwing shape checks, and autograd tape-misuse detection.
+// Checks are enabled per-test with check::ScopedEnable, so this suite works
+// identically in default and CLFD_CHECK=ON builds.
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "autograd/var.h"
+#include "common/check.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+namespace {
+
+Matrix Filled(int r, int c, float v) {
+  Matrix m(r, c);
+  m.Fill(v);
+  return m;
+}
+
+// Runs fn, expecting an InvariantError whose message contains `substr`.
+template <typename Fn>
+void ExpectInvariantError(Fn fn, const std::string& substr) {
+  try {
+    fn();
+    FAIL() << "expected InvariantError containing \"" << substr << "\"";
+  } catch (const check::InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(CheckToggle, ScopedEnableRestoresPriorState) {
+  const bool before = check::Enabled();
+  {
+    check::ScopedEnable on(true);
+    EXPECT_TRUE(check::Enabled());
+    {
+      check::ScopedEnable off(false);
+      EXPECT_FALSE(check::Enabled());
+    }
+    EXPECT_TRUE(check::Enabled());
+  }
+  EXPECT_EQ(check::Enabled(), before);
+}
+
+TEST(CheckFiniteTest, FlagsNaNWithProvenance) {
+  check::ScopedEnable on;
+  Matrix m = Filled(2, 2, 1.0f);
+  m.at(1, 0) = std::nanf("");
+  ExpectInvariantError([&] { CheckFinite(m, "test-op"); }, "test-op");
+  ExpectInvariantError([&] { CheckFinite(m, "test-op"); }, "non-finite");
+}
+
+TEST(CheckFiniteTest, SilentWhenDisabledOrFinite) {
+  Matrix bad = Filled(1, 1, std::numeric_limits<float>::infinity());
+  {
+    check::ScopedEnable off(false);
+    CheckFinite(bad, "test-op");  // must not throw
+  }
+  check::ScopedEnable on;
+  CheckFinite(Filled(3, 3, 0.5f), "test-op");  // must not throw
+}
+
+TEST(CheckShapeTest, MatMulShapeMismatchThrowsWithShapes) {
+  check::ScopedEnable on;
+  Matrix a = Filled(2, 3, 1.0f);
+  Matrix b = Filled(2, 2, 1.0f);  // needs 3 rows
+  ExpectInvariantError([&] { MatMul(a, b); }, "MatMul");
+  ExpectInvariantError([&] { MatMul(a, b); }, "[2x3]");
+  // Compatible shapes pass.
+  Matrix ok = MatMul(a, Filled(3, 4, 1.0f));
+  EXPECT_EQ(ok.rows(), 2);
+  EXPECT_EQ(ok.cols(), 4);
+}
+
+TEST(CheckShapeTest, ElementwiseAndSliceChecksFire) {
+  check::ScopedEnable on;
+  Matrix a = Filled(2, 2, 1.0f);
+  Matrix b = Filled(2, 3, 1.0f);
+  ExpectInvariantError([&] { Add(a, b); }, "elementwise");
+  ExpectInvariantError([&] { a.AddInPlace(b); }, "AddInPlace");
+  ExpectInvariantError([&] { SliceRows(a, 0, 5); }, "SliceRows");
+}
+
+TEST(CheckAutograd, NanAtOpBoundaryNamesTheOp) {
+  check::ScopedEnable on;
+  // exp(200) overflows float -> inf at the ag::Exp boundary.
+  ag::Var x = ag::Constant(Filled(1, 2, 200.0f));
+  ExpectInvariantError([&] { ag::Exp(x); }, "ag::Exp");
+}
+
+TEST(CheckAutograd, NanInputsAreCaughtAtGraphEntry) {
+  check::ScopedEnable on;
+  Matrix m = Filled(1, 1, std::nanf(""));
+  ExpectInvariantError([&] { ag::Param(m); }, "ag::Param");
+  {
+    check::ScopedEnable off(false);
+    ag::Var v = ag::Param(m);  // disabled: NaN flows through silently
+    EXPECT_TRUE(std::isnan(v.value()[0]));
+  }
+}
+
+TEST(CheckAutograd, BackwardTwiceOnSameRootThrows) {
+  check::ScopedEnable on;
+  ag::Var p = ag::Param(Filled(2, 2, 0.5f));
+  ag::Var loss = ag::MeanAll(ag::Tanh(p));
+  ag::Backward(loss);
+  ExpectInvariantError([&] { ag::Backward(loss); }, "ran twice");
+}
+
+TEST(CheckAutograd, BuildingOnConsumedTapeThrows) {
+  check::ScopedEnable on;
+  ag::Var p = ag::Param(Filled(2, 2, 0.5f));
+  ag::Var y = ag::Tanh(p);
+  ag::Backward(ag::SumAll(y));
+  // y's backward already ran; building new ops on it would double-count
+  // y's gradient contribution on the next backward pass.
+  ExpectInvariantError([&] { ag::Scale(y, 2.0f); }, "tape");
+  ExpectInvariantError([&] { ag::Scale(y, 2.0f); }, "ag::Tanh");
+}
+
+TEST(CheckAutograd, ShardStyleTapeResumeIsLegal) {
+  check::ScopedEnable on;
+  // The sharded trainer's cut-and-resume pattern must stay check-clean:
+  // Param() cuts the head tape, BackwardWithGrad resumes the shard tape.
+  ag::Var p = ag::Param(Filled(4, 3, 0.25f));
+  ag::Var shard = ag::Tanh(p);
+  ag::Var head_in = ag::Param(shard.value());
+  ag::Var loss = ag::MeanAll(ag::Relu(head_in));
+  ag::Backward(loss);
+  ag::BackwardWithGrad(shard, head_in.grad());
+  EXPECT_TRUE(p.grad().SameShape(p.value()));
+  // Resuming the *same* shard tape again is misuse.
+  ExpectInvariantError([&] { ag::BackwardWithGrad(shard, head_in.grad()); },
+                       "ran twice");
+}
+
+TEST(CheckAutograd, BackwardWithGradSeedShapeMismatchThrows) {
+  check::ScopedEnable on;
+  ag::Var p = ag::Param(Filled(2, 2, 0.5f));
+  ag::Var y = ag::Tanh(p);
+  ExpectInvariantError([&] { ag::BackwardWithGrad(y, Filled(1, 2, 1.0f)); },
+                       "seed shape");
+}
+
+TEST(CheckAutograd, SeparateForwardPassesStayIndependent) {
+  check::ScopedEnable on;
+  // Grad accumulation across *fresh* graphs on shared params is the normal
+  // training pattern and must not trip the tape checks.
+  ag::Var p = ag::Param(Filled(2, 2, 0.5f));
+  ag::Backward(ag::MeanAll(ag::Tanh(p)));
+  ag::Backward(ag::MeanAll(ag::Sigmoid(p)));
+  EXPECT_TRUE(p.grad().SameShape(p.value()));
+}
+
+}  // namespace
+}  // namespace clfd

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Local CI: builds and tests the full correctness matrix, then lints the
+# tree. This is the same gate the acceptance criteria describe — run it
+# before pushing anything that touches src/.
+#
+#   tools/ci.sh               # default+Werror, asan, ubsan, tsan, lint
+#   tools/ci.sh default ubsan # just those presets (+ lint)
+#   CLFD_CI_JOBS=8 tools/ci.sh
+#
+# Every preset builds with -Werror (CLFD_WERROR defaults to ON) and runs
+# the whole ctest suite, which includes `lint.repo`; the explicit
+# clfd_lint invocation at the end is there so the violation listing is the
+# last thing in the log when it fails.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="${CLFD_CI_JOBS:-$(nproc)}"
+presets=("$@")
+if [[ ${#presets[@]} -eq 0 ]]; then
+  presets=(default asan ubsan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==== [${preset}] configure"
+  cmake --preset "${preset}"
+  echo "==== [${preset}] build (-j${jobs})"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==== [${preset}] test"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "==== clfd-lint"
+./build/tools/lint/clfd_lint --root "${repo_root}"
+echo "==== ci.sh: all green"

@@ -7,7 +7,7 @@
 //             estimated noise rates for a training file.
 //
 // Examples:
-//   clfd_cli generate --dataset cert --scale 0.05 --noise uniform:0.3 \
+//   clfd_cli generate --dataset cert --scale 0.05 --noise uniform:0.3
 //       --seed 1 --train train.txt --test test.txt
 //   clfd_cli run --model CLFD --train train.txt --test test.txt --budget fast
 //   clfd_cli correct --train train.txt --budget fast

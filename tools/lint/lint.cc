@@ -1,0 +1,423 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+
+namespace clfd {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pass 1: split the file into lines of code-only text plus per-line pragma
+// sets. Comment and string-literal *contents* are blanked out (replaced by
+// spaces) so the token rules never fire on prose, while `clfd-lint:
+// allow(...)` pragmas are parsed out of the comment text before it is
+// dropped. Line structure is preserved exactly, so violation line numbers
+// match the original file.
+// ---------------------------------------------------------------------------
+
+struct Line {
+  std::string code;                  // comments/strings blanked
+  std::vector<std::string> allows;   // rules allowed by pragmas on this line
+  bool comment_only = false;         // nothing but whitespace + comment(s)
+};
+
+void ParsePragmas(const std::string& comment, std::vector<std::string>* out) {
+  const std::string key = "clfd-lint:";
+  size_t pos = comment.find(key);
+  while (pos != std::string::npos) {
+    size_t p = pos + key.size();
+    while (p < comment.size() && std::isspace(static_cast<unsigned char>(
+                                     comment[p]))) {
+      ++p;
+    }
+    const std::string verb = "allow(";
+    if (comment.compare(p, verb.size(), verb) == 0) {
+      size_t open = p + verb.size();
+      size_t close = comment.find(')', open);
+      if (close != std::string::npos) {
+        std::string list = comment.substr(open, close - open);
+        std::string id;
+        for (char c : list + ",") {
+          if (c == ',') {
+            if (!id.empty()) out->push_back(id);
+            id.clear();
+          } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            id.push_back(c);
+          }
+        }
+      }
+    }
+    pos = comment.find(key, pos + key.size());
+  }
+}
+
+std::vector<Line> SplitAndStrip(const std::string& content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  std::vector<Line> lines;
+  Line cur;
+  std::string cur_comment;   // comment text accumulated on the current line
+  bool cur_has_code = false;
+  State state = State::kCode;
+  std::string raw_delim;     // delimiter of an active raw string, ")d..."
+
+  auto end_line = [&]() {
+    ParsePragmas(cur_comment, &cur.allows);
+    cur.comment_only = !cur_has_code && !cur_comment.empty();
+    lines.push_back(std::move(cur));
+    cur = Line();
+    cur_comment.clear();
+    cur_has_code = false;
+  };
+
+  const size_t n = content.size();
+  for (size_t i = 0; i < n; ++i) {
+    char c = content[i];
+    char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      end_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          cur.code += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // Raw string literal R"delim( ... )delim".
+          size_t open = content.find('(', i + 2);
+          if (open == std::string::npos) {
+            cur.code += c;  // malformed; treat as code
+          } else {
+            raw_delim = ")" + content.substr(i + 2, open - (i + 2)) + "\"";
+            state = State::kRawString;
+            cur.code += "\"\"";
+            cur_has_code = true;
+            i = open;  // skip past the opening paren
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          cur.code += "\"\"";
+          cur_has_code = true;
+        } else if (c == '\'') {
+          state = State::kChar;
+          cur.code += "' '";
+          cur_has_code = true;
+        } else {
+          cur.code += c;
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            cur_has_code = true;
+          }
+        }
+        break;
+      case State::kLineComment:
+        cur_comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          cur_comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\n') {
+          ++i;  // skip the escaped char, but never swallow a newline
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\n') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_delim[0] &&
+            content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          i += raw_delim.size() - 1;
+        }
+        break;
+    }
+  }
+  end_line();
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: rules. Token scans run on the blanked code text only.
+// ---------------------------------------------------------------------------
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True if `token` occurs in `code` with no identifier character immediately
+// before it (so "rand(" does not match "srand("). The boundary test only
+// applies when the token begins with an identifier character — "::now("
+// legitimately follows one.
+bool HasToken(const std::string& code, const std::string& token) {
+  const bool need_boundary = IsIdentChar(token[0]);
+  size_t pos = code.find(token);
+  while (pos != std::string::npos) {
+    if (!need_boundary || pos == 0 || !IsIdentChar(code[pos - 1])) {
+      return true;
+    }
+    pos = code.find(token, pos + 1);
+  }
+  return false;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+struct TokenRule {
+  const char* id;
+  std::vector<std::string> tokens;
+  const char* message;
+};
+
+const std::vector<TokenRule>& SourceHygieneRules() {
+  static const std::vector<TokenRule>* rules = new std::vector<TokenRule>{
+      {kRuleDeterminismRand,
+       {"rand(", "srand(", "drand48", "random_device", "random_shuffle",
+        "mt19937"},
+       "nondeterministic RNG source in model/training code; draw from an "
+       "explicitly seeded clfd::Rng (src/common/rng.h) instead"},
+      {kRuleDeterminismTime,
+       {"time(", "clock(", "::now(", "gettimeofday", "clock_gettime"},
+       "wall-clock read in model/training code; timestamps vary run-to-run "
+       "and break the bitwise reproducibility guarantee"},
+      {kRuleDeterminismUnordered,
+       {"std::unordered_"},
+       "std::unordered_* iteration order is unspecified and can vary with "
+       "libstdc++/load factor; use std::map, a sorted vector, or allow-"
+       "pragma a use that never iterates"},
+      {kRuleRawThread,
+       {"std::thread", "std::jthread", "std::async"},
+       "raw threading primitive outside src/parallel; route work through "
+       "parallel::ParallelFor so determinism and nesting guards apply"},
+      {kRuleLoggingStdio,
+       {"std::cout", "std::cerr", "std::clog", "printf(", "fprintf(",
+        "puts("},
+       "direct stdio in library code; use CLFD_LOG (src/obs/log.h) so "
+       "output is leveled, rate-controlled, and capturable"},
+  };
+  return *rules;
+}
+
+// Heuristic declaration classifier for concurrency-mutable-global: flags
+// `static` / `thread_local` variable declarations and namespace-scope
+// `std::atomic<...>` declarations that are not const-qualified. Function
+// declarations (a '(' before any '=', '{' or ';') are skipped, so `static
+// Matrix Xavier(...)` style factory members never fire.
+bool LooksLikeMutableStaticDecl(const std::string& code) {
+  std::string s = code;
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return false;
+  s = s.substr(b);
+  bool has_storage = false;
+  for (const char* kw : {"static ", "thread_local "}) {
+    if (StartsWith(s, kw)) has_storage = true;
+  }
+  if (!has_storage && !StartsWith(s, "std::atomic<")) return false;
+  if (s.find("const") != std::string::npos) return false;  // const/constexpr
+  if (s.find("constinit") != std::string::npos) return false;
+  if (StartsWith(s, "static_assert") || StartsWith(s, "static_cast")) {
+    return false;
+  }
+  // Template argument lists may contain commas/parens; strip <...> first so
+  // `static std::vector<double> Bounds(...)` classifies by its call parens.
+  std::string flat;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '<') ++depth;
+    if (depth == 0) flat += c;
+    if (c == '>' && depth > 0) --depth;
+  }
+  size_t paren = flat.find('(');
+  size_t stop = flat.find_first_of("={;");
+  if (paren != std::string::npos && (stop == std::string::npos ||
+                                     paren < stop)) {
+    return false;  // function declaration/definition
+  }
+  return true;
+}
+
+// resource-raw-new: word `new` anywhere, word `delete` except `= delete`.
+bool HasRawNewDelete(const std::string& code, std::string* what) {
+  // `new` must be followed by a type; "new " covers it, the EndsWith case
+  // covers line-wrapped `... = new\n  Foo()`.
+  bool ends_with_word_new =
+      EndsWith(code, "new") &&
+      (code.size() == 3 || !IsIdentChar(code[code.size() - 4]));
+  if (HasToken(code, "new ") || ends_with_word_new) {
+    *what = "new";
+    return true;
+  }
+  size_t pos = code.find("delete");
+  while (pos != std::string::npos) {
+    bool word = (pos == 0 || !IsIdentChar(code[pos - 1])) &&
+                (pos + 6 >= code.size() || !IsIdentChar(code[pos + 6]));
+    if (word) {
+      size_t prev = code.find_last_not_of(" \t", pos == 0 ? 0 : pos - 1);
+      bool deleted_fn = prev != std::string::npos && code[prev] == '=';
+      if (!deleted_fn) {
+        *what = "delete";
+        return true;
+      }
+    }
+    pos = code.find("delete", pos + 6);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping.
+// ---------------------------------------------------------------------------
+
+bool IsHeaderPath(const std::string& path) {
+  return EndsWith(path, ".h") || EndsWith(path, ".hpp");
+}
+
+// Infrastructure that legitimately owns threads, clocks, mutable process
+// state, and stderr: the observability layer, the thread pool, the seeded
+// RNG wrapper (the one place std::mt19937_64 may appear), and the invariant
+// checker's enable latch.
+bool IsInfraAllowlisted(const std::string& path) {
+  return StartsWith(path, "src/obs/") || StartsWith(path, "src/parallel/") ||
+         StartsWith(path, "src/common/rng.") ||
+         StartsWith(path, "src/common/check.");
+}
+
+bool SourceRulesApply(const std::string& path) {
+  return StartsWith(path, "src/") && !IsInfraAllowlisted(path);
+}
+
+bool Allowed(const std::vector<Line>& lines, size_t idx,
+             const std::string& rule) {
+  auto has = [&](const std::vector<std::string>& v) {
+    return std::find(v.begin(), v.end(), rule) != v.end();
+  };
+  if (has(lines[idx].allows)) return true;
+  // An immediately preceding comment-only line may carry the pragma.
+  if (idx > 0 && lines[idx - 1].comment_only && has(lines[idx - 1].allows)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      kRuleDeterminismRand,   kRuleDeterminismTime,
+      kRuleDeterminismUnordered, kRuleRawThread,
+      kRuleMutableGlobal,     kRuleRawNew,
+      kRuleLoggingStdio,      kRulePragmaOnce,
+      kRuleUsingNamespace,
+  };
+  return *names;
+}
+
+std::vector<Violation> LintSource(const std::string& rel_path,
+                                  const std::string& content) {
+  std::vector<Violation> out;
+  std::vector<Line> lines = SplitAndStrip(content);
+  const bool header = IsHeaderPath(rel_path);
+  const bool src_rules = SourceRulesApply(rel_path);
+
+  auto report = [&](size_t idx, const char* rule, const std::string& msg) {
+    if (Allowed(lines, idx, rule)) return;
+    out.push_back(Violation{rel_path, static_cast<int>(idx) + 1, rule, msg});
+  };
+
+  if (header) {
+    bool has_pragma_once = false;
+    for (const Line& l : lines) {
+      if (l.code.find("#pragma once") != std::string::npos) {
+        has_pragma_once = true;
+        break;
+      }
+    }
+    if (!has_pragma_once && !Allowed(lines, 0, kRulePragmaOnce)) {
+      out.push_back(Violation{
+          rel_path, 1, kRulePragmaOnce,
+          "header must start with #pragma once (repo convention; include "
+          "guards are not used here)"});
+    }
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (HasToken(lines[i].code, "using namespace")) {
+        report(i, kRuleUsingNamespace,
+               "using-directive in a header leaks the namespace into every "
+               "includer; qualify names instead");
+      }
+    }
+  }
+
+  if (src_rules) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const std::string& code = lines[i].code;
+      if (code.empty()) continue;
+      for (const TokenRule& rule : SourceHygieneRules()) {
+        for (const std::string& tok : rule.tokens) {
+          if (HasToken(code, tok)) {
+            report(i, rule.id, rule.message);
+            break;
+          }
+        }
+      }
+      if (LooksLikeMutableStaticDecl(code)) {
+        report(i, kRuleMutableGlobal,
+               "mutable static/thread_local/atomic state in model/training "
+               "code can make results depend on call interleaving; keep "
+               "state in explicitly threaded objects");
+      }
+      std::string what;
+      if (HasRawNewDelete(code, &what)) {
+        report(i, kRuleRawNew,
+               "raw `" + what +
+                   "`; use std::make_unique/std::make_shared or a container "
+                   "so ownership is explicit");
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Violation& a,
+                                       const Violation& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream os;
+  os << v.path << ":" << v.line << ": " << v.rule << ": " << v.message;
+  return os.str();
+}
+
+}  // namespace lint
+}  // namespace clfd

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clfd {
+namespace lint {
+
+// One rule violation at a specific source line. `path` is the repo-relative
+// path (forward slashes) the content was linted as; rule scoping keys off
+// this path, so callers must not pass absolute paths.
+struct Violation {
+  std::string path;
+  int line = 0;        // 1-based
+  std::string rule;    // rule id, e.g. "determinism-rand"
+  std::string message;
+};
+
+// Rule ids, in reporting order. Every id here has at least one positive and
+// one negative fixture in tests/lint_test.cc.
+inline constexpr const char kRuleDeterminismRand[] = "determinism-rand";
+inline constexpr const char kRuleDeterminismTime[] = "determinism-time";
+inline constexpr const char kRuleDeterminismUnordered[] =
+    "determinism-unordered";
+inline constexpr const char kRuleRawThread[] = "concurrency-raw-thread";
+inline constexpr const char kRuleMutableGlobal[] = "concurrency-mutable-global";
+inline constexpr const char kRuleRawNew[] = "resource-raw-new";
+inline constexpr const char kRuleLoggingStdio[] = "logging-stdio";
+inline constexpr const char kRulePragmaOnce[] = "header-pragma-once";
+inline constexpr const char kRuleUsingNamespace[] = "header-using-namespace";
+
+// All rule ids, for --list-rules and for validating pragma arguments.
+const std::vector<std::string>& RuleNames();
+
+// Lints one translation unit. `rel_path` decides which rules apply:
+//   - determinism / concurrency / resource / logging rules run on files
+//     under src/ except the infrastructure allowlist (src/obs/,
+//     src/parallel/, src/common/rng.*, src/common/check.*);
+//   - header rules run on every .h/.hpp under src/, tests/, bench/, tools/.
+// A violation on a line is suppressed by `// clfd-lint: allow(<rule>[,..])`
+// in a comment on that line, or on an immediately preceding comment-only
+// line.
+std::vector<Violation> LintSource(const std::string& rel_path,
+                                  const std::string& content);
+
+// "path:line: rule: message" — the fix-it format compilers use, so editors
+// and CI logs hyperlink it.
+std::string FormatViolation(const Violation& v);
+
+}  // namespace lint
+}  // namespace clfd

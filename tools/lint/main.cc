@@ -1,0 +1,110 @@
+// clfd-lint: repo-specific static analysis for the CLFD codebase.
+//
+// Walks src/, tests/, bench/, and tools/ under the repo root and enforces
+// the determinism / concurrency / resource / header invariants documented
+// in DESIGN.md §9. Zero third-party dependencies: a token/line scanner, not
+// a compiler frontend. Exit status is the number of files with violations
+// (clamped to 1), so it slots directly into ctest as `lint.repo`.
+//
+// Usage:
+//   clfd_lint [--root DIR] [--list-rules] [subdir...]
+// With no subdirs, lints src tests bench tools.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+std::string ReadFile(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  *ok = true;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : clfd::lint::RuleNames()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: clfd_lint [--root DIR] [--list-rules] "
+                   "[subdir...]\n";
+      return 0;
+    } else {
+      subdirs.push_back(arg);
+    }
+  }
+  if (subdirs.empty()) subdirs = {"src", "tests", "bench", "tools"};
+
+  int files_scanned = 0;
+  int violation_count = 0;
+  std::error_code ec;
+  for (const std::string& sub : subdirs) {
+    fs::path dir = root / sub;
+    if (!fs::is_directory(dir, ec)) {
+      std::cerr << "clfd_lint: skipping missing directory " << dir.string()
+                << "\n";
+      continue;
+    }
+    std::vector<fs::path> files;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+    // Deterministic report order regardless of directory enumeration order.
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      bool ok = false;
+      std::string content = ReadFile(file, &ok);
+      if (!ok) {
+        std::cerr << "clfd_lint: cannot read " << file.string() << "\n";
+        ++violation_count;
+        continue;
+      }
+      ++files_scanned;
+      const std::string rel =
+          fs::relative(file, root, ec).generic_string();
+      for (const clfd::lint::Violation& v :
+           clfd::lint::LintSource(ec ? file.generic_string() : rel,
+                                  content)) {
+        std::cout << clfd::lint::FormatViolation(v) << "\n";
+        ++violation_count;
+      }
+    }
+  }
+  std::cerr << "clfd_lint: " << files_scanned << " files, "
+            << violation_count << " violation(s)\n";
+  return violation_count > 0 ? 1 : 0;
+}
