@@ -7,16 +7,42 @@
 
 #include "autograd/var.h"
 #include "common/rng.h"
+#include "eval/experiment.h"
 #include "losses/contrastive.h"
 #include "losses/robust_losses.h"
 #include "nn/lstm.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/arena.h"
 #include "tensor/matrix.h"
 
 namespace clfd {
 namespace {
+
+// Sums every matmul-family kernel invocation counter: the fused-LSTM
+// acceptance number is "matmul kernel invocations per training step", and
+// the fused path must win even counting its blocked backward kernels.
+int64_t MatMulKernelCalls() {
+  auto& reg = obs::MetricsRegistry::Get();
+  return reg.GetCounter("tensor.matmul.calls")->value() +
+         reg.GetCounter("tensor.matmul_ta.calls")->value() +
+         reg.GetCounter("tensor.matmul_tb.calls")->value() +
+         reg.GetCounter("tensor.matmul_ta_blocked.calls")->value() +
+         reg.GetCounter("tensor.matmul_tb_blocked.calls")->value();
+}
+
+int64_t HeapAllocCount() {
+  return obs::MetricsRegistry::Get().GetCounter("tensor.alloc.count")->value();
+}
+
+int64_t ArenaAllocCount() {
+  return obs::MetricsRegistry::Get()
+      .GetCounter("tensor.alloc.arena_count")
+      ->value();
+}
 
 void BM_MatMul(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -84,6 +110,105 @@ void BM_LstmForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LstmForwardBackward)->Arg(10)->Arg(20);
+
+// One optimizer step over the paper-scale LSTM parameter set (~45k
+// floats). After the ZeroGrads/Adam hoisting work the loop body is
+// allocation- and branch-free: two FMAs, two multiplies, one sqrt-divide
+// per element.
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(7);
+  nn::Lstm lstm(50, 50, 2, &rng);
+  nn::Adam opt(lstm.Parameters(), 1e-3f);
+  int64_t total = 0;
+  for (const ag::Var& p : lstm.Parameters()) total += p.value().size();
+  for (auto _ : state) {
+    opt.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_AdamStep);
+
+// A full LSTM training step — forward over T timesteps, masked-sum loss,
+// backward, Adam — at the paper's dimensions, across the four corners of
+// {legacy, fused} x {heap, arena}. The per-step counters are the
+// acceptance numbers: fused must cut matmul kernel invocations >= 2x, the
+// arena must cut heap allocations >= 5x.
+void BM_LstmTrainStep(benchmark::State& state) {
+  nn::ScopedLstmFused fused(state.range(0) != 0);
+  arena::ScopedEnabled arena_on(state.range(1) != 0);
+  const int t_len = 20;
+  Rng rng(8);
+  nn::Lstm lstm(50, 50, 2, &rng);
+  nn::Adam opt(lstm.Parameters(), 1e-3f);
+  std::vector<Matrix> inputs;
+  for (int t = 0; t < t_len; ++t) {
+    inputs.push_back(Matrix::Randn(100, 50, 1.0f, &rng));
+  }
+  arena::Arena step_arena;
+  auto step = [&]() {
+    step_arena.Reset();
+    arena::ScopedArena scope(&step_arena);
+    std::vector<ag::Var> steps;
+    for (const Matrix& m : inputs) steps.push_back(ag::Constant(m));
+    auto hs = lstm.Forward(steps);
+    // Every-timestep consumer, like the encoders' masked mean.
+    ag::Var loss = ag::SumAll(ag::Mul(hs[0], hs[0]));
+    for (size_t t = 1; t < hs.size(); ++t) {
+      loss = ag::Add(loss, ag::SumAll(ag::Mul(hs[t], hs[t])));
+    }
+    ag::Backward(loss);
+    opt.Step();
+  };
+  // Warm-up outside the timed region: sizes the arena chunks and the
+  // recycled heap capacities so the counters below reflect steady state.
+  step();
+  const int64_t mm0 = MatMulKernelCalls();
+  const int64_t heap0 = HeapAllocCount();
+  const int64_t arena0 = ArenaAllocCount();
+  for (auto _ : state) {
+    step();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["matmul_calls_per_step"] =
+      static_cast<double>(MatMulKernelCalls() - mm0) / iters;
+  state.counters["heap_allocs_per_step"] =
+      static_cast<double>(HeapAllocCount() - heap0) / iters;
+  state.counters["arena_allocs_per_step"] =
+      static_cast<double>(ArenaAllocCount() - arena0) / iters;
+}
+BENCHMARK(BM_LstmTrainStep)
+    ->ArgNames({"fused", "arena"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end Table III corrector experiment (SimCLR pretrain + corrector)
+// at a reduced split, seed-for-seed identical numbers in both modes; the
+// acceptance target is >= 1.3x wall-clock from legacy/heap to fused/arena
+// at thread width 1.
+void BM_CorrectorE2E(benchmark::State& state) {
+  nn::ScopedLstmFused fused(state.range(0) != 0);
+  arena::ScopedEnabled arena_on(state.range(0) != 0);
+  SplitSpec split{60, 6, 30, 6};
+  ClfdConfig config = ClfdConfig::Fast();
+  config.emb_dim = 16;
+  config.hidden_dim = 16;
+  config.batch_size = 24;
+  config.aux_batch_size = 4;
+  config.budget = {2, 30, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunCorrectorExperiment(
+        DatasetKind::kWiki, split, NoiseSpec::Uniform(0.45), config,
+        /*seeds=*/1));
+  }
+}
+BENCHMARK(BM_CorrectorE2E)
+    ->ArgName("fused_arena")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GceLoss(benchmark::State& state) {
   Rng rng(3);

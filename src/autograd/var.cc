@@ -437,6 +437,101 @@ Var SliceRows(const Var& a, int begin, int end) {
                 });
 }
 
+Var ConcatCols(const std::vector<Var>& blocks) {
+  assert(!blocks.empty());
+  std::vector<Matrix> values;
+  std::vector<NodePtr> parents;
+  values.reserve(blocks.size());
+  for (const Var& b : blocks) {
+    values.push_back(b.value());
+    parents.push_back(b.node());
+  }
+  return MakeOp("ag::ConcatCols", clfd::ConcatCols(values), parents,
+                [parents](Node* out) {
+                  int c0 = 0;
+                  for (const NodePtr& p : parents) {
+                    if (p->requires_grad) {
+                      p->EnsureGrad();
+                      for (int r = 0; r < p->value.rows(); ++r) {
+                        const float* grow = out->grad.row(r);
+                        float* prow = p->grad.row(r);
+                        for (int c = 0; c < p->value.cols(); ++c) {
+                          prow[c] += grow[c0 + c];
+                        }
+                      }
+                    }
+                    c0 += p->value.cols();
+                  }
+                });
+}
+
+Var SliceCols(const Var& a, int begin, int end) {
+  NodePtr an = a.node();
+  return MakeOp("ag::SliceCols", clfd::SliceCols(an->value, begin, end), {an},
+                [an, begin](Node* out) {
+                  an->EnsureGrad();
+                  for (int r = 0; r < out->grad.rows(); ++r) {
+                    const float* grow = out->grad.row(r);
+                    float* arow = an->grad.row(r);
+                    for (int c = 0; c < out->grad.cols(); ++c) {
+                      arow[begin + c] += grow[c];
+                    }
+                  }
+                });
+}
+
+Var LstmPackedMatMul(const Var& x, const Var& w) {
+  NodePtr xn = x.node(), wn = w.node();
+  return MakeOp("ag::LstmPackedMatMul", clfd::MatMul(xn->value, wn->value),
+                {xn, wn}, [xn, wn](Node* out) {
+                  if (xn->requires_grad) {
+                    xn->EnsureGrad();
+                    MatMulTransposeBGateBlockedAddInto(out->grad, wn->value,
+                                                       &xn->grad);
+                  }
+                  if (wn->requires_grad) {
+                    wn->EnsureGrad();
+                    wn->grad.AddInPlace(MatMulTransposeA(xn->value, out->grad));
+                  }
+                });
+}
+
+Var LstmInputProjection(Matrix xcat, const Var& w, int block_rows) {
+  NodePtr wn = w.node();
+  Matrix value = clfd::MatMul(xcat, wn->value);
+  return MakeOp("ag::LstmInputProjection", std::move(value), {wn},
+                [wn, x = std::move(xcat), block_rows](Node* out) {
+                  wn->EnsureGrad();
+                  MatMulTransposeATimeBlockedAddInto(x, out->grad, block_rows,
+                                                     &wn->grad);
+                });
+}
+
+Var LstmGates(const Var& pre, const Var& hc_prev) {
+  NodePtr pn = pre.node(), hn = hc_prev.node();
+  Matrix hc, acts;
+  clfd::LstmGatesForward(pn->value, hn->value, &hc, &acts);
+  return MakeOp("ag::LstmGates", std::move(hc), {pn, hn},
+                [pn, hn, acts = std::move(acts)](Node* out) {
+                  Matrix scratch;
+                  Matrix* dpre = nullptr;
+                  if (pn->requires_grad) {
+                    pn->EnsureGrad();
+                    dpre = &pn->grad;
+                  } else {
+                    scratch = Matrix(pn->value.rows(), pn->value.cols());
+                    dpre = &scratch;
+                  }
+                  Matrix* dhc = nullptr;
+                  if (hn->requires_grad) {
+                    hn->EnsureGrad();
+                    dhc = &hn->grad;
+                  }
+                  clfd::LstmGatesBackward(out->grad, acts, hn->value, dpre,
+                                          dhc);
+                });
+}
+
 Var NormalizeRows(const Var& a) {
   NodePtr an = a.node();
   Matrix value = an->value;

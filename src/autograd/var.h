@@ -118,6 +118,41 @@ Var SumRows(const Var& a);  // [R x C] -> [R x 1]
 Var ConcatRows(const std::vector<Var>& blocks);
 Var SliceRows(const Var& a, int begin, int end);
 
+// Column-wise concatenation/slicing; used to pack the LSTM gate weights
+// per forward pass while the per-gate matrices stay the canonical
+// parameters (optimizer state, clipping order and serialization format are
+// unchanged by the fused path).
+Var ConcatCols(const std::vector<Var>& blocks);
+Var SliceCols(const Var& a, int begin, int end);
+
+// ---- Fused LSTM ops (the nn/lstm.cc fused path; DESIGN.md §9). ----
+// Each is bit-equivalent to the unfused subgraph it replaces: forwards use
+// the same column-independent matmul kernels, backwards replay the legacy
+// tape's accumulation order (gate blocks in kLstmGateBackwardOrder, time
+// blocks descending).
+
+// x * w for a packed 4-gate weight w [K x 4H]. Forward is one MatMul; the
+// backward into x runs one H-wide gate block at a time in the legacy
+// order, and the backward into w is a standard MatMulTransposeA (its
+// column blocks are independent, so packing cannot change them).
+Var LstmPackedMatMul(const Var& x, const Var& w);
+
+// xcat * w, where xcat is the [T*B x K] row-concatenation of a layer's T
+// constant input steps. One call amortizes the whole layer's input
+// projection into a matmul big enough for the parallel kernels; only
+// usable when the inputs carry no gradient (they are raw data, not a
+// parent), which holds for layer 0's embedded steps. The backward into w
+// accumulates per B-row time block in descending order, matching the
+// legacy per-step accumulation.
+Var LstmInputProjection(Matrix xcat, const Var& w, int block_rows);
+
+// Fused LSTM cell update replacing ~12 elementwise tape nodes: pre
+// [B x 4H] holds the packed gate preactivations, hc_prev [B x 2H] the
+// previous [h | c]. Returns [B x 2H] = [h_t | c_t]; take h_t with
+// SliceCols. h_{t-1} feeds the step only through the recurrent matmul, so
+// only the c half of hc_prev receives gradient from this op.
+Var LstmGates(const Var& pre, const Var& hc_prev);
+
 // L2-normalizes every row; the backbone of cosine-similarity losses.
 Var NormalizeRows(const Var& a);
 

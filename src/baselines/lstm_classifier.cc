@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/optimizer.h"
+#include "tensor/arena.h"
 
 namespace clfd {
 
@@ -30,8 +31,13 @@ ag::Var LstmClassifier::ForwardProbs(
 Matrix LstmClassifier::PredictProbs(const SessionDataset& data,
                                     const Matrix& embeddings,
                                     int chunk) const {
+  // `out` is allocated before the arena scope (heap-backed, survives the
+  // resets); each chunk's forward tape is bump-allocated and recycled.
   Matrix out(data.size(), 2);
+  arena::Arena chunk_arena;
   for (int start = 0; start < data.size(); start += chunk) {
+    chunk_arena.Reset();
+    arena::ScopedArena scope(&chunk_arena);
     int end = std::min(start + chunk, data.size());
     std::vector<const Session*> batch;
     for (int i = start; i < end; ++i) {
@@ -59,7 +65,14 @@ void TrainCeEpoch(LstmClassifier* model, const SessionDataset& train,
                   const BaselineConfig& config, nn::Adam* optimizer,
                   Rng* rng) {
   auto params = model->Parameters();
+  // Heap-allocate any missing parameter gradients before the arena scopes
+  // open (the optimizer normally did this at construction; this covers
+  // callers that build the optimizer lazily).
+  for (ag::Var& p : params) p.node()->EnsureGrad();
+  arena::Arena step_arena;
   for (const auto& batch : train.MakeBatches(config.batch_size, rng)) {
+    step_arena.Reset();
+    arena::ScopedArena step_scope(&step_arena);
     std::vector<const Session*> sessions;
     Matrix batch_targets(static_cast<int>(batch.size()), 2);
     for (size_t i = 0; i < batch.size(); ++i) {

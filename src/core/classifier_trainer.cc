@@ -10,6 +10,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/arena.h"
 
 namespace clfd {
 
@@ -22,7 +23,13 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
   int n = features.rows();
   if (n == 0) return;
 
+  // Constructed before the arena scope below so the parameter gradient and
+  // moment buffers are heap-backed and survive the per-batch arena resets.
   nn::Adam optimizer(classifier->Parameters(), config.learning_rate);
+  // Recycled bump arena for the per-batch tape: batch matrices, forward
+  // activations and intermediate gradients all land here and are reclaimed
+  // with one Reset at the start of the next batch.
+  arena::Arena step_arena;
 
   std::vector<int> order(n);
   for (int i = 0; i < n; ++i) order[i] = i;
@@ -60,6 +67,12 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
     int batches = 0;
     rng->Shuffle(&order);
     for (int start = 0; start < n; start += config.batch_size) {
+      // Reset at batch *start*, not batch end: the previous batch's loss
+      // value has been read by then, and resetting here keeps the arena
+      // contract simple (everything allocated below lives until this line
+      // next executes).
+      step_arena.Reset();
+      arena::ScopedArena step_scope(&step_arena);
       int end = std::min(start + config.batch_size, n);
       int b = end - start + (end - start == config.batch_size ? aux : 0);
       Matrix batch_features(b, features.cols());

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "parallel/thread_pool.h"
+#include "tensor/arena.h"
 
 namespace clfd {
 
@@ -81,6 +82,11 @@ Matrix SessionEncoder::EncodeDataset(const SessionDataset& dataset,
   // values but never touch gradients, and each chunk writes its own rows.
   parallel::ParallelFor(0, dataset.size(), chunk, [&](int64_t lo,
                                                       int64_t hi) {
+    // Per-chunk bump arena for the forward tape; `out` was allocated
+    // before the loop so it stays heap-backed. The encoded rows are
+    // copied out before the arena dies with the chunk.
+    arena::Arena chunk_arena;
+    arena::ScopedArena scope(&chunk_arena);
     int start = static_cast<int>(lo), end = static_cast<int>(hi);
     std::vector<const Session*> batch;
     batch.reserve(end - start);

@@ -21,6 +21,11 @@ void ShardedEncoderTrainer::EnsureReplicas(int count) {
         live_->emb_dim(), live_->hidden_dim(), live_->num_layers(),
         &init_rng));
     replica_params_.push_back(replicas_.back()->Parameters());
+    // Pre-allocate the replica gradients here, outside any arena scope, so
+    // they are heap-backed: the per-step ZeroGrads/EnsureGrad calls then
+    // recycle these buffers in place and never touch the shard arena.
+    nn::ZeroGrads(replica_params_.back());
+    shard_arenas_.push_back(std::make_unique<arena::Arena>());
   }
 }
 
@@ -33,12 +38,22 @@ float ShardedEncoderTrainer::Step(
       (batch + kExampleShardGrain - 1) / kExampleShardGrain;
   EnsureReplicas(num_shards);
   std::vector<ag::Var> live_params = live_->Parameters();
+  // Make sure the live gradients exist before any arena scope opens, so
+  // EnsureGrad during the backward passes finds heap-backed buffers and
+  // gradient accumulation survives the per-step arena resets.
+  for (ag::Var& p : live_params) p.node()->EnsureGrad();
 
   // Refresh replica weights from the live module and run the shard
-  // forwards, each on its own tape. Shards write disjoint slots.
+  // forwards, each on its own tape backed by the shard's recycled arena.
+  // Shards write disjoint slots. The tape (values and intermediate grads)
+  // lives on the arena until the shard's Reset at the start of the *next*
+  // step, so the root encodings and the resumed backward below both read
+  // valid memory.
   std::vector<ag::Var> shard_roots(num_shards);
   parallel::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
+      shard_arenas_[s]->Reset();
+      arena::ScopedArena tape_scope(shard_arenas_[s].get());
       nn::CopyParameterValues(live_params, replica_params_[s]);
       int row0 = static_cast<int>(s) * kExampleShardGrain;
       int row1 = std::min(row0 + kExampleShardGrain, batch);
@@ -59,9 +74,12 @@ float ShardedEncoderTrainer::Step(
   ag::Backward(loss);
 
   // Resume each shard's tape from its slice of dL/dz, accumulating into
-  // the shard replica's private gradient buffers.
+  // the shard replica's private (heap-backed) gradient buffers. The scope
+  // re-enters the shard arena *without* resetting it: the forward tape is
+  // still live there, and the intermediate tape gradients join it.
   parallel::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
+      arena::ScopedArena tape_scope(shard_arenas_[s].get());
       int row0 = static_cast<int>(s) * kExampleShardGrain;
       int row1 = std::min(row0 + kExampleShardGrain, batch);
       ag::BackwardWithGrad(shard_roots[s],

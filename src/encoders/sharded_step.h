@@ -7,6 +7,7 @@
 #include "autograd/var.h"
 #include "data/session.h"
 #include "encoders/session_encoder.h"
+#include "tensor/arena.h"
 
 namespace clfd {
 
@@ -51,6 +52,13 @@ class ShardedEncoderTrainer {
   SessionEncoder* live_;
   std::vector<std::unique_ptr<SessionEncoder>> replicas_;
   std::vector<std::vector<ag::Var>> replica_params_;
+  // One arena per shard tape, recycled every step (Reset at the start of
+  // the shard's forward, so the previous step's tape memory is reused
+  // without touching the allocator). Replica parameter values and
+  // gradients are deliberately heap-backed — allocated in EnsureReplicas
+  // outside any arena scope and refreshed in place afterwards — because
+  // they must outlive the per-step tapes.
+  std::vector<std::unique_ptr<arena::Arena>> shard_arenas_;
 };
 
 }  // namespace clfd

@@ -1,7 +1,35 @@
 #include "nn/lstm.h"
 
+#include <atomic>
+
+#include "common/env.h"
+
 namespace clfd {
 namespace nn {
+
+namespace {
+
+// -1 = read CLFD_LSTM_FUSED on first use (default on). Like the matmul
+// parallel threshold, this selects between two bitwise-identical
+// implementations — it can change speed, never values (locked by the
+// fused-vs-legacy equality tests).
+// clfd-lint: allow(concurrency-mutable-global)
+std::atomic<int> g_lstm_fused{-1};
+
+}  // namespace
+
+bool LstmFusedEnabled() {
+  int v = g_lstm_fused.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = GetEnvBool("CLFD_LSTM_FUSED", true) ? 1 : 0;
+    g_lstm_fused.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetLstmFusedEnabled(bool on) {
+  g_lstm_fused.store(on ? 1 : 0, std::memory_order_relaxed);
+}
 
 LstmCell::LstmCell(int in_dim, int hidden_dim, Rng* rng) {
   for (int g = 0; g < 4; ++g) {
@@ -32,6 +60,12 @@ LstmCell::State LstmCell::Step(const ag::Var& x_t, const State& prev) const {
   return {h, c};
 }
 
+LstmCell::Packed LstmCell::Pack() const {
+  return {ag::ConcatCols({wx_[0], wx_[1], wx_[2], wx_[3]}),
+          ag::ConcatCols({wh_[0], wh_[1], wh_[2], wh_[3]}),
+          ag::ConcatCols({b_[0], b_[1], b_[2], b_[3]})};
+}
+
 std::vector<ag::Var> LstmCell::Parameters() const {
   std::vector<ag::Var> params;
   for (int g = 0; g < 4; ++g) {
@@ -50,15 +84,63 @@ Lstm::Lstm(int in_dim, int hidden_dim, int num_layers, Rng* rng) {
 }
 
 std::vector<ag::Var> Lstm::Forward(const std::vector<ag::Var>& steps) const {
+  if (steps.empty()) return {};
+  if (!LstmFusedEnabled()) {
+    // Legacy oracle: the original per-gate unrolled tape.
+    std::vector<ag::Var> current = steps;
+    int batch = steps[0].rows();
+    for (const LstmCell& layer : layers_) {
+      LstmCell::State state = layer.InitialState(batch);
+      std::vector<ag::Var> next;
+      next.reserve(current.size());
+      for (const ag::Var& x_t : current) {
+        state = layer.Step(x_t, state);
+        next.push_back(state.h);
+      }
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  // Fused path. Per layer: pack the gate weights once, project all T
+  // input steps with a single [T*B x 4H] matmul when the inputs carry no
+  // gradient (layer 0's constant embeddings — big enough to clear the
+  // parallel-dispatch threshold), then run one recurrent matmul plus one
+  // fused gate op per step. State threads through as one [B x 2H] = [h|c]
+  // Var; the h read for step t+1 and for the layer output is the same
+  // SliceCols node, which keeps the gradient accumulation order identical
+  // to the legacy tape (recurrent contributions first, then consumers).
+  const int batch = steps[0].rows();
+  const int T = static_cast<int>(steps.size());
   std::vector<ag::Var> current = steps;
-  int batch = steps.empty() ? 0 : steps[0].rows();
   for (const LstmCell& layer : layers_) {
-    LstmCell::State state = layer.InitialState(batch);
-    std::vector<ag::Var> next;
-    next.reserve(current.size());
+    const int h_dim = layer.hidden_dim();
+    LstmCell::Packed packed = layer.Pack();
+    bool const_input = true;
     for (const ag::Var& x_t : current) {
-      state = layer.Step(x_t, state);
-      next.push_back(state.h);
+      const_input = const_input && !x_t.requires_grad();
+    }
+    ag::Var xp_all;
+    if (const_input) {
+      std::vector<Matrix> xvals;
+      xvals.reserve(T);
+      for (const ag::Var& x_t : current) xvals.push_back(x_t.value());
+      xp_all = ag::LstmInputProjection(clfd::ConcatRows(xvals), packed.wx,
+                                       batch);
+    }
+    ag::Var hc = ag::Constant(Matrix(batch, 2 * h_dim));
+    std::vector<ag::Var> next;
+    next.reserve(T);
+    for (int t = 0; t < T; ++t) {
+      ag::Var h_prev = t == 0 ? ag::SliceCols(hc, 0, h_dim) : next.back();
+      ag::Var xproj =
+          const_input
+              ? ag::SliceRows(xp_all, t * batch, (t + 1) * batch)
+              : ag::LstmPackedMatMul(current[t], packed.wx);
+      ag::Var pre = ag::AddRowBroadcast(
+          ag::Add(xproj, ag::LstmPackedMatMul(h_prev, packed.wh)), packed.b);
+      hc = ag::LstmGates(pre, hc);
+      next.push_back(ag::SliceCols(hc, 0, h_dim));
     }
     current = std::move(next);
   }

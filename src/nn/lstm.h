@@ -9,6 +9,38 @@
 namespace clfd {
 namespace nn {
 
+// Selects the LSTM forward implementation (reads CLFD_LSTM_FUSED on first
+// use, default on). Fused = packed-gate kernels + the ag::LstmGates op
+// (1-2 matmuls per step); legacy = the original per-gate tape (~8 matmuls
+// and ~12 elementwise nodes per step), kept compiled as the equivalence
+// oracle. The two paths are bitwise identical — forward values, gradients
+// and downstream RunMetrics — locked by tests/nn_test.cc and
+// tests/eval_test.cc, so this switch trades speed only.
+//
+// Scope of the gradient guarantee: forward values are bitwise identical
+// for any graph. Gradients are bitwise identical for graphs that consume
+// every timestep's output (as every encoder here does, via the masked
+// mean). A loss reaching the unroll only through the final h makes the
+// legacy tape accumulate the o-gate's dWx in the opposite time order from
+// the other gates — an asymmetry no packed accumulator can mirror — so
+// such graphs may differ in dWx by summation order (one ulp); see
+// LstmTest.FusedMatchesLegacyBitwiseWithInputGrads.
+bool LstmFusedEnabled();
+void SetLstmFusedEnabled(bool on);
+
+class ScopedLstmFused {
+ public:
+  explicit ScopedLstmFused(bool on) : saved_(LstmFusedEnabled()) {
+    SetLstmFusedEnabled(on);
+  }
+  ~ScopedLstmFused() { SetLstmFusedEnabled(saved_); }
+  ScopedLstmFused(const ScopedLstmFused&) = delete;
+  ScopedLstmFused& operator=(const ScopedLstmFused&) = delete;
+
+ private:
+  bool saved_;
+};
+
 // A single LSTM layer with per-gate weight matrices.
 //
 // Gates (i, f, g, o) each have input weights Wx [in x h], recurrent weights
@@ -26,8 +58,23 @@ class LstmCell : public Module {
   // Zero state for a batch of the given size.
   State InitialState(int batch) const;
 
-  // One timestep: consumes x_t [B x in] and the previous state.
+  // One timestep: consumes x_t [B x in] and the previous state. This is
+  // the legacy unfused tape; Lstm::Forward uses it when fused mode is off.
   State Step(const ag::Var& x_t, const State& prev) const;
+
+  // Column-packed views of the gate parameters for the fused path:
+  // wx [in x 4H], wh [H x 4H], b [1 x 4H], gate blocks in index order
+  // (i, f, g, o). Built per forward pass via ag::ConcatCols, so the
+  // per-gate matrices remain the canonical parameters — Parameters()
+  // order, optimizer state, gradient clipping and serialization are
+  // untouched by fusion — and the packed gradient flows back into the
+  // per-gate gradients exactly.
+  struct Packed {
+    ag::Var wx;
+    ag::Var wh;
+    ag::Var b;
+  };
+  Packed Pack() const;
 
   std::vector<ag::Var> Parameters() const override;
 

@@ -2,13 +2,23 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace clfd {
 namespace nn {
 
 void ZeroGrads(const std::vector<ag::Var>& params) {
+  // Zero in place when the buffer already exists: parameter gradients are
+  // allocated once (optimizer construction, EnsureReplicas) and recycled
+  // every step after that, which keeps them off the per-step arena and
+  // makes the optimizer step allocation-free.
   for (const ag::Var& p : params) {
-    p.node()->grad = Matrix(p.rows(), p.cols());
+    Matrix& g = p.mutable_grad();
+    if (g.SameShape(p.value())) {
+      g.Fill(0.0f);
+    } else {
+      g = Matrix(p.rows(), p.cols());
+    }
   }
 }
 
@@ -17,9 +27,14 @@ void CopyParameterValues(const std::vector<ag::Var>& src,
   assert(src.size() == dst.size());
   for (size_t i = 0; i < src.size(); ++i) {
     assert(src[i].value().SameShape(dst[i].value()));
-    dst[i].mutable_value() = src[i].value();
-    dst[i].mutable_grad() = Matrix(src[i].rows(), src[i].cols());
+    // In-place copy: keeps the destination's storage (replica parameters
+    // stay heap-backed across arena-scoped training steps).
+    if (src[i].value().size() > 0) {
+      std::memcpy(dst[i].mutable_value().data(), src[i].value().data(),
+                  static_cast<size_t>(src[i].value().size()) * sizeof(float));
+    }
   }
+  ZeroGrads(dst);
 }
 
 float ClipGradNorm(const std::vector<ag::Var>& params, float max_norm) {

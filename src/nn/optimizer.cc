@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/module.h"
+#include "obs/metrics.h"
 
 namespace clfd {
 namespace nn {
@@ -21,9 +22,21 @@ Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
 }
 
 void Adam::Step() {
+  CLFD_METRIC_COUNT("optim.adam.steps", 1);
   ++t_;
-  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
-  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  // Per-step scalars hoisted out of the element loop: the two bias
+  // corrections become one multiply each instead of a divide, and every
+  // loop-invariant member load is pinned in a local. With ZeroGrads
+  // recycling the gradient buffers, the whole step is allocation- and
+  // branch-free (see BM_AdamStep).
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float inv_bc1 = 1.0f / bc1;
+  const float inv_bc2 = 1.0f / bc2;
+  const float lr = lr_;
+  const float b1 = beta1_, one_minus_b1 = 1.0f - beta1_;
+  const float b2 = beta2_, one_minus_b2 = 1.0f - beta2_;
+  const float eps = eps_;
   for (size_t i = 0; i < params_.size(); ++i) {
     Matrix& value = params_[i].mutable_value();
     const Matrix& grad = params_[i].grad();
@@ -31,11 +44,11 @@ void Adam::Step() {
     Matrix& v = v_[i];
     for (int j = 0; j < value.size(); ++j) {
       float g = grad[j];
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
-      float mhat = m[j] / bc1;
-      float vhat = v[j] / bc2;
-      value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      m[j] = b1 * m[j] + one_minus_b1 * g;
+      v[j] = b2 * v[j] + one_minus_b2 * g * g;
+      float mhat = m[j] * inv_bc1;
+      float vhat = v[j] * inv_bc2;
+      value[j] -= lr * mhat / (std::sqrt(vhat) + eps);
     }
   }
   ZeroGrad();

@@ -1,0 +1,101 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace clfd {
+namespace arena {
+
+namespace {
+
+constexpr size_t kBlockFloats = 16;  // 64-byte granularity
+
+size_t RoundUp(size_t n) {
+  return (n + kBlockFloats - 1) / kBlockFloats * kBlockFloats;
+}
+
+// -1 = read CLFD_ARENA on first use (default on). A dispatch switch like
+// the matmul parallel threshold: it decides where Matrix storage lives,
+// never what is computed — arena on/off equality is locked by test.
+// clfd-lint: allow(concurrency-mutable-global)
+std::atomic<int> g_enabled{-1};
+
+// The active arena of *this* thread. Thread-local by design: the sharded
+// trainer opens a different shard's arena on every worker, and a worker
+// must never see another worker's scope.
+// clfd-lint: allow(concurrency-mutable-global)
+thread_local Arena* t_current = nullptr;
+
+}  // namespace
+
+Arena::Arena(size_t initial_floats)
+    : next_capacity_(std::max(RoundUp(initial_floats), kBlockFloats)) {}
+
+float* Arena::Allocate(size_t count) {
+  size_t need = RoundUp(std::max<size_t>(count, 1));
+  while (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    if (c.capacity - c.used >= need) {
+      float* p = c.data.get() + c.used;
+      c.used += need;
+      return p;
+    }
+    ++active_;
+  }
+  size_t cap = std::max(next_capacity_, need);
+  next_capacity_ = std::min(cap * 2, kMaxChunkFloats);
+  chunks_.push_back(Chunk{std::make_unique<float[]>(cap), cap, need});
+  active_ = chunks_.size() - 1;
+  return chunks_.back().data.get();
+}
+
+void Arena::Reset() {
+  if (check::Enabled()) {
+    // Poison the recycled region so a Matrix that escaped its step reads
+    // as NaN and fails the next CheckFinite with clear provenance.
+    const float qnan = std::numeric_limits<float>::quiet_NaN();
+    for (Chunk& c : chunks_) {
+      std::fill(c.data.get(), c.data.get() + c.used, qnan);
+    }
+  }
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+}
+
+size_t Arena::floats_in_use() const {
+  size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.used;
+  return total;
+}
+
+size_t Arena::floats_reserved() const {
+  size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.capacity;
+  return total;
+}
+
+bool Enabled() {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = GetEnvBool("CLFD_ARENA", true) ? 1 : 0;
+    g_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetEnabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+Arena* Current() { return Enabled() ? t_current : nullptr; }
+
+ScopedArena::ScopedArena(Arena* a) : saved_(t_current) { t_current = a; }
+
+ScopedArena::~ScopedArena() { t_current = saved_; }
+
+}  // namespace arena
+}  // namespace clfd

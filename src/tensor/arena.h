@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace clfd {
+namespace arena {
+
+// Bump allocator backing autograd-tape intermediates.
+//
+// A training step builds a few thousand small Matrix values (forward
+// activations, gradients, kernel temporaries) that all die together when
+// the step's tape is dropped. Serving them from a per-step arena replaces
+// thousands of heap malloc/free pairs with pointer bumps into a handful of
+// chunks that are recycled across steps (after the first step or two the
+// arena stops growing and allocation is just an offset add).
+//
+// Concurrency contract: an Arena has NO internal locking. Each arena must
+// be used by one logical stream of work at a time — the main training loop
+// uses one arena, and the sharded trainer gives every shard replica its
+// own (the handoff between the forward and backward ParallelFor regions is
+// ordered by the pool's join, which establishes the needed happens-before).
+//
+// Lifetime contract: memory handed out by Allocate() stays valid until the
+// next Reset() of the same arena — NOT until the ScopedArena closes. A
+// training step therefore Reset()s its arena at the *start* of the step,
+// so values produced inside the previous scope (e.g. the loss scalar that
+// the caller reads after backward) remain readable until the next step
+// begins. Nothing allocated inside a step may be kept across the next
+// Reset(); when runtime checks are enabled (common/check.h), Reset()
+// poisons the recycled region with quiet NaNs so any Matrix that escaped
+// its step is caught by the very next CheckFinite that touches it.
+class Arena {
+ public:
+  // Initial chunk capacity in floats. Further chunks double until
+  // kMaxChunkFloats.
+  explicit Arena(size_t initial_floats = 1 << 18);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns an *uninitialized* block of `count` floats (16-float
+  // granularity so consecutive blocks do not share a cache line pair);
+  // Matrix fills or memcpys over it. Never returns nullptr for count > 0.
+  float* Allocate(size_t count);
+
+  // Reclaims everything allocated since the last Reset. O(chunks); under
+  // check::Enabled() also NaN-poisons the recycled region (see above).
+  void Reset();
+
+  size_t floats_in_use() const;
+  size_t floats_reserved() const;
+  int64_t chunk_count() const { return static_cast<int64_t>(chunks_.size()); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<float[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+
+  static constexpr size_t kMaxChunkFloats = size_t{1} << 24;  // 64 MiB
+
+  std::vector<Chunk> chunks_;
+  size_t active_ = 0;  // chunks_[active_] is the one being bumped
+  size_t next_capacity_;
+};
+
+// Global on/off switch for arena-backed Matrix storage (reads CLFD_ARENA on
+// first use, default on). With the switch off, ScopedArena regions are
+// inert and every Matrix lives on the heap — the pre-arena behavior. Tests
+// use ScopedEnabled to pin either mode.
+bool Enabled();
+void SetEnabled(bool on);
+
+class ScopedEnabled {
+ public:
+  explicit ScopedEnabled(bool on) : saved_(Enabled()) { SetEnabled(on); }
+  ~ScopedEnabled() { SetEnabled(saved_); }
+  ScopedEnabled(const ScopedEnabled&) = delete;
+  ScopedEnabled& operator=(const ScopedEnabled&) = delete;
+
+ private:
+  bool saved_;
+};
+
+// The arena newly constructed Matrix storage is served from, if any.
+// Thread-local: each worker thread (and the main thread) sees only the
+// scope it opened. Returns nullptr when no scope is active or the global
+// switch is off — callers fall back to the heap.
+Arena* Current();
+
+// Routes Matrix storage allocated on this thread to `a` for the lifetime
+// of the scope. Does NOT reset the arena — steps call Reset() explicitly
+// at their start so the previous step's outputs stay readable (see the
+// lifetime contract above). Scopes nest; the previous target is restored
+// on destruction.
+class ScopedArena {
+ public:
+  explicit ScopedArena(Arena* a);
+  ~ScopedArena();
+  ScopedArena(const ScopedArena&) = delete;
+  ScopedArena& operator=(const ScopedArena&) = delete;
+
+ private:
+  Arena* saved_;
+};
+
+}  // namespace arena
+}  // namespace clfd

@@ -11,6 +11,7 @@
 #include "common/env.h"
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
+#include "tensor/arena.h"
 
 namespace clfd {
 
@@ -22,6 +23,60 @@ std::string ShapeStr(const Matrix& m) {
 }
 
 }  // namespace
+
+void Matrix::AllocateStorage() {
+  const size_t n = static_cast<size_t>(rows_) * cols_;
+  if (n == 0) {
+    data_ = nullptr;
+    return;
+  }
+  if (arena::Arena* a = arena::Current()) {
+    CLFD_METRIC_COUNT("tensor.alloc.arena_count", 1);
+    CLFD_METRIC_COUNT("tensor.alloc.arena_bytes",
+                      static_cast<int64_t>(n * sizeof(float)));
+    data_ = a->Allocate(n);
+    // Release any heap backing from a previous life of this object: data_
+    // now points into the arena, and keeping a stale vector would pin
+    // memory for as long as the object lives.
+    if (!heap_.empty()) std::vector<float>().swap(heap_);
+    return;
+  }
+  // Count only resizes that actually hit the allocator; re-filling a
+  // vector that already has capacity (e.g. the optimizer's recycled
+  // gradient buffers) is free and must not inflate the alloc metrics.
+  if (heap_.capacity() < n) {
+    CLFD_METRIC_COUNT("tensor.alloc.count", 1);
+    CLFD_METRIC_COUNT("tensor.alloc.bytes",
+                      static_cast<int64_t>(n * sizeof(float)));
+  }
+  heap_.resize(n);
+  data_ = heap_.data();
+}
+
+Matrix::Matrix(int rows, int cols, float fill) : rows_(rows), cols_(cols) {
+  assert(rows >= 0 && cols >= 0);
+  AllocateStorage();
+  if (data_ != nullptr) std::fill(data_, data_ + size(), fill);
+}
+
+Matrix::Matrix(const Matrix& other)
+    : rows_(other.rows_), cols_(other.cols_) {
+  AllocateStorage();
+  if (data_ != nullptr) {
+    std::memcpy(data_, other.data_, static_cast<size_t>(size()) * sizeof(float));
+  }
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  AllocateStorage();
+  if (data_ != nullptr) {
+    std::memcpy(data_, other.data_, static_cast<size_t>(size()) * sizeof(float));
+  }
+  return *this;
+}
 
 void CheckFinite(const Matrix& a, const char* op) {
   if (!check::Enabled()) return;
@@ -68,7 +123,7 @@ Matrix Matrix::Randn(int rows, int cols, float stddev, Rng* rng) {
 }
 
 void Matrix::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  if (data_ != nullptr) std::fill(data_, data_ + size(), value);
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
@@ -84,7 +139,7 @@ void Matrix::AddScaled(const Matrix& other, float s) {
 }
 
 void Matrix::Scale(float s) {
-  for (float& x : data_) x *= s;
+  for (int i = 0; i < size(); ++i) data_[i] *= s;
 }
 
 void Matrix::CopyRowFrom(const Matrix& src, int src_r, int r) {
@@ -167,22 +222,30 @@ void MatMulTransposeBRows(const Matrix& a, const Matrix& b, Matrix* c, int r0,
   }
 }
 
-// Runs rows(a, b, &c, lo, hi) over all output rows, splitting across the
-// pool when the shape is worth it. Workers write disjoint row ranges of c.
-template <typename RowsFn>
-void DispatchRows(const Matrix& a, const Matrix& b, Matrix* c, int64_t flops,
-                  RowsFn rows_fn) {
-  int rows = c->rows();
+// Runs body(lo, hi) over [0, rows), splitting across the pool when the
+// nominal flop count is worth it. Workers write disjoint row ranges, and
+// serial/parallel share the body, so the split never changes results.
+template <typename Body>
+void DispatchRowRange(int rows, int64_t flops, Body body) {
   if (rows > 1 && flops >= MatmulParallelThreshold() &&
       !parallel::ThreadPool::InParallelRegion() &&
       parallel::GlobalThreadCount() > 1) {
     CLFD_METRIC_COUNT("tensor.matmul.parallel_dispatches", 1);
     parallel::ParallelFor(0, rows, 1, [&](int64_t lo, int64_t hi) {
-      rows_fn(a, b, c, static_cast<int>(lo), static_cast<int>(hi));
+      body(static_cast<int>(lo), static_cast<int>(hi));
     });
   } else {
-    rows_fn(a, b, c, 0, rows);
+    body(0, rows);
   }
+}
+
+// Matmul-shaped convenience wrapper over DispatchRowRange.
+template <typename RowsFn>
+void DispatchRows(const Matrix& a, const Matrix& b, Matrix* c, int64_t flops,
+                  RowsFn rows_fn) {
+  DispatchRowRange(c->rows(), flops, [&](int lo, int hi) {
+    rows_fn(a, b, c, lo, hi);
+  });
 }
 
 }  // namespace
@@ -238,6 +301,7 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
 }
 
 Matrix Transpose(const Matrix& a) {
+  CLFD_METRIC_COUNT("tensor.transpose.calls", 1);
   Matrix t(a.cols(), a.rows());
   for (int r = 0; r < a.rows(); ++r) {
     for (int c = 0; c < a.cols(); ++c) t.at(c, r) = a.at(r, c);
@@ -251,6 +315,7 @@ template <typename Fn>
 Matrix Binary(const Matrix& a, const Matrix& b, Fn fn) {
   CheckShape(a.SameShape(b), "Matrix elementwise op", a, b);
   assert(a.SameShape(b));
+  CLFD_METRIC_COUNT("tensor.elementwise.calls", 1);
   Matrix c(a.rows(), a.cols());
   for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i], b[i]);
   return c;
@@ -258,6 +323,7 @@ Matrix Binary(const Matrix& a, const Matrix& b, Fn fn) {
 
 template <typename Fn>
 Matrix Unary(const Matrix& a, Fn fn) {
+  CLFD_METRIC_COUNT("tensor.elementwise.calls", 1);
   Matrix c(a.rows(), a.cols());
   for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i]);
   return c;
@@ -348,6 +414,8 @@ Matrix MeanRows(const Matrix& a) {
 
 Matrix SoftmaxRows(const Matrix& a) {
   CLFD_METRIC_COUNT("tensor.softmax.calls", 1);
+  // Nominal cost: max + exp + sum + divide over every element.
+  CLFD_METRIC_COUNT("tensor.softmax.flops", int64_t{4} * a.size());
   Matrix out(a.rows(), a.cols());
   for (int r = 0; r < a.rows(); ++r) {
     const float* arow = a.row(r);
@@ -367,6 +435,7 @@ Matrix SoftmaxRows(const Matrix& a) {
 }
 
 Matrix ConcatRows(const std::vector<Matrix>& blocks) {
+  CLFD_METRIC_COUNT("tensor.concat_rows.calls", 1);
   if (blocks.empty()) return Matrix();
   int cols = blocks[0].cols();
   int rows = 0;
@@ -384,6 +453,7 @@ Matrix ConcatRows(const std::vector<Matrix>& blocks) {
 }
 
 Matrix SliceRows(const Matrix& a, int begin, int end) {
+  CLFD_METRIC_COUNT("tensor.slice_rows.calls", 1);
   if (check::Enabled() && !(begin >= 0 && begin <= end && end <= a.rows())) {
     check::Fail("SliceRows: range [" + std::to_string(begin) + ", " +
                 std::to_string(end) + ") out of bounds for " +
@@ -393,6 +463,216 @@ Matrix SliceRows(const Matrix& a, int begin, int end) {
   Matrix out(end - begin, a.cols());
   for (int r = begin; r < end; ++r) out.CopyRowFrom(a, r, r - begin);
   return out;
+}
+
+Matrix ConcatCols(const std::vector<Matrix>& blocks) {
+  CLFD_METRIC_COUNT("tensor.concat_cols.calls", 1);
+  if (blocks.empty()) return Matrix();
+  int rows = blocks[0].rows();
+  int cols = 0;
+  for (const Matrix& b : blocks) {
+    CheckShape(b.rows() == rows, "ConcatCols", blocks[0], b);
+    assert(b.rows() == rows);
+    cols += b.cols();
+  }
+  Matrix out(rows, cols);
+  int c0 = 0;
+  for (const Matrix& b : blocks) {
+    for (int r = 0; r < rows; ++r) {
+      std::memcpy(out.row(r) + c0, b.row(r),
+                  static_cast<size_t>(b.cols()) * sizeof(float));
+    }
+    c0 += b.cols();
+  }
+  return out;
+}
+
+Matrix SliceCols(const Matrix& a, int begin, int end) {
+  CLFD_METRIC_COUNT("tensor.slice_cols.calls", 1);
+  if (check::Enabled() && !(begin >= 0 && begin <= end && end <= a.cols())) {
+    check::Fail("SliceCols: range [" + std::to_string(begin) + ", " +
+                std::to_string(end) + ") out of bounds for " + ShapeStr(a));
+  }
+  assert(begin >= 0 && begin <= end && end <= a.cols());
+  Matrix out(a.rows(), end - begin);
+  for (int r = 0; r < a.rows(); ++r) {
+    std::memcpy(out.row(r), a.row(r) + begin,
+                static_cast<size_t>(end - begin) * sizeof(float));
+  }
+  return out;
+}
+
+namespace {
+
+// Per-row bodies of the fused LSTM kernels, shared by the serial and
+// parallel dispatch paths like the matmul bodies above. Every scalar
+// statement below mirrors one unfused tensor-op expression (one rounding
+// per arithmetic op, no re-association), which is what makes the fused
+// path bit-identical to the legacy tape — see the derivation in DESIGN.md
+// §9 and the equality tests in tests/nn_test.cc.
+
+void LstmGatesForwardRows(const Matrix& pre, const Matrix& hc_prev, Matrix* hc,
+                          Matrix* acts, int r0, int r1) {
+  const int h = pre.cols() / 4;
+  for (int r = r0; r < r1; ++r) {
+    const float* p = pre.row(r);
+    const float* hcp = hc_prev.row(r);
+    float* out = hc->row(r);
+    float* act = acts->row(r);
+    for (int j = 0; j < h; ++j) {
+      float iv = 1.0f / (1.0f + std::exp(-p[j]));           // Sigmoid
+      float fv = 1.0f / (1.0f + std::exp(-p[h + j]));       // Sigmoid
+      float gv = std::tanh(p[2 * h + j]);                   // Tanh
+      float ov = 1.0f / (1.0f + std::exp(-p[3 * h + j]));   // Sigmoid
+      float t1 = fv * hcp[h + j];                           // Mul(f, c_prev)
+      float t2 = iv * gv;                                   // Mul(i, g)
+      float cv = t1 + t2;                                   // Add
+      float tc = std::tanh(cv);                             // Tanh
+      out[j] = ov * tc;                                     // Mul -> h_t
+      out[h + j] = cv;                                      // c_t
+      act[j] = iv;
+      act[h + j] = fv;
+      act[2 * h + j] = gv;
+      act[3 * h + j] = ov;
+      act[4 * h + j] = tc;
+    }
+  }
+}
+
+void LstmGatesBackwardRows(const Matrix& gout, const Matrix& acts,
+                           const Matrix& hc_prev, Matrix* dpre,
+                           Matrix* dhc_prev, int r0, int r1) {
+  const int h = dpre->cols() / 4;
+  for (int r = r0; r < r1; ++r) {
+    const float* g = gout.row(r);
+    const float* act = acts.row(r);
+    const float* hcp = hc_prev.row(r);
+    float* dp = dpre->row(r);
+    float* dhp = dhc_prev != nullptr ? dhc_prev->row(r) : nullptr;
+    for (int j = 0; j < h; ++j) {
+      float iv = act[j], fv = act[h + j], gv = act[2 * h + j];
+      float ov = act[3 * h + j], tc = act[4 * h + j];
+      float dh = g[j];           // d loss / d h_t
+      float dc_ext = g[h + j];   // d loss / d c_t from step t+1 (0 at t=T-1)
+      float dov = dh * tc;                       // Mul backward, o side
+      float dtc = dh * ov;                       // Mul backward, tanh side
+      float dc = dc_ext + dtc * (1.0f - tc * tc);  // Tanh backward into c
+      float div_ = dc * gv;                      // Mul(i, g) backward, i
+      float dgv = dc * iv;                       // Mul(i, g) backward, g
+      float dfv = dc * hcp[h + j];               // Mul(f, c_prev) backward, f
+      if (dhp != nullptr) dhp[h + j] += dc * fv;  // ... and the c_prev side
+      dp[j] += div_ * iv * (1.0f - iv);          // Sigmoid backward (i)
+      dp[h + j] += dfv * fv * (1.0f - fv);       // Sigmoid backward (f)
+      dp[2 * h + j] += dgv * (1.0f - gv * gv);   // Tanh backward (g)
+      dp[3 * h + j] += dov * ov * (1.0f - ov);   // Sigmoid backward (o)
+    }
+  }
+}
+
+void MatMulTransposeBGateBlockedRows(const Matrix& g, const Matrix& w,
+                                     Matrix* acc, int r0, int r1) {
+  const int h = w.cols() / 4;
+  for (int i = r0; i < r1; ++i) {
+    const float* grow = g.row(i);
+    float* arow = acc->row(i);
+    for (int blk : kLstmGateBackwardOrder) {
+      const int k0 = blk * h;
+      for (int j = 0; j < w.rows(); ++j) {
+        const float* wrow = w.row(j);
+        float partial = 0.0f;
+        for (int k = 0; k < h; ++k) partial += grow[k0 + k] * wrow[k0 + k];
+        arow[j] += partial;
+      }
+    }
+  }
+}
+
+void MatMulTransposeATimeBlockedRows(const Matrix& x, const Matrix& g,
+                                     int block_rows, Matrix* acc, int r0,
+                                     int r1) {
+  const int n = g.cols();
+  const int t_blocks = x.rows() / block_rows;
+  std::vector<float> partial(n);
+  for (int i = r0; i < r1; ++i) {
+    float* arow = acc->row(i);
+    for (int tb = t_blocks - 1; tb >= 0; --tb) {
+      std::fill(partial.begin(), partial.end(), 0.0f);
+      for (int k = tb * block_rows; k < (tb + 1) * block_rows; ++k) {
+        float aki = x.at(k, i);
+        if (aki == 0.0f) continue;
+        const float* grow = g.row(k);
+        for (int j = 0; j < n; ++j) partial[j] += aki * grow[j];
+      }
+      for (int j = 0; j < n; ++j) arow[j] += partial[j];
+    }
+  }
+}
+
+}  // namespace
+
+void LstmGatesForward(const Matrix& pre, const Matrix& hc_prev, Matrix* hc,
+                      Matrix* acts) {
+  const int h = pre.cols() / 4;
+  CheckShape(pre.cols() == 4 * h && hc_prev.rows() == pre.rows() &&
+                 hc_prev.cols() == 2 * h,
+             "LstmGatesForward", pre, hc_prev);
+  assert(pre.cols() % 4 == 0 && hc_prev.rows() == pre.rows() &&
+         hc_prev.cols() == 2 * h);
+  CLFD_METRIC_COUNT("tensor.lstm_gates.calls", 1);
+  // Nominal cost: ~12 unfused elementwise ops over [B x H].
+  const int64_t flops = int64_t{12} * pre.rows() * h;
+  CLFD_METRIC_COUNT("tensor.lstm_gates.flops", flops);
+  *hc = Matrix(pre.rows(), 2 * h);
+  *acts = Matrix(pre.rows(), 5 * h);
+  DispatchRowRange(pre.rows(), flops, [&](int lo, int hi) {
+    LstmGatesForwardRows(pre, hc_prev, hc, acts, lo, hi);
+  });
+}
+
+void LstmGatesBackward(const Matrix& gout, const Matrix& acts,
+                       const Matrix& hc_prev, Matrix* dpre,
+                       Matrix* dhc_prev) {
+  const int h = dpre->cols() / 4;
+  CheckShape(gout.rows() == dpre->rows() && gout.cols() == 2 * h &&
+                 acts.rows() == gout.rows() && acts.cols() == 5 * h,
+             "LstmGatesBackward", gout, acts);
+  assert(gout.rows() == dpre->rows() && gout.cols() == 2 * h &&
+         acts.cols() == 5 * h && hc_prev.SameShape(gout));
+  assert(dhc_prev == nullptr || dhc_prev->SameShape(gout));
+  CLFD_METRIC_COUNT("tensor.lstm_gates.calls", 1);
+  const int64_t flops = int64_t{20} * gout.rows() * h;
+  CLFD_METRIC_COUNT("tensor.lstm_gates.flops", flops);
+  DispatchRowRange(gout.rows(), flops, [&](int lo, int hi) {
+    LstmGatesBackwardRows(gout, acts, hc_prev, dpre, dhc_prev, lo, hi);
+  });
+}
+
+void MatMulTransposeBGateBlockedAddInto(const Matrix& g, const Matrix& w,
+                                        Matrix* acc) {
+  CheckShape(g.cols() == w.cols() && w.cols() % 4 == 0, "MatMulTransposeBGateBlocked",
+             g, w);
+  assert(g.cols() == w.cols() && w.cols() % 4 == 0);
+  assert(acc->rows() == g.rows() && acc->cols() == w.rows());
+  CLFD_METRIC_COUNT("tensor.matmul_tb_blocked.calls", 1);
+  const int64_t flops = int64_t{2} * g.rows() * g.cols() * w.rows();
+  CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  DispatchRowRange(g.rows(), flops, [&](int lo, int hi) {
+    MatMulTransposeBGateBlockedRows(g, w, acc, lo, hi);
+  });
+}
+
+void MatMulTransposeATimeBlockedAddInto(const Matrix& x, const Matrix& g,
+                                        int block_rows, Matrix* acc) {
+  CheckShape(x.rows() == g.rows(), "MatMulTransposeATimeBlocked", x, g);
+  assert(x.rows() == g.rows() && block_rows > 0 &&
+         x.rows() % block_rows == 0);
+  assert(acc->rows() == x.cols() && acc->cols() == g.cols());
+  CLFD_METRIC_COUNT("tensor.matmul_ta_blocked.calls", 1);
+  const int64_t flops = int64_t{2} * x.cols() * x.rows() * g.cols();
+  CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  DispatchRowRange(acc->rows(), flops, [&](int lo, int hi) {
+    MatMulTransposeATimeBlockedRows(x, g, block_rows, acc, lo, hi);
+  });
 }
 
 float RowNorm(const Matrix& a, int r) {

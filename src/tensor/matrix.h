@@ -22,11 +22,33 @@ namespace clfd {
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
-  Matrix(int rows, int cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, fill) {
-    assert(rows >= 0 && cols >= 0);
+  Matrix(int rows, int cols, float fill = 0.0f);
+
+  // Storage indirection (see tensor/arena.h): data_ points either into
+  // heap_ (the default std::vector path) or into the thread's current
+  // arena. Copies allocate from whatever the current context is; moves
+  // carry the source's storage along (vector moves keep element addresses
+  // stable, so data_ transfers verbatim for both backings).
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_),
+        heap_(std::move(other.heap_)) {
+    other.rows_ = other.cols_ = 0;
+    other.data_ = nullptr;
   }
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = other.data_;
+      heap_ = std::move(other.heap_);
+      other.rows_ = other.cols_ = 0;
+      other.data_ = nullptr;
+    }
+    return *this;
+  }
+  ~Matrix() = default;
 
   static Matrix FromRows(const std::vector<std::vector<float>>& rows);
 
@@ -38,7 +60,7 @@ class Matrix {
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int size() const { return rows_ * cols_; }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return size() == 0; }
 
   float& at(int r, int c) {
     assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
@@ -51,11 +73,11 @@ class Matrix {
   float& operator[](int i) { return data_[i]; }
   float operator[](int i) const { return data_[i]; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  float* row(int r) { return data_ + static_cast<size_t>(r) * cols_; }
   const float* row(int r) const {
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return data_ + static_cast<size_t>(r) * cols_;
   }
 
   bool SameShape(const Matrix& other) const {
@@ -74,9 +96,15 @@ class Matrix {
   std::string DebugString(int max_rows = 6, int max_cols = 8) const;
 
  private:
+  // Allocates size() floats from the current arena (if a scope is active)
+  // or heap_, leaving the contents uninitialized; out of line so every
+  // allocation funnels through the tensor.alloc.* metrics.
+  void AllocateStorage();
+
   int rows_;
   int cols_;
-  std::vector<float> data_;
+  float* data_ = nullptr;
+  std::vector<float> heap_;
 };
 
 // ---- Free-function kernels (allocate and return the result). ----
@@ -147,6 +175,54 @@ Matrix SoftmaxRows(const Matrix& a);
 Matrix ConcatRows(const std::vector<Matrix>& blocks);
 // Rows [begin, end) of a.
 Matrix SliceRows(const Matrix& a, int begin, int end);
+
+// Concatenates blocks horizontally; all blocks must share the row count.
+Matrix ConcatCols(const std::vector<Matrix>& blocks);
+// Columns [begin, end) of a.
+Matrix SliceCols(const Matrix& a, int begin, int end);
+
+// ---- Fused LSTM kernels (see nn/lstm.cc and DESIGN.md §9) ----
+//
+// The packed layout keeps the four gates in H-wide column blocks of one
+// [.. x 4H] matrix, indexed i=0, f=1, g=2, o=3 like nn::LstmCell. Because
+// the matmul kernels above accumulate every output element over k
+// independently per *column*, packing columns changes no forward bit; the
+// two kernels below reproduce the legacy backward's accumulation order so
+// gradients are bit-identical too.
+
+// The order in which the legacy per-gate backward ops deposit their
+// contributions into a shared accumulator (reverse tape order of the
+// unfused step: candidate, input, forget, output). The blocked backward
+// kernels replay this order so fused == legacy holds bitwise.
+inline constexpr int kLstmGateBackwardOrder[4] = {2, 0, 1, 3};
+
+// Fused gate forward. pre [B x 4H] holds the packed preactivations,
+// hc_prev [B x 2H] = [h_{t-1} | c_{t-1}]. Writes hc [B x 2H] = [h_t | c_t]
+// and acts [B x 5H] = [i | f | g | o | tanh(c_t)], the values the backward
+// needs. Scalar math matches the unfused Sigmoid/Tanh/Mul/Add ops exactly.
+void LstmGatesForward(const Matrix& pre, const Matrix& hc_prev, Matrix* hc,
+                      Matrix* acts);
+
+// Fused gate backward. gout [B x 2H] is d(loss)/d(hc); adds d(loss)/d(pre)
+// into *dpre [B x 4H] and, when dhc_prev is non-null, adds
+// d(loss)/d(c_{t-1}) into its right half [B x 2H] (h_{t-1} feeds the step
+// only through the recurrent matmul, so its left half is untouched).
+void LstmGatesBackward(const Matrix& gout, const Matrix& acts,
+                       const Matrix& hc_prev, Matrix* dpre, Matrix* dhc_prev);
+
+// acc += g * w^T evaluated one H-wide gate block at a time in
+// kLstmGateBackwardOrder (fresh per-block dot, then add), exactly like the
+// four per-gate MatMulTransposeB + AddInPlace pairs of the legacy step.
+// g [R x 4H], w [C x 4H], acc [R x C].
+void MatMulTransposeBGateBlockedAddInto(const Matrix& g, const Matrix& w,
+                                        Matrix* acc);
+
+// acc += x^T * g accumulated per `block_rows`-row time block in DESCENDING
+// block order (fresh per-block partial, then add), exactly like the
+// per-step dWx MatMulTransposeA + AddInPlace pairs of the legacy unroll
+// running in reverse time. x [T*B x K], g [T*B x N], acc [K x N].
+void MatMulTransposeATimeBlockedAddInto(const Matrix& x, const Matrix& g,
+                                        int block_rows, Matrix* acc);
 
 // L2 norm of row r (with a small epsilon floor to avoid division by zero).
 float RowNorm(const Matrix& a, int r);

@@ -4,6 +4,7 @@
 
 #include "core/clfd.h"
 #include "eval/experiment.h"
+#include "nn/lstm.h"
 #include "parallel/thread_pool.h"
 
 namespace clfd {
@@ -76,6 +77,43 @@ TEST(ThreadInvarianceTest, SingleRunMetricsBitwiseIdentical) {
   EXPECT_EQ(runs[0].f1, runs[1].f1);
   EXPECT_EQ(runs[0].fpr, runs[1].fpr);
   EXPECT_EQ(runs[0].auc, runs[1].auc);
+}
+
+TEST(ThreadInvarianceTest, FusedLstmMatchesLegacyRunMetrics) {
+  // End-to-end oracle for the fused LSTM path: an identical full pipeline
+  // run (same seed, same data) must produce bitwise-identical RunMetrics
+  // with the fused kernels on and off, at every thread width. Combined
+  // with the width loop this also re-checks thread invariance of the
+  // fused kernels themselves.
+  SplitSpec split{40, 6, 20, 4};
+  ClfdConfig config = TinyConfig();
+  int widths[3] = {1, 2, 4};
+  RunMetrics legacy[3], fused[3];
+  for (int i = 0; i < 3; ++i) {
+    parallel::SetGlobalThreads(widths[i]);
+    {
+      nn::ScopedLstmFused off(false);
+      ExperimentContext context(DatasetKind::kWiki, split,
+                                NoiseSpec::Uniform(0.3), config.emb_dim, 33);
+      ClfdModel model(config, 33);
+      legacy[i] = TrainAndEvaluate(&model, context);
+    }
+    {
+      nn::ScopedLstmFused on(true);
+      ExperimentContext context(DatasetKind::kWiki, split,
+                                NoiseSpec::Uniform(0.3), config.emb_dim, 33);
+      ClfdModel model(config, 33);
+      fused[i] = TrainAndEvaluate(&model, context);
+    }
+  }
+  parallel::SetGlobalThreads(0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(legacy[i].f1, fused[i].f1) << "threads=" << widths[i];
+    EXPECT_EQ(legacy[i].fpr, fused[i].fpr) << "threads=" << widths[i];
+    EXPECT_EQ(legacy[i].auc, fused[i].auc) << "threads=" << widths[i];
+    EXPECT_EQ(fused[i].f1, fused[0].f1) << "threads=" << widths[i];
+    EXPECT_EQ(fused[i].auc, fused[0].auc) << "threads=" << widths[i];
+  }
 }
 
 TEST(ThreadInvarianceTest, SeedParallelAggregateBitwiseIdentical) {

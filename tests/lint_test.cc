@@ -212,6 +212,51 @@ TEST(LintRawNew, FlagsNewDeleteButNotDeletedFunctions) {
   EXPECT_EQ(CountRule(vs, kRuleRawNew), 0);
 }
 
+TEST(LintArenaScope, FlagsScopesThatCanOutliveAStep) {
+  // Member (trailing-underscore declarator), heap, and static placements
+  // all let the scope outlive the step that opened it.
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"arena::ScopedArena tape_scope_;"})),
+                      kRuleArenaScope),
+            1);
+  EXPECT_EQ(CountRule(
+                LintSource(kModelPath,
+                           Lines({"auto s = std::make_unique<arena::"
+                                  "ScopedArena>(&a);"})),
+                      kRuleArenaScope),
+            1);
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"static arena::ScopedArena s(&a);"})),
+                      kRuleArenaScope),
+            1);
+}
+
+TEST(LintArenaScope, StackLocalsAndAllowlistedFilesPass) {
+  EXPECT_EQ(CountRule(
+                LintSource(kModelPath,
+                           Lines({"arena::ScopedArena scope(&step_arena);"})),
+                kRuleArenaScope),
+            0);
+  // Owning a (non-scope) Arena in a member container is the intended
+  // pattern for per-shard arenas and must not fire.
+  EXPECT_EQ(CountRule(
+                LintSource(kModelPath,
+                           Lines({"arenas_.push_back(std::make_unique<"
+                                  "arena::Arena>());"})),
+                kRuleArenaScope),
+            0);
+  // The arena implementation itself is infrastructure.
+  EXPECT_EQ(CountRule(LintSource("src/tensor/arena.cc",
+                                 Lines({"static arena::ScopedArena s(&a);"})),
+                      kRuleArenaScope),
+            0);
+  auto vs = LintSource(
+      kModelPath,
+      Lines({"// clfd-lint: allow(arena-scope-escape)",
+             "arena::ScopedArena keep_alive_;"}));
+  EXPECT_EQ(CountRule(vs, kRuleArenaScope), 0);
+}
+
 TEST(LintLoggingStdio, FlagsDirectStdio) {
   EXPECT_EQ(CountRule(LintSource(kModelPath,
                                  Lines({"std::cout << loss;"})),
@@ -318,13 +363,13 @@ TEST(LintRules, EveryRuleIsRegistered) {
   const auto& names = RuleNames();
   for (const char* id :
        {kRuleDeterminismRand, kRuleDeterminismTime, kRuleDeterminismUnordered,
-        kRuleRawThread, kRuleMutableGlobal, kRuleRawNew, kRuleLoggingStdio,
-        kRulePragmaOnce, kRuleUsingNamespace}) {
+        kRuleRawThread, kRuleMutableGlobal, kRuleRawNew, kRuleArenaScope,
+        kRuleLoggingStdio, kRulePragmaOnce, kRuleUsingNamespace}) {
     EXPECT_NE(std::find(names.begin(), names.end(), std::string(id)),
               names.end())
         << id;
   }
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 10u);
 }
 
 }  // namespace

@@ -90,6 +90,90 @@ TEST(LstmTest, GradCheckThroughTime) {
   EXPECT_TRUE(result.ok(5e-2f)) << result.max_abs_error;
 }
 
+TEST(LstmTest, FusedMatchesLegacyBitwise) {
+  // The fused packed-gate path must reproduce the legacy per-gate tape to
+  // the last bit: forward values at every timestep AND every parameter
+  // gradient. Constant inputs exercise the batched [T*B x 4H] layer-0
+  // projection; the 2-layer net (in != hidden) exercises the per-step
+  // packed matmul for the grad-carrying upper-layer inputs.
+  Rng rng(40);
+  Lstm lstm(5, 4, 2, &rng);
+  std::vector<Matrix> inputs;
+  for (int t = 0; t < 3; ++t) {
+    inputs.push_back(Matrix::Randn(2, 5, 1.0f, &rng));
+  }
+  auto params = lstm.Parameters();
+  auto run = [&](bool fused, std::vector<Matrix>* values,
+                 std::vector<Matrix>* grads) {
+    ScopedLstmFused scoped(fused);
+    ZeroGrads(params);
+    std::vector<ag::Var> steps;
+    for (const auto& m : inputs) steps.push_back(ag::Constant(m));
+    auto hs = lstm.Forward(steps);
+    // Loss reads every timestep so each h_t has both a consumer and a
+    // recurrent gradient contribution — the ordering-sensitive case.
+    ag::Var loss = ag::SumAll(ag::Mul(hs[0], hs[0]));
+    for (size_t t = 1; t < hs.size(); ++t) {
+      loss = ag::Add(loss, ag::SumAll(ag::Mul(hs[t], hs[t])));
+    }
+    ag::Backward(loss);
+    for (const auto& h : hs) values->push_back(h.value());
+    for (const auto& p : params) grads->push_back(p.grad());
+  };
+  std::vector<Matrix> v_legacy, g_legacy, v_fused, g_fused;
+  run(false, &v_legacy, &g_legacy);
+  run(true, &v_fused, &g_fused);
+  ASSERT_EQ(v_legacy.size(), v_fused.size());
+  for (size_t t = 0; t < v_legacy.size(); ++t) {
+    EXPECT_EQ(MaxAbsDiff(v_legacy[t], v_fused[t]), 0.0f) << "step " << t;
+  }
+  ASSERT_EQ(g_legacy.size(), g_fused.size());
+  for (size_t i = 0; i < g_legacy.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(g_legacy[i], g_fused[i]), 0.0f) << "param " << i;
+  }
+}
+
+TEST(LstmTest, FusedMatchesLegacyBitwiseWithInputGrads) {
+  // Same equivalence with gradient-carrying inputs: layer 0 then takes the
+  // per-step ag::LstmPackedMatMul route instead of the batched projection,
+  // and the input gradients themselves must match bitwise too.
+  //
+  // The loss reads every timestep, like every real consumer in this repo
+  // (the encoders take a masked mean over all hidden states). That shape
+  // matters for bitwise equality of dWx: a loss that reaches the unroll
+  // ONLY through the last h makes the legacy tape's DFS accumulate the
+  // o-gate's input-matmul gradients in t-ascending order (they sit on the
+  // recursion spine) while the other gates accumulate t-descending — a
+  // per-gate asymmetry a packed accumulator cannot reproduce, leaving
+  // one-ulp summation-order differences in dWx for such graphs.
+  Rng rng(41);
+  Lstm lstm(3, 6, 2, &rng);
+  std::vector<ag::Var> inputs;
+  for (int t = 0; t < 4; ++t) {
+    inputs.push_back(ag::Param(Matrix::Randn(2, 3, 1.0f, &rng)));
+  }
+  std::vector<ag::Var> all = lstm.Parameters();
+  all.insert(all.end(), inputs.begin(), inputs.end());
+  auto run = [&](bool fused, std::vector<Matrix>* grads) {
+    ScopedLstmFused scoped(fused);
+    ZeroGrads(all);
+    auto hs = lstm.Forward(inputs);
+    ag::Var loss = ag::SumAll(ag::Mul(hs[0], hs[0]));
+    for (size_t t = 1; t < hs.size(); ++t) {
+      loss = ag::Add(loss, ag::SumAll(ag::Mul(hs[t], hs[t])));
+    }
+    ag::Backward(loss);
+    for (const auto& p : all) grads->push_back(p.grad());
+  };
+  std::vector<Matrix> g_legacy, g_fused;
+  run(false, &g_legacy);
+  run(true, &g_fused);
+  ASSERT_EQ(g_legacy.size(), g_fused.size());
+  for (size_t i = 0; i < g_legacy.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(g_legacy[i], g_fused[i]), 0.0f) << "var " << i;
+  }
+}
+
 TEST(LstmTest, SequenceOrderMatters) {
   // The encoder must be sensitive to ordering (the basis of the session-
   // reordering augmentation and of sequential detection).

@@ -7,6 +7,14 @@
 #   tools/ci.sh default ubsan # just those presets (+ lint)
 #   CLFD_CI_JOBS=8 tools/ci.sh
 #
+# When the default preset is in the run, the substrate micro-benchmarks
+# also run in smoke mode (short min-time) and emit BENCH_substrate.json:
+# kernel FLOP/s, matmul invocations and allocations per training step, and
+# wall-clock per phase (forward, forward+backward, optimizer, corrector
+# end-to-end). The arena itself is exercised under ASan/UBSan/TSan by the
+# ctest suite of those presets (arena_test plus every eval test runs with
+# CLFD_ARENA on by default).
+#
 # Every preset builds with -Werror (CLFD_WERROR defaults to ON) and runs
 # the whole ctest suite, which includes `lint.repo`; the explicit
 # clfd_lint invocation at the end is there so the violation listing is the
@@ -30,6 +38,16 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==== [${preset}] test"
   ctest --preset "${preset}" -j "${jobs}"
+done
+
+for preset in "${presets[@]}"; do
+  if [[ "${preset}" == "default" ]]; then
+    echo "==== [default] substrate micro-bench (smoke) -> BENCH_substrate.json"
+    ./build/bench/bench_micro_substrate \
+        --benchmark_min_time=0.05 \
+        --benchmark_out=BENCH_substrate.json \
+        --benchmark_out_format=json
+  fi
 done
 
 echo "==== clfd-lint"

@@ -267,6 +267,32 @@ bool LooksLikeMutableStaticDecl(const std::string& code) {
   return true;
 }
 
+// arena-scope-escape: a ScopedArena routes tape allocations into memory
+// that is recycled at the next step's Reset(), so the scope object must be
+// a plain stack local whose lifetime is bounded by one training step (or
+// one inference chunk). Flags placements that can outlive a step: static /
+// thread_local storage, heap placement (new / make_unique / make_shared /
+// unique_ptr), and class members (the trailing-underscore naming
+// convention). The static rule catches the declaration shape; actual
+// escaped *memory* is caught at runtime by the NaN poison Arena::Reset()
+// applies under check::Enabled().
+bool LooksLikeEscapingScopedArena(const std::string& code) {
+  if (!HasToken(code, "ScopedArena")) return false;
+  for (const char* bad :
+       {"static ", "thread_local ", "new ", "make_unique", "make_shared",
+        "unique_ptr", "shared_ptr"}) {
+    if (HasToken(code, bad)) return true;
+  }
+  // Member declaration: `arena::ScopedArena scope_;` — a declarator whose
+  // name ends in '_' right before the terminating ';' or '{...}'.
+  size_t pos = code.find("ScopedArena");
+  std::string rest = code.substr(pos);
+  size_t stop = rest.find_first_of(";={");
+  if (stop == std::string::npos) return false;
+  size_t name_end = rest.find_last_not_of(" \t", stop == 0 ? 0 : stop - 1);
+  return name_end != std::string::npos && rest[name_end] == '_';
+}
+
 // resource-raw-new: word `new` anywhere, word `delete` except `= delete`.
 bool HasRawNewDelete(const std::string& code, std::string* what) {
   // `new` must be followed by a type; "new " covers it, the EndsWith case
@@ -305,12 +331,17 @@ bool IsHeaderPath(const std::string& path) {
 
 // Infrastructure that legitimately owns threads, clocks, mutable process
 // state, and stderr: the observability layer, the thread pool, the seeded
-// RNG wrapper (the one place std::mt19937_64 may appear), and the invariant
-// checker's enable latch.
+// RNG wrapper (the one place std::mt19937_64 may appear), the invariant
+// checker's enable latch, and the tensor arena (its dispatch switch and
+// thread-local scope pointer are mutable globals by design — see
+// src/tensor/arena.cc; escape of arena memory past a training step is
+// caught at runtime by the NaN poison that Arena::Reset() applies under
+// check::Enabled(), not by a static pattern).
 bool IsInfraAllowlisted(const std::string& path) {
   return StartsWith(path, "src/obs/") || StartsWith(path, "src/parallel/") ||
          StartsWith(path, "src/common/rng.") ||
-         StartsWith(path, "src/common/check.");
+         StartsWith(path, "src/common/check.") ||
+         StartsWith(path, "src/tensor/arena.");
 }
 
 bool SourceRulesApply(const std::string& path) {
@@ -337,8 +368,8 @@ const std::vector<std::string>& RuleNames() {
       kRuleDeterminismRand,   kRuleDeterminismTime,
       kRuleDeterminismUnordered, kRuleRawThread,
       kRuleMutableGlobal,     kRuleRawNew,
-      kRuleLoggingStdio,      kRulePragmaOnce,
-      kRuleUsingNamespace,
+      kRuleArenaScope,        kRuleLoggingStdio,
+      kRulePragmaOnce,        kRuleUsingNamespace,
   };
   return *names;
 }
@@ -402,6 +433,13 @@ std::vector<Violation> LintSource(const std::string& rel_path,
                "raw `" + what +
                    "`; use std::make_unique/std::make_shared or a container "
                    "so ownership is explicit");
+      }
+      if (LooksLikeEscapingScopedArena(code)) {
+        report(i, kRuleArenaScope,
+               "ScopedArena must be a stack local bounded by one training "
+               "step (or inference chunk); static/member/heap placement "
+               "lets arena-backed tensors outlive the arena Reset() that "
+               "recycles their memory");
       }
     }
   }

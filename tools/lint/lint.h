@@ -25,6 +25,7 @@ inline constexpr const char kRuleDeterminismUnordered[] =
 inline constexpr const char kRuleRawThread[] = "concurrency-raw-thread";
 inline constexpr const char kRuleMutableGlobal[] = "concurrency-mutable-global";
 inline constexpr const char kRuleRawNew[] = "resource-raw-new";
+inline constexpr const char kRuleArenaScope[] = "arena-scope-escape";
 inline constexpr const char kRuleLoggingStdio[] = "logging-stdio";
 inline constexpr const char kRulePragmaOnce[] = "header-pragma-once";
 inline constexpr const char kRuleUsingNamespace[] = "header-using-namespace";
@@ -33,9 +34,10 @@ inline constexpr const char kRuleUsingNamespace[] = "header-using-namespace";
 const std::vector<std::string>& RuleNames();
 
 // Lints one translation unit. `rel_path` decides which rules apply:
-//   - determinism / concurrency / resource / logging rules run on files
-//     under src/ except the infrastructure allowlist (src/obs/,
-//     src/parallel/, src/common/rng.*, src/common/check.*);
+//   - determinism / concurrency / resource / logging / arena rules run on
+//     files under src/ except the infrastructure allowlist (src/obs/,
+//     src/parallel/, src/common/rng.*, src/common/check.*,
+//     src/tensor/arena.*);
 //   - header rules run on every .h/.hpp under src/, tests/, bench/, tools/.
 // A violation on a line is suppressed by `// clfd-lint: allow(<rule>[,..])`
 // in a comment on that line, or on an immediately preceding comment-only

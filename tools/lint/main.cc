@@ -2,7 +2,7 @@
 //
 // Walks src/, tests/, bench/, and tools/ under the repo root and enforces
 // the determinism / concurrency / resource / header invariants documented
-// in DESIGN.md §9. Zero third-party dependencies: a token/line scanner, not
+// in DESIGN.md §8. Zero third-party dependencies: a token/line scanner, not
 // a compiler frontend. Exit status is the number of files with violations
 // (clamped to 1), so it slots directly into ctest as `lint.repo`.
 //
