@@ -210,6 +210,40 @@ BENCHMARK(BM_CorrectorE2E)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Same corrector experiment with crash-consistent checkpointing armed at
+// the interval given by the arg (0 = checkpointing disabled, the control).
+// resume is off so every iteration retrains from scratch while paying the
+// full snapshot-encode + fsync cost; the acceptance target is <= 5%
+// wall-clock overhead at the default interval (5 epochs) versus arg 0.
+void BM_CorrectorE2ECheckpointed(benchmark::State& state) {
+  nn::ScopedLstmFused fused(true);
+  arena::ScopedEnabled arena_on(true);
+  SplitSpec split{60, 6, 30, 6};
+  ClfdConfig config = ClfdConfig::Fast();
+  config.emb_dim = 16;
+  config.hidden_dim = 16;
+  config.batch_size = 24;
+  config.aux_batch_size = 4;
+  config.budget = {2, 30, 2};
+  recovery::RecoveryOptions recovery;
+  if (state.range(0) > 0) {
+    recovery.dir = "/tmp/clfd_bench_ckpt";
+    recovery.interval_epochs = static_cast<int>(state.range(0));
+    recovery.resume = false;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunCorrectorExperiment(
+        DatasetKind::kWiki, split, NoiseSpec::Uniform(0.45), config,
+        /*seeds=*/1, /*base_seed=*/100, recovery));
+  }
+}
+BENCHMARK(BM_CorrectorE2ECheckpointed)
+    ->ArgName("interval")
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GceLoss(benchmark::State& state) {
   Rng rng(3);
   Matrix probs = SoftmaxRows(Matrix::Randn(100, 2, 1.0f, &rng));

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "obs/metrics.h"
 
 namespace clfd {
@@ -20,6 +22,13 @@ namespace {
 // backward pass (reusing one would double-propagate its gradients).
 Var MakeOp(const char* op, Matrix value, std::vector<NodePtr> parents,
            std::function<void(Node*)> backward_fn) {
+  // Fault probe: poisons one op output with NaN to rehearse numeric
+  // corruption. With checks on, CheckFinite below turns it into an
+  // InvariantError at the op boundary; with checks off it propagates to a
+  // non-finite loss — both paths are watchdog-recoverable.
+  if (fault::At("op.nan") && value.size() > 0) {
+    value.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  }
   if (check::Enabled()) {
     CheckFinite(value, op);
     for (const NodePtr& p : parents) {

@@ -1,0 +1,42 @@
+#pragma once
+
+namespace clfd {
+namespace fault {
+
+// Process-wide fault-injection probe points.
+//
+// Deep layers (the tensor arena, the autograd op boundary, checkpoint IO)
+// call fault::At("site.name") at the spots where a real-world failure could
+// strike — allocation, stream write, numeric corruption. In production the
+// call is one relaxed atomic load of a null pointer and the answer is
+// always "no fault". Test harnesses and the CLI's --fault-plan mode install
+// an Injector (recovery::FaultPlan) that decides deterministically — from
+// per-site hit counts and a seeded Rng, never from wall clock — which probe
+// fires.
+//
+// This header lives in common/ so every layer can host a probe without
+// depending on the recovery library that drives the plans.
+
+// Decides whether a probe fires. Implementations must be safe to call from
+// any thread (probes sit inside parallel training loops).
+class Injector {
+ public:
+  virtual ~Injector() = default;
+  // Called once per probe hit; true means "inject the fault here".
+  virtual bool At(const char* site) = 0;
+};
+
+// Installs the process-wide injector; nullptr disarms every probe. The
+// caller keeps ownership and must clear the injector before destroying it
+// (recovery::ScopedFaultPlan does both ends).
+void SetInjector(Injector* injector);
+
+// True when an injector is installed.
+bool Armed();
+
+// One probe. Returns false immediately (single relaxed load) when no
+// injector is installed.
+bool At(const char* site);
+
+}  // namespace fault
+}  // namespace clfd

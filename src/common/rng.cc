@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <numeric>
+#include <sstream>
 
 namespace clfd {
 
@@ -54,6 +55,30 @@ std::vector<int> Rng::SampleWithReplacement(int n, int k) {
   std::vector<int> out(k);
   for (int i = 0; i < k; ++i) out[i] = UniformInt(n);
   return out;
+}
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  // Newline separators keep the three stream-formatted components (which
+  // are themselves space-separated integer runs) unambiguous to re-parse.
+  out << seed_ << '\n' << engine_ << '\n' << unit_ << '\n' << normal_;
+  return out.str();
+}
+
+bool Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  // Parse into temporaries and commit only on full success so a malformed
+  // checkpoint can never leave this generator half-restored.
+  uint64_t seed = 0;
+  std::mt19937_64 engine;
+  std::uniform_real_distribution<double> unit;
+  std::normal_distribution<double> normal;
+  if (!(in >> seed >> engine >> unit >> normal)) return false;
+  seed_ = seed;
+  engine_ = engine;
+  unit_ = unit;
+  normal_ = normal;
+  return true;
 }
 
 int Rng::SampleDiscrete(const std::vector<double>& weights) {

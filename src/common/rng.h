@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace clfd {
@@ -79,6 +80,19 @@ class Rng {
   Rng Child(uint64_t key) const;
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Exact state capture for checkpointing. The serialized form covers the
+  // construction seed (so Child() keys keep resolving to the same streams),
+  // the mt19937_64 engine position, and both cached distributions —
+  // std::normal_distribution holds a spare Gaussian between draws, so
+  // streaming the distributions (not just the engine) is what makes
+  // resume-from-checkpoint bitwise-exact. The format is the standard
+  // library's own text representation, which round-trips exactly.
+  std::string SaveState() const;
+
+  // Restores state captured by SaveState(). Returns false (leaving this
+  // generator untouched) if the text does not parse as a full state.
+  bool LoadState(const std::string& state);
 
  private:
   uint64_t seed_;

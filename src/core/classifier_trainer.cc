@@ -10,6 +10,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "recovery/checkpoint.h"
 #include "tensor/arena.h"
 
 namespace clfd {
@@ -18,7 +19,8 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
                                const Matrix& features,
                                const std::vector<int>& labels,
                                const ClfdConfig& config, Rng* rng,
-                               const char* metric_scope) {
+                               const char* metric_scope,
+                               const recovery::PhaseHooks* hooks) {
   assert(features.rows() == static_cast<int>(labels.size()));
   int n = features.rows();
   if (n == 0) return;
@@ -31,8 +33,26 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
   // with one Reset at the start of the next batch.
   arena::Arena step_arena;
 
+  recovery::PhaseBegin(hooks, &optimizer);
+
+  // The shuffle order is mutated in place every epoch (consecutive
+  // Fisher-Yates passes), so on resume it must come back from the snapshot
+  // — rebuilding it as iota would change every subsequent batch
+  // composition and break exact resume.
   std::vector<int> order(n);
   for (int i = 0; i < n; ++i) order[i] = i;
+  if (hooks != nullptr && !hooks->local_state.empty()) {
+    recovery::ByteReader reader(hooks->local_state);
+    std::vector<int> restored = reader.GetInts();
+    if (static_cast<int>(restored.size()) != n) {
+      throw recovery::CheckpointError(
+          recovery::CheckpointStatus::kShapeMismatch,
+          "classifier shuffle order holds " +
+              std::to_string(restored.size()) + " entries, dataset has " +
+              std::to_string(n));
+    }
+    order = std::move(restored);
+  }
 
   // Auxiliary minority rows per batch, mirroring the auxiliary malicious
   // batch S^1 the paper uses in supervised contrastive pre-training (Sec.
@@ -61,12 +81,16 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
       std::string(metric_scope) + ".loss");
 #endif
 
-  for (int epoch = 0; epoch < config.budget.classifier_epochs; ++epoch) {
+  const int start_epoch = hooks != nullptr ? hooks->start_epoch : 0;
+  for (int epoch = start_epoch; epoch < config.budget.classifier_epochs;
+       ++epoch) {
     obs::TraceSpan epoch_span(metric_scope);
     double loss_sum = 0.0;
     int batches = 0;
     rng->Shuffle(&order);
     for (int start = 0; start < n; start += config.batch_size) {
+      float batch_loss = 0.0f;
+      bool ran = recovery::RunStep(hooks, &optimizer, [&]() -> float {
       // Reset at batch *start*, not batch end: the previous batch's loss
       // value has been read by then, and resetting here keeps the arena
       // contract simple (everything allocated below lives until this line
@@ -155,7 +179,10 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
       }
       ag::Backward(loss);
       optimizer.Step();
-      loss_sum += loss.value()[0];
+      return loss.value()[0];
+      }, &batch_loss);
+      if (!ran) continue;
+      loss_sum += batch_loss;
       ++batches;
     }
     double epoch_loss = batches > 0 ? loss_sum / batches : 0.0;
@@ -168,6 +195,12 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
                     << obs::Kv("scope", metric_scope)
                     << obs::Kv("epoch", epoch)
                     << obs::Kv("loss", epoch_loss);
+    if (hooks != nullptr && hooks->on_epoch_end) {
+      recovery::ByteWriter writer;
+      writer.PutInts(order);
+      recovery::PhaseEpochEnd(hooks, epoch, static_cast<float>(epoch_loss),
+                              &optimizer, writer.Take());
+    }
   }
   CLFD_LOG(INFO) << "classifier training done"
                  << obs::Kv("scope", metric_scope)

@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "core/config.h"
 #include "nn/classifier.h"
+#include "recovery/phase.h"
 #include "tensor/matrix.h"
 
 namespace clfd {
@@ -23,11 +24,18 @@ namespace clfd {
 // `metric_scope` names this training loop in the observability layer (a
 // string literal): per-epoch loss lands in the "<metric_scope>.loss"
 // series and epoch trace spans carry the scope name.
+//
+// `hooks` (optional) is the recovery surface. The loop's only persistent
+// state beyond params/optimizer/rng is the shuffle `order` vector, which
+// accumulates in-place Fisher-Yates passes across epochs; it is serialized
+// as the phase-local blob so a resumed run replays the identical batch
+// composition.
 void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
                                const Matrix& features,
                                const std::vector<int>& labels,
                                const ClfdConfig& config, Rng* rng,
-                               const char* metric_scope = "classifier");
+                               const char* metric_scope = "classifier",
+                               const recovery::PhaseHooks* hooks = nullptr);
 
 }  // namespace clfd
 

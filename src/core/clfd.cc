@@ -5,6 +5,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "recovery/run_checkpointer.h"
 
 namespace clfd {
 
@@ -20,11 +21,68 @@ ClfdModel::ClfdModel(const ClfdConfig& config, uint64_t seed)
 }
 
 void ClfdModel::Train(const SessionDataset& train, const Matrix& embeddings) {
+  TrainWithRecovery(train, embeddings, nullptr);
+}
+
+void ClfdModel::TrainWithRecovery(const SessionDataset& train,
+                                  const Matrix& embeddings,
+                                  recovery::RunCheckpointer* rc) {
   CLFD_TRACE_SPAN("clfd.train");
   std::vector<Correction> corrections;
+  if (rc != nullptr) {
+    if (corrector_) corrector_->RegisterState(rc);
+    if (detector_) detector_->RegisterState(rc);
+    // The corrections vector is the one piece of pipeline state that is not
+    // a parameter tensor or an Rng stream: it is produced between the
+    // corrector and detector phases and consumed by both detector phases.
+    rc->RegisterBlob(
+        "corrections",
+        [&corrections]() {
+          recovery::ByteWriter writer;
+          writer.PutU64(corrections.size());
+          for (const Correction& c : corrections) {
+            writer.PutI32(c.label);
+            writer.PutF64(c.confidence);
+          }
+          return writer.Take();
+        },
+        [&corrections, &train](const std::string& payload) {
+          recovery::ByteReader reader(payload);
+          uint64_t n = reader.GetU64();
+          // 12 bytes per entry (i32 label + f64 confidence): bound before
+          // allocating so a hostile length cannot drive a huge resize.
+          if (n > reader.remaining() / 12) {
+            throw recovery::CheckpointError(
+                recovery::CheckpointStatus::kTruncated,
+                "corrections blob length exceeds payload");
+          }
+          // Empty is legal: snapshots taken before the corrector finished
+          // carry no corrections yet (the resumed run recomputes them).
+          if (n != 0 && n != static_cast<uint64_t>(train.size())) {
+            throw recovery::CheckpointError(
+                recovery::CheckpointStatus::kShapeMismatch,
+                "corrections blob holds " + std::to_string(n) +
+                    " entries, dataset has " + std::to_string(train.size()));
+          }
+          std::vector<Correction> restored(n);
+          for (uint64_t i = 0; i < n; ++i) {
+            restored[i].label = reader.GetI32();
+            restored[i].confidence = reader.GetF64();
+          }
+          corrections = std::move(restored);
+        });
+    if (rc->LoadSnapshot()) rc->RestoreRegistered();
+  }
+  // After the corrector phase the corrections come from the snapshot, not
+  // from a recompute: bitwise-identical resume must not depend on the
+  // corrector's inference path.
+  const bool corrections_restored =
+      rc != nullptr && rc->has_snapshot() &&
+      rc->loaded_phase() > recovery::kPhaseCorrector &&
+      static_cast<int>(corrections.size()) == train.size();
   if (corrector_) {
-    corrector_->Train(train, embeddings);
-    corrections = corrector_->Correct(train);
+    corrector_->TrainWithRecovery(train, embeddings, rc);
+    if (!corrections_restored) corrections = corrector_->Correct(train);
     // Corrector-confidence distribution: a healthy corrector is confidently
     // bimodal; mass piling up near 0.5 signals drift (cf. the per-epoch
     // telemetry the PLS/ChiMera noisy-label pipelines rely on).
@@ -40,7 +98,7 @@ void ClfdModel::Train(const SessionDataset& train, const Matrix& embeddings) {
     CLFD_LOG(INFO) << "label corrections applied"
                    << obs::Kv("flips", flips)
                    << obs::Kv("sessions", train.size());
-  } else {
+  } else if (!corrections_restored) {
     // Ablation "w/o LC": the fraud detector consumes the noisy labels
     // directly with full confidence (vanilla supervised contrastive loss).
     corrections.resize(train.size());
@@ -50,8 +108,9 @@ void ClfdModel::Train(const SessionDataset& train, const Matrix& embeddings) {
     }
   }
   if (detector_) {
-    detector_->Train(train, corrections, embeddings);
+    detector_->TrainWithRecovery(train, corrections, embeddings, rc);
   }
+  if (rc != nullptr) rc->MarkTrainingComplete();
 }
 
 std::vector<double> ClfdModel::Score(const SessionDataset& data) const {

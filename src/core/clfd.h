@@ -31,6 +31,13 @@ class ClfdModel : public DetectorModel {
 
   void Train(const SessionDataset& train, const Matrix& embeddings) override;
 
+  // Fault-tolerant training: registers all mutable state (both sub-models'
+  // parameters, optimizer streams, Rng streams, and the corrections vector)
+  // with `rc`, resumes from its snapshot when one exists, and snapshots as
+  // training progresses. Null `rc` is exactly Train.
+  void TrainWithRecovery(const SessionDataset& train, const Matrix& embeddings,
+                         recovery::RunCheckpointer* rc) override;
+
   std::vector<double> Score(const SessionDataset& data) const override;
 
   // Corrections produced by the (trained) label corrector for `data`;

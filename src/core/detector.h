@@ -7,6 +7,9 @@
 #include "tensor/matrix.h"
 
 namespace clfd {
+namespace recovery {
+class RunCheckpointer;
+}  // namespace recovery
 
 // Common interface for CLFD and every baseline in the evaluation harness.
 //
@@ -24,6 +27,17 @@ class DetectorModel {
   // Trains on the noisy labels of `train`. `embeddings` is the
   // [vocab x emb_dim] activity embedding table for this dataset.
   virtual void Train(const SessionDataset& train, const Matrix& embeddings) = 0;
+
+  // Train with checkpoint/resume and watchdog hooks. Models that support
+  // fault-tolerant training (CLFD) override this; the default ignores `rc`
+  // and runs a plain Train, so baselines keep working unchanged under a
+  // recovery-enabled harness (they simply restart from scratch on retry).
+  virtual void TrainWithRecovery(const SessionDataset& train,
+                                 const Matrix& embeddings,
+                                 recovery::RunCheckpointer* rc) {
+    (void)rc;
+    Train(train, embeddings);
+  }
 
   // Malicious scores for every session in `data`.
   virtual std::vector<double> Score(const SessionDataset& data) const = 0;

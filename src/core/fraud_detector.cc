@@ -12,6 +12,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "recovery/run_checkpointer.h"
 
 namespace clfd {
 
@@ -24,14 +25,34 @@ FraudDetector::FraudDetector(const ClfdConfig& config, uint64_t seed)
 void FraudDetector::Train(const SessionDataset& train,
                           const std::vector<Correction>& corrections,
                           const Matrix& embeddings) {
+  TrainWithRecovery(train, corrections, embeddings, nullptr);
+}
+
+void FraudDetector::RegisterState(recovery::RunCheckpointer* rc) {
+  rc->RegisterParams("detector.encoder", encoder_.Parameters());
+  rc->RegisterParams("detector.classifier", classifier_.Parameters());
+  rc->RegisterRng("detector.rng", &rng_);
+}
+
+void FraudDetector::TrainWithRecovery(
+    const SessionDataset& train, const std::vector<Correction>& corrections,
+    const Matrix& embeddings, recovery::RunCheckpointer* rc) {
   embeddings_ = embeddings;
   {
     obs::PhaseSpan phase("detector");
-    SupervisedPretrain(train, corrections, embeddings);
+    recovery::PhaseHooks hooks;
+    if (rc != nullptr) {
+      hooks = rc->HooksFor(recovery::kPhaseDetector, "detector",
+                           config_.budget.contrastive_epochs);
+    }
+    SupervisedPretrain(train, corrections, embeddings,
+                       rc != nullptr ? &hooks : nullptr);
   }
 
   obs::PhaseSpan phase("classifier");
-  // Frozen representations for stage 2 and for centroid inference.
+  // Frozen representations for stage 2 and for centroid inference. Always
+  // recomputed (even on resume): they are a pure deterministic function of
+  // the restored encoder parameters.
   Matrix features = encoder_.EncodeDataset(train, embeddings_);
   std::vector<int> corrected_labels(train.size());
   for (int i = 0; i < train.size(); ++i) {
@@ -39,8 +60,14 @@ void FraudDetector::Train(const SessionDataset& train,
   }
 
   if (config_.use_classifier) {
+    recovery::PhaseHooks hooks;
+    if (rc != nullptr) {
+      hooks = rc->HooksFor(recovery::kPhaseClassifier, "classifier",
+                           config_.budget.classifier_epochs);
+    }
     TrainClassifierOnFeatures(&classifier_, features, corrected_labels,
-                              config_, &rng_, "detector.classifier");
+                              config_, &rng_, "detector.classifier",
+                              rc != nullptr ? &hooks : nullptr);
   } else {
     // "w/o classifier (FD)": per-class centroids of the corrected labels in
     // the encoded representation space [4].
@@ -65,10 +92,11 @@ void FraudDetector::Train(const SessionDataset& train,
 
 void FraudDetector::SupervisedPretrain(
     const SessionDataset& train, const std::vector<Correction>& corrections,
-    const Matrix& embeddings) {
+    const Matrix& embeddings, const recovery::PhaseHooks* hooks) {
   std::vector<ag::Var> params = encoder_.Parameters();
   nn::Adam optimizer(params, config_.learning_rate);
   ShardedEncoderTrainer trainer(&encoder_);
+  recovery::PhaseBegin(hooks, &optimizer);
 
   // T-tilde^1: sessions the corrector predicted malicious (Algorithm 1
   // line 2), from which the auxiliary batches S^1 are drawn.
@@ -82,7 +110,9 @@ void FraudDetector::SupervisedPretrain(
       obs::MetricsRegistry::Get().GetSeries("detector.supcon.loss");
 #endif
 
-  for (int epoch = 0; epoch < config_.budget.contrastive_epochs; ++epoch) {
+  const int start_epoch = hooks != nullptr ? hooks->start_epoch : 0;
+  for (int epoch = start_epoch; epoch < config_.budget.contrastive_epochs;
+       ++epoch) {
     obs::TraceSpan epoch_span("detector.supcon");
     double loss_sum = 0.0;
     int batches = 0;
@@ -107,14 +137,23 @@ void FraudDetector::SupervisedPretrain(
         confidences.push_back(corrections[idx].confidence);
       }
 
-      float loss = trainer.Step(
-          sessions, embeddings, [&](const ag::Var& z) {
-            return SupConLoss(z, labels, confidences, num_anchors,
-                              config_.supcon_alpha, config_.supcon_variant,
-                              config_.filter_tau);
-          });
-      nn::ClipGradNorm(params, config_.grad_clip);
-      optimizer.Step();
+      float loss = 0.0f;
+      bool ran = recovery::RunStep(
+          hooks, &optimizer,
+          [&]() -> float {
+            float batch_loss = trainer.Step(
+                sessions, embeddings, [&](const ag::Var& z) {
+                  return SupConLoss(z, labels, confidences, num_anchors,
+                                    config_.supcon_alpha,
+                                    config_.supcon_variant,
+                                    config_.filter_tau);
+                });
+            nn::ClipGradNorm(params, config_.grad_clip);
+            optimizer.Step();
+            return batch_loss;
+          },
+          &loss);
+      if (!ran) continue;
       loss_sum += loss;
       ++batches;
     }
@@ -126,6 +165,10 @@ void FraudDetector::SupervisedPretrain(
 #endif
     CLFD_LOG(DEBUG) << "supcon epoch done" << obs::Kv("epoch", epoch)
                     << obs::Kv("loss", epoch_loss);
+    // No loop-local state beyond params/optimizer/rng: batches and aux
+    // sampling are re-derived from the rng stream each epoch.
+    recovery::PhaseEpochEnd(hooks, epoch, static_cast<float>(epoch_loss),
+                            &optimizer, std::string());
   }
   CLFD_LOG(INFO) << "fraud detector pretrain done"
                  << obs::Kv("epochs", config_.budget.contrastive_epochs)

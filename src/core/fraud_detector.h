@@ -8,9 +8,13 @@
 #include "data/session.h"
 #include "encoders/session_encoder.h"
 #include "nn/classifier.h"
+#include "recovery/phase.h"
 #include "tensor/matrix.h"
 
 namespace clfd {
+namespace recovery {
+class RunCheckpointer;
+}  // namespace recovery
 
 // The CLFD fraud detector (Sec. III-B, Algorithm 1).
 //
@@ -34,6 +38,17 @@ class FraudDetector {
              const std::vector<Correction>& corrections,
              const Matrix& embeddings);
 
+  // Registers this detector's mutable state (encoder/classifier params and
+  // the Rng stream) with the run checkpointer. Call before LoadSnapshot.
+  void RegisterState(recovery::RunCheckpointer* rc);
+
+  // Train with checkpoint/resume and watchdog hooks. `rc` may be null, in
+  // which case this is exactly Train.
+  void TrainWithRecovery(const SessionDataset& train,
+                         const std::vector<Correction>& corrections,
+                         const Matrix& embeddings,
+                         recovery::RunCheckpointer* rc);
+
   // Malicious-class probability (or centroid score in (0,1)) per session.
   std::vector<double> Score(const SessionDataset& data) const;
 
@@ -43,7 +58,8 @@ class FraudDetector {
  private:
   void SupervisedPretrain(const SessionDataset& train,
                           const std::vector<Correction>& corrections,
-                          const Matrix& embeddings);
+                          const Matrix& embeddings,
+                          const recovery::PhaseHooks* hooks);
 
   ClfdConfig config_;
   mutable Rng rng_;

@@ -6,6 +6,7 @@
 #include "encoders/simclr.h"
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "recovery/run_checkpointer.h"
 
 namespace clfd {
 
@@ -18,28 +19,50 @@ LabelCorrector::LabelCorrector(const ClfdConfig& config, uint64_t seed)
 
 void LabelCorrector::Train(const SessionDataset& train,
                            const Matrix& embeddings) {
+  TrainWithRecovery(train, embeddings, nullptr);
+}
+
+void LabelCorrector::RegisterState(recovery::RunCheckpointer* rc) {
+  rc->RegisterParams("corrector.encoder", encoder_.Parameters());
+  rc->RegisterParams("corrector.projection", projection_.Parameters());
+  rc->RegisterParams("corrector.classifier", classifier_.Parameters());
+  rc->RegisterRng("corrector.rng", &rng_);
+}
+
+void LabelCorrector::TrainWithRecovery(const SessionDataset& train,
+                                       const Matrix& embeddings,
+                                       recovery::RunCheckpointer* rc) {
   embeddings_ = embeddings;
   {
     obs::PhaseSpan phase("pretrain");
-    SelfSupervisedPretrain(train, embeddings);
+    SelfSupervisedPretrain(train, embeddings, rc);
   }
 
   // Stage 2: classifier over frozen representations, trained on the noisy
-  // labels with the configured noise-robust loss.
+  // labels with the configured noise-robust loss. The features are
+  // recomputed even on resume — a pure deterministic function of the
+  // restored encoder parameters.
   obs::PhaseSpan phase("corrector");
   Matrix features = encoder_.EncodeDataset(train, embeddings_);
   std::vector<int> noisy_labels(train.size());
   for (int i = 0; i < train.size(); ++i) {
     noisy_labels[i] = train.sessions[i].noisy_label;
   }
+  recovery::PhaseHooks hooks;
+  if (rc != nullptr) {
+    hooks = rc->HooksFor(recovery::kPhaseCorrector, "corrector",
+                         config_.budget.classifier_epochs);
+  }
   TrainClassifierOnFeatures(&classifier_, features, noisy_labels, config_,
-                            &rng_, "corrector.classifier");
+                            &rng_, "corrector.classifier",
+                            rc != nullptr ? &hooks : nullptr);
   CLFD_LOG(INFO) << "label corrector trained"
                  << obs::Kv("sessions", train.size());
 }
 
 void LabelCorrector::SelfSupervisedPretrain(const SessionDataset& train,
-                                            const Matrix& embeddings) {
+                                            const Matrix& embeddings,
+                                            recovery::RunCheckpointer* rc) {
   SimclrOptions options;
   options.epochs = config_.budget.contrastive_epochs;
   options.batch_size = config_.batch_size;
@@ -47,6 +70,12 @@ void LabelCorrector::SelfSupervisedPretrain(const SessionDataset& train,
   options.learning_rate = config_.simclr_learning_rate;
   options.grad_clip = config_.grad_clip;
   options.metric_scope = "corrector.simclr";
+  recovery::PhaseHooks hooks;
+  if (rc != nullptr) {
+    hooks = rc->HooksFor(recovery::kPhasePretrain, "pretrain",
+                         config_.budget.contrastive_epochs);
+    options.hooks = &hooks;
+  }
   SimclrPretrain(&encoder_, &projection_, train, embeddings, options, &rng_);
 }
 

@@ -11,6 +11,9 @@
 #include "tensor/matrix.h"
 
 namespace clfd {
+namespace recovery {
+class RunCheckpointer;
+}  // namespace recovery
 
 // A corrected label with the corrector's softmax confidence c_i (Sec.
 // III-B1): c_i = max_k f_k(v_i).
@@ -34,6 +37,16 @@ class LabelCorrector {
   // Trains both stages on the noisy training set.
   void Train(const SessionDataset& train, const Matrix& embeddings);
 
+  // Registers this corrector's mutable state (encoder/projection/classifier
+  // params and the Rng stream) with the run checkpointer. Call before
+  // LoadSnapshot.
+  void RegisterState(recovery::RunCheckpointer* rc);
+
+  // Train with checkpoint/resume and watchdog hooks. `rc` may be null, in
+  // which case this is exactly Train.
+  void TrainWithRecovery(const SessionDataset& train, const Matrix& embeddings,
+                         recovery::RunCheckpointer* rc);
+
   // Predicted (corrected) labels + confidences for all sessions in `data`.
   std::vector<Correction> Correct(const SessionDataset& data) const;
 
@@ -47,7 +60,8 @@ class LabelCorrector {
 
  private:
   void SelfSupervisedPretrain(const SessionDataset& train,
-                              const Matrix& embeddings);
+                              const Matrix& embeddings,
+                              recovery::RunCheckpointer* rc);
 
   ClfdConfig config_;
   mutable Rng rng_;

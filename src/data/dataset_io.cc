@@ -1,10 +1,29 @@
 #include "data/dataset_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 namespace clfd {
+
+namespace {
+
+// Hard caps on header-declared counts: a corrupt or hostile header must
+// not be able to commission allocations the input bytes cannot back. The
+// loaders additionally grow incrementally (reserve is bounded, elements
+// are appended as they parse), so even an in-cap declared count only
+// costs memory proportional to bytes actually present in the stream.
+constexpr int kMaxVocab = 1 << 24;
+constexpr int kMaxSessions = 1 << 26;
+constexpr int kMaxSessionLen = 1 << 24;
+
+// Cap for speculative reserve() on header-declared counts.
+constexpr int kMaxReserve = 1 << 16;
+
+bool IsBinaryLabel(int label) { return label == 0 || label == 1; }
+
+}  // namespace
 
 void WriteDataset(std::ostream& os, const SessionDataset& dataset) {
   os << "clfd-dataset v1\n";
@@ -20,43 +39,53 @@ void WriteDataset(std::ostream& os, const SessionDataset& dataset) {
 }
 
 bool ReadDataset(std::istream& is, SessionDataset* dataset) {
+  // Staged parse: everything lands in a local and is committed only on
+  // full success, so *dataset is guaranteed empty after any failure —
+  // including mid-parse ones.
   *dataset = SessionDataset();
+  SessionDataset staged;
   std::string line;
   if (!std::getline(is, line) || line != "clfd-dataset v1") return false;
 
   std::string keyword;
   int vocab_size = 0;
-  if (!(is >> keyword >> vocab_size) || keyword != "vocab" || vocab_size < 0) {
+  if (!(is >> keyword >> vocab_size) || keyword != "vocab" ||
+      vocab_size < 0 || vocab_size > kMaxVocab) {
     return false;
   }
-  dataset->vocab.resize(vocab_size);
+  staged.vocab.reserve(std::min(vocab_size, kMaxReserve));
   for (int i = 0; i < vocab_size; ++i) {
-    if (!(is >> dataset->vocab[i])) return false;
+    std::string name;
+    if (!(is >> name)) return false;
+    staged.vocab.push_back(std::move(name));
   }
 
   int session_count = 0;
   if (!(is >> keyword >> session_count) || keyword != "sessions" ||
-      session_count < 0) {
+      session_count < 0 || session_count > kMaxSessions) {
     return false;
   }
-  dataset->sessions.resize(session_count);
+  staged.sessions.reserve(std::min(session_count, kMaxReserve));
   for (int i = 0; i < session_count; ++i) {
-    LabeledSession& ls = dataset->sessions[i];
+    LabeledSession ls;
     int length = 0;
-    if (!(is >> ls.true_label >> ls.noisy_label >> length) || length < 0) {
-      *dataset = SessionDataset();
+    if (!(is >> ls.true_label >> ls.noisy_label >> length) ||
+        !IsBinaryLabel(ls.true_label) || !IsBinaryLabel(ls.noisy_label) ||
+        length < 0 || length > kMaxSessionLen) {
       return false;
     }
-    ls.session.activities.resize(length);
+    ls.session.activities.reserve(
+        std::min(length, kMaxReserve));
     for (int t = 0; t < length; ++t) {
-      if (!(is >> ls.session.activities[t]) ||
-          ls.session.activities[t] < 0 ||
-          ls.session.activities[t] >= vocab_size) {
-        *dataset = SessionDataset();
+      int activity = 0;
+      if (!(is >> activity) || activity < 0 || activity >= vocab_size) {
         return false;
       }
+      ls.session.activities.push_back(activity);
     }
+    staged.sessions.push_back(std::move(ls));
   }
+  *dataset = std::move(staged);
   return true;
 }
 

@@ -27,7 +27,10 @@ void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
 #endif
 
   ShardedEncoderTrainer trainer(encoder);
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  recovery::PhaseBegin(options.hooks, &optimizer);
+  const int start_epoch =
+      options.hooks != nullptr ? options.hooks->start_epoch : 0;
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     obs::TraceSpan epoch_span(options.metric_scope);
     double loss_sum = 0.0;
     int batches = 0;
@@ -54,12 +57,21 @@ void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
       views.reserve(augmented.size());
       for (const Session& s : augmented) views.push_back(&s);
 
-      float loss = trainer.Step(
-          views, embeddings, [&](const ag::Var& z) {
-            return NtXentLoss(projection->Forward(z), options.temperature);
-          });
-      nn::ClipGradNorm(params, options.grad_clip);
-      optimizer.Step();
+      float loss = 0.0f;
+      bool ran = recovery::RunStep(
+          options.hooks, &optimizer,
+          [&]() -> float {
+            float batch_loss = trainer.Step(
+                views, embeddings, [&](const ag::Var& z) {
+                  return NtXentLoss(projection->Forward(z),
+                                    options.temperature);
+                });
+            nn::ClipGradNorm(params, options.grad_clip);
+            optimizer.Step();
+            return batch_loss;
+          },
+          &loss);
+      if (!ran) continue;
       loss_sum += loss;
       ++batches;
     }
@@ -74,6 +86,11 @@ void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
                     << obs::Kv("epoch", epoch)
                     << obs::Kv("loss", epoch_loss)
                     << obs::Kv("batches", batches);
+    // No loop-local state beyond params/optimizer/rng: batches and
+    // augmentations are re-derived from the rng stream each epoch.
+    recovery::PhaseEpochEnd(options.hooks, epoch,
+                            static_cast<float>(epoch_loss), &optimizer,
+                            std::string());
   }
   CLFD_LOG(INFO) << "simclr pretrain done"
                  << obs::Kv("scope", options.metric_scope)

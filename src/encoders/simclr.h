@@ -3,6 +3,7 @@
 #include "common/rng.h"
 #include "data/session.h"
 #include "encoders/session_encoder.h"
+#include "recovery/phase.h"
 
 namespace clfd {
 
@@ -19,6 +20,8 @@ struct SimclrOptions {
   // "<metric_scope>.loss" series and epoch trace spans carry this name.
   // Must be a string literal (stored, not copied).
   const char* metric_scope = "simclr";
+  // Recovery surface (checkpoint/resume + watchdog); null = plain run.
+  const recovery::PhaseHooks* hooks = nullptr;
 };
 
 // Runs SimCLR pre-training in place on (encoder, projection). Label-free:

@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <chrono>
+#include <mutex>
+#include <new>
 
 #include "baselines/registry.h"
+#include "common/check.h"
 #include "common/env.h"
 #include "core/clfd.h"
 #include "core/label_corrector.h"
@@ -13,6 +16,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "recovery/fault_plan.h"
+#include "recovery/watchdog.h"
 
 namespace clfd {
 
@@ -28,6 +33,127 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Persists completed per-seed results so a restarted experiment re-trains
+// only the interrupted seed. Sections are "seed.<seed>" in a checkpoint
+// container at <dir>/results.ckpt; seed workers touch it under a mutex.
+class ResultsStore {
+ public:
+  ResultsStore(const std::string& dir, bool resume) {
+    if (dir.empty()) return;
+    recovery::EnsureDirs(dir);
+    path_ = dir + "/results.ckpt";
+    if (!resume) return;
+    try {
+      ckpt_ = recovery::LoadCheckpoint(path_);
+    } catch (const recovery::CheckpointError&) {
+      // Absent or invalid: start with an empty store; the first Save
+      // rewrites it atomically.
+      ckpt_ = recovery::Checkpoint();
+    }
+  }
+
+  bool TryLoad(uint64_t seed, RunMetrics* out) {
+    if (path_.empty()) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::string name = "seed." + std::to_string(seed);
+    if (!ckpt_.HasSection(name)) return false;
+    recovery::ByteReader r(ckpt_.Section(name));
+    out->f1 = r.GetF64();
+    out->fpr = r.GetF64();
+    out->auc = r.GetF64();
+    out->train_seconds = r.GetF64();
+    out->phases.pretrain_seconds = r.GetF64();
+    out->phases.corrector_seconds = r.GetF64();
+    out->phases.detector_seconds = r.GetF64();
+    out->phases.classifier_seconds = r.GetF64();
+    CLFD_METRIC_COUNT("recovery.run.seeds_skipped", 1);
+    return true;
+  }
+
+  void Save(uint64_t seed, const RunMetrics& m) {
+    if (path_.empty()) return;
+    recovery::ByteWriter w;
+    w.PutF64(m.f1);
+    w.PutF64(m.fpr);
+    w.PutF64(m.auc);
+    w.PutF64(m.train_seconds);
+    w.PutF64(m.phases.pretrain_seconds);
+    w.PutF64(m.phases.corrector_seconds);
+    w.PutF64(m.phases.detector_seconds);
+    w.PutF64(m.phases.classifier_seconds);
+    std::lock_guard<std::mutex> lock(mu_);
+    ckpt_.SetSection("seed." + std::to_string(seed), w.Take());
+    try {
+      recovery::WriteFileAtomic(path_, ckpt_.Encode());
+    } catch (const recovery::CheckpointError& e) {
+      CLFD_METRIC_COUNT("recovery.ckpt.save_failures", 1);
+      CLFD_LOG(WARN) << "results store save failed; continuing"
+                     << obs::Kv("path", path_) << obs::Kv("error", e.what());
+    }
+  }
+
+ private:
+  std::string path_;
+  recovery::Checkpoint ckpt_;
+  std::mutex mu_;
+};
+
+// Runs `body(rc)` under the recovery policy: when the watchdog is enabled,
+// a recoverable failure (divergence, invariant violation, allocation
+// failure) rolls the run back to its last good snapshot — each attempt
+// constructs a fresh RunCheckpointer, which resumes from disk — and
+// retries up the ladder (plain -> skip batches -> skip + halved LR) before
+// aborting with a structured report. SimulatedCrash and CheckpointError
+// always propagate: a crash is process-fatal by definition, and a hostile
+// checkpoint must never be silently retried over.
+template <typename Body>
+auto RunWithRecovery(const recovery::RecoveryOptions& recovery,
+                     const std::string& stem, Body&& body) {
+  if (!recovery.enabled() && !recovery.watchdog.enabled) {
+    return body(static_cast<recovery::RunCheckpointer*>(nullptr));
+  }
+  recovery::WatchdogReport report;
+  const int max_attempts =
+      recovery.watchdog.enabled ? std::max(1, recovery.watchdog.max_attempts)
+                                : 1;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    report.attempts = attempt;
+    recovery::RunCheckpointer rc(recovery, stem);
+    recovery::SkippingBatchGuard guard(attempt >= 2, &report);
+    if (recovery.watchdog.enabled) {
+      rc.SetBatchGuard(&guard);
+      rc.SetEpochSentinel(recovery::MakeEpochSentinel(recovery.watchdog));
+      if (attempt >= 3) rc.SetLrScale(0.5f);
+    }
+    try {
+      return body(&rc);
+    } catch (const recovery::SimulatedCrash&) {
+      throw;
+    } catch (const recovery::CheckpointError&) {
+      throw;
+    } catch (const recovery::WatchdogAbort&) {
+      throw;
+    } catch (const recovery::DivergenceError& e) {
+      if (!recovery.watchdog.enabled) throw;
+      report.last_error = e.what();
+    } catch (const check::InvariantError& e) {
+      if (!recovery.watchdog.enabled) throw;
+      report.last_error = e.what();
+    } catch (const std::bad_alloc& e) {
+      if (!recovery.watchdog.enabled) throw;
+      report.last_error = e.what();
+    }
+    ++report.rollbacks;
+    CLFD_METRIC_COUNT("recovery.watchdog.rollbacks", 1);
+    CLFD_LOG(WARN) << "watchdog rollback" << obs::Kv("stem", stem)
+                   << obs::Kv("attempt", attempt)
+                   << obs::Kv("error", report.last_error);
+  }
+  report.aborted = true;
+  CLFD_METRIC_COUNT("recovery.watchdog.aborts", 1);
+  throw recovery::WatchdogAbort(report);
+}
+
 }  // namespace
 
 ExperimentContext::ExperimentContext(DatasetKind kind, const SplitSpec& split,
@@ -41,7 +167,8 @@ ExperimentContext::ExperimentContext(DatasetKind kind, const SplitSpec& split,
 }
 
 RunMetrics TrainAndEvaluate(DetectorModel* model,
-                            const ExperimentContext& context) {
+                            const ExperimentContext& context,
+                            recovery::RunCheckpointer* rc) {
   RunMetrics metrics;
   auto start = std::chrono::steady_clock::now();  // clfd-lint: allow(determinism-time)
   {
@@ -52,7 +179,11 @@ RunMetrics TrainAndEvaluate(DetectorModel* model,
     obs::PhaseCapture capture;
     {
       CLFD_TRACE_SPAN("train");
-      model->Train(context.train(), context.embeddings());
+      if (rc != nullptr && rc->active()) {
+        model->TrainWithRecovery(context.train(), context.embeddings(), rc);
+      } else {
+        model->Train(context.train(), context.embeddings());
+      }
     }
     metrics.train_seconds = SecondsSince(start);
     metrics.phases.pretrain_seconds = capture.Micros("pretrain") / 1e6;
@@ -83,20 +214,30 @@ AggregatedMetrics RunExperimentWithFactory(
     const std::function<std::unique_ptr<DetectorModel>(uint64_t seed)>&
         factory,
     DatasetKind kind, const SplitSpec& split, const NoiseSpec& noise,
-    int emb_dim, int seeds, uint64_t base_seed) {
+    int emb_dim, int seeds, uint64_t base_seed,
+    const recovery::RecoveryOptions& recovery) {
   // Seeds are embarrassingly parallel: each builds its world and model from
   // its own seed-derived Rngs, so runs share no mutable state. Workers
   // write into per-seed slots; aggregation then walks the slots in seed
   // order (MeanStd accumulation is order-sensitive and not thread-safe),
-  // making the aggregate identical at any thread count.
+  // making the aggregate identical at any thread count. Under a recovery
+  // dir, each seed trains with its own checkpoint file (seed_<seed>.ckpt)
+  // and finished seeds are served from the results store on restart.
+  ResultsStore store(recovery.dir, recovery.resume);
   std::vector<RunMetrics> results(seeds);
   parallel::ParallelFor(0, seeds, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
       uint64_t seed = base_seed + static_cast<uint64_t>(s);
+      if (store.TryLoad(seed, &results[s])) continue;
       ExperimentContext context(kind, split, noise, emb_dim, seed);
-      auto model = factory(seed * 31 + 7);
-      assert(model != nullptr);
-      results[s] = TrainAndEvaluate(model.get(), context);
+      results[s] = RunWithRecovery(
+          recovery, "seed_" + std::to_string(seed),
+          [&](recovery::RunCheckpointer* rc) {
+            auto model = factory(seed * 31 + 7);
+            assert(model != nullptr);
+            return TrainAndEvaluate(model.get(), context, rc);
+          });
+      store.Save(seed, results[s]);
     }
   });
   AggregatedMetrics aggregated;
@@ -108,17 +249,17 @@ AggregatedMetrics RunExperiment(const std::string& model_name,
                                 DatasetKind kind, const SplitSpec& split,
                                 const NoiseSpec& noise,
                                 const ClfdConfig& config, int seeds,
-                                uint64_t base_seed) {
+                                uint64_t base_seed,
+                                const recovery::RecoveryOptions& recovery) {
   return RunExperimentWithFactory(
       [&](uint64_t seed) { return MakeModel(model_name, config, seed); },
-      kind, split, noise, config.emb_dim, seeds, base_seed);
+      kind, split, noise, config.emb_dim, seeds, base_seed, recovery);
 }
 
-CorrectorMetrics RunCorrectorExperiment(DatasetKind kind,
-                                        const SplitSpec& split,
-                                        const NoiseSpec& noise,
-                                        const ClfdConfig& config, int seeds,
-                                        uint64_t base_seed) {
+CorrectorMetrics RunCorrectorExperiment(
+    DatasetKind kind, const SplitSpec& split, const NoiseSpec& noise,
+    const ClfdConfig& config, int seeds, uint64_t base_seed,
+    const recovery::RecoveryOptions& recovery) {
   // Same seed-parallel pattern as RunExperimentWithFactory: per-seed slots,
   // ordered aggregation.
   std::vector<ConfusionCounts> counts(seeds);
@@ -126,15 +267,27 @@ CorrectorMetrics RunCorrectorExperiment(DatasetKind kind,
     for (int64_t s = lo; s < hi; ++s) {
       uint64_t seed = base_seed + static_cast<uint64_t>(s);
       ExperimentContext context(kind, split, noise, config.emb_dim, seed);
-      LabelCorrector corrector(config, seed * 31 + 7);
-      corrector.Train(context.train(), context.embeddings());
-      auto corrections = corrector.Correct(context.train());
+      counts[s] = RunWithRecovery(
+          recovery, "corrector_seed_" + std::to_string(seed),
+          [&](recovery::RunCheckpointer* rc) {
+            LabelCorrector corrector(config, seed * 31 + 7);
+            if (rc != nullptr && rc->active()) {
+              corrector.RegisterState(rc);
+              if (rc->LoadSnapshot()) rc->RestoreRegistered();
+              corrector.TrainWithRecovery(context.train(),
+                                          context.embeddings(), rc);
+              rc->MarkTrainingComplete();
+            } else {
+              corrector.Train(context.train(), context.embeddings());
+            }
+            auto corrections = corrector.Correct(context.train());
 
-      std::vector<int> preds(corrections.size());
-      for (size_t i = 0; i < corrections.size(); ++i) {
-        preds[i] = corrections[i].label;
-      }
-      counts[s] = Confusion(preds, TrueLabels(context.train()));
+            std::vector<int> preds(corrections.size());
+            for (size_t i = 0; i < corrections.size(); ++i) {
+              preds[i] = corrections[i].label;
+            }
+            return Confusion(preds, TrueLabels(context.train()));
+          });
     }
   });
   CorrectorMetrics metrics;

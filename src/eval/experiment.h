@@ -10,6 +10,7 @@
 #include "core/detector.h"
 #include "data/noise.h"
 #include "data/simulators.h"
+#include "recovery/run_checkpointer.h"
 
 namespace clfd {
 
@@ -83,17 +84,26 @@ class ExperimentContext {
 };
 
 // Trains `model` on the context's training split (timed) and computes
-// F1 / FPR / AUC-ROC on its test split.
+// F1 / FPR / AUC-ROC on its test split. When `rc` is non-null and active,
+// training runs through the fault-tolerant path (checkpoint/resume +
+// watchdog hooks); a null/inactive `rc` is the plain path.
 RunMetrics TrainAndEvaluate(DetectorModel* model,
-                            const ExperimentContext& context);
+                            const ExperimentContext& context,
+                            recovery::RunCheckpointer* rc = nullptr);
 
 // Runs `model_name` across `seeds` seeds (base_seed, base_seed+1, ...) on
-// fresh contexts and aggregates.
+// fresh contexts and aggregates. With `recovery.dir` set, each seed
+// checkpoints to `<dir>/seed_<seed>.ckpt`, completed seeds are recorded in
+// `<dir>/results.ckpt` and skipped on restart, and an interrupted run
+// resumes to bitwise-identical metrics (Recovery.CrashResume tests). With
+// `recovery.watchdog.enabled`, divergence triggers rollback and the
+// bounded retry ladder; an exhausted budget throws WatchdogAbort.
 AggregatedMetrics RunExperiment(const std::string& model_name,
                                 DatasetKind kind, const SplitSpec& split,
                                 const NoiseSpec& noise,
                                 const ClfdConfig& config, int seeds,
-                                uint64_t base_seed = 100);
+                                uint64_t base_seed = 100,
+                                const recovery::RecoveryOptions& recovery = {});
 
 // Generalized runner taking a model factory; used by the ablation benches
 // (Tables IV/V) to evaluate CLFD variants that differ only in config flags.
@@ -101,7 +111,8 @@ AggregatedMetrics RunExperimentWithFactory(
     const std::function<std::unique_ptr<DetectorModel>(uint64_t seed)>&
         factory,
     DatasetKind kind, const SplitSpec& split, const NoiseSpec& noise,
-    int emb_dim, int seeds, uint64_t base_seed = 100);
+    int emb_dim, int seeds, uint64_t base_seed = 100,
+    const recovery::RecoveryOptions& recovery = {});
 
 // Label-corrector quality on the noisy training set (Table III): trains
 // only the corrector and reports TPR/TNR of its corrections against the
@@ -110,11 +121,10 @@ struct CorrectorMetrics {
   MeanStd tpr;
   MeanStd tnr;
 };
-CorrectorMetrics RunCorrectorExperiment(DatasetKind kind,
-                                        const SplitSpec& split,
-                                        const NoiseSpec& noise,
-                                        const ClfdConfig& config, int seeds,
-                                        uint64_t base_seed = 100);
+CorrectorMetrics RunCorrectorExperiment(
+    DatasetKind kind, const SplitSpec& split, const NoiseSpec& noise,
+    const ClfdConfig& config, int seeds, uint64_t base_seed = 100,
+    const recovery::RecoveryOptions& recovery = {});
 
 // Benchmark-harness scale knobs, read from the environment:
 //   CLFD_SCALE  — fraction of the paper's split sizes (default `def_scale`)

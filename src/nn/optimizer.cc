@@ -56,6 +56,22 @@ void Adam::Step() {
 
 void Adam::ZeroGrad() { ZeroGrads(params_); }
 
+bool Adam::RestoreState(std::vector<Matrix> m, std::vector<Matrix> v, int t) {
+  if (m.size() != params_.size() || v.size() != params_.size() || t < 0) {
+    return false;
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (m[i].rows() != params_[i].rows() || m[i].cols() != params_[i].cols() ||
+        v[i].rows() != params_[i].rows() || v[i].cols() != params_[i].cols()) {
+      return false;
+    }
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = t;
+  return true;
+}
+
 Sgd::Sgd(std::vector<ag::Var> params, float lr)
     : params_(std::move(params)), lr_(lr) {
   ZeroGrad();

@@ -23,6 +23,19 @@ class Adam {
   float learning_rate() const { return lr_; }
   void set_learning_rate(float lr) { lr_ = lr; }
 
+  // Checkpoint access to the full optimizer state. Resuming mid-phase is
+  // only bitwise-exact when the first and second moments AND the bias
+  // correction step count come back exactly, so all three are exposed.
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
+  int step_count() const { return t_; }
+  size_t param_count() const { return params_.size(); }
+
+  // Restores moments + step count captured from another Adam instance over
+  // the same parameter list. Shapes must match the current parameters;
+  // returns false (state untouched) on any mismatch.
+  bool RestoreState(std::vector<Matrix> m, std::vector<Matrix> v, int t);
+
  private:
   std::vector<ag::Var> params_;
   std::vector<Matrix> m_;

@@ -3,12 +3,18 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 
 namespace clfd {
 namespace nn {
 
 namespace {
 constexpr char kMagic[4] = {'C', 'L', 'F', 'D'};
+
+// Largest element count a single serialized matrix may claim. Well above
+// any real model tensor in this repo, and small enough that a corrupted
+// or hostile header can never drive a multi-gigabyte allocation.
+constexpr int64_t kMaxElements = int64_t{1} << 28;  // 256M floats = 1 GiB
 }  // namespace
 
 void WriteMatrix(std::ostream& os, const Matrix& m) {
@@ -24,9 +30,21 @@ Matrix ReadMatrix(std::istream& is) {
   is.read(reinterpret_cast<char*>(&rows), sizeof(rows));
   is.read(reinterpret_cast<char*>(&cols), sizeof(cols));
   if (!is || rows < 0 || cols < 0) return Matrix();
+  // Dimensions are validated as 64-bit products before any allocation:
+  // a header like {2^20, 2^20} would pass the sign check but overflow
+  // int32 element counts and demand terabytes. Reject instead of trusting
+  // the multiplication.
+  int64_t elements = static_cast<int64_t>(rows) * static_cast<int64_t>(cols);
+  if (elements > kMaxElements) {
+    is.setstate(std::ios::failbit);
+    return Matrix();
+  }
   Matrix m(rows, cols);
   is.read(reinterpret_cast<char*>(m.data()),
           static_cast<std::streamsize>(sizeof(float)) * m.size());
+  // A short payload read (truncated file) must not hand back a matrix
+  // whose tail is uninitialized memory.
+  if (!is) return Matrix();
   return m;
 }
 
@@ -51,10 +69,18 @@ bool LoadParameters(const std::vector<ag::Var>& params,
   uint32_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!is || count != params.size()) return false;
+  // Two-pass restore: decode and validate every matrix before touching any
+  // parameter, so a file that goes bad halfway through cannot leave the
+  // model half-overwritten.
+  std::vector<Matrix> staged;
+  staged.reserve(params.size());
   for (const ag::Var& p : params) {
     Matrix m = ReadMatrix(is);
-    if (!m.SameShape(p.value())) return false;
-    p.node()->value = std::move(m);
+    if (!is || !m.SameShape(p.value())) return false;
+    staged.push_back(std::move(m));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].node()->value = std::move(staged[i]);
   }
   return true;
 }

@@ -1,0 +1,124 @@
+#include "recovery/fault_plan.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace clfd {
+namespace recovery {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return std::string();
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void BadSpec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("bad fault plan '" + spec + "': " + why);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const std::string& spec, uint64_t seed) : rng_(seed) {
+  std::stringstream ss(spec);
+  std::string entry;
+  while (std::getline(ss, entry, ';')) {
+    entry = Trim(entry);
+    if (entry.empty()) continue;
+    size_t at_pos = entry.find('@');
+    if (at_pos == std::string::npos || at_pos == 0 ||
+        at_pos + 1 == entry.size()) {
+      BadSpec(spec, "entry '" + entry + "' is not site@trigger");
+    }
+    Trigger t;
+    t.site = Trim(entry.substr(0, at_pos));
+    std::string trig = Trim(entry.substr(at_pos + 1));
+    if (trig.rfind("p=", 0) == 0) {
+      size_t consumed = 0;
+      double p = -1.0;
+      try {
+        p = std::stod(trig.substr(2), &consumed);
+      } catch (const std::exception&) {
+        BadSpec(spec, "probability in '" + entry + "' does not parse");
+      }
+      if (consumed != trig.size() - 2 || p < 0.0 || p > 1.0) {
+        BadSpec(spec, "probability in '" + entry + "' must be in [0, 1]");
+      }
+      t.prob = p;
+    } else {
+      if (!trig.empty() && trig.back() == '+') {
+        t.sticky = true;
+        trig.pop_back();
+      }
+      size_t consumed = 0;
+      int n = 0;
+      try {
+        n = std::stoi(trig, &consumed);
+      } catch (const std::exception&) {
+        BadSpec(spec, "hit count in '" + entry + "' does not parse");
+      }
+      if (consumed != trig.size() || n < 1) {
+        BadSpec(spec, "hit count in '" + entry + "' must be a positive int");
+      }
+      t.at = n;
+    }
+    triggers_.push_back(std::move(t));
+  }
+}
+
+bool FaultPlan::At(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int hit = ++hits_[site];
+  bool fire = false;
+  for (const Trigger& t : triggers_) {
+    if (t.site != site) continue;
+    if (t.at > 0) {
+      if (hit == t.at || (t.sticky && hit > t.at)) fire = true;
+    } else if (t.prob >= 0.0) {
+      // The draw happens only when a probabilistic trigger matches this
+      // site, so unrelated probes do not advance the stream and the fault
+      // sequence stays a pure function of (spec, seed, per-site hit order).
+      if (rng_.Uniform() < t.prob) fire = true;
+    }
+  }
+  if (fire) {
+    ++fired_[site];
+    CLFD_METRIC_COUNT("recovery.fault.injected", 1);
+  }
+  return fire;
+}
+
+int FaultPlan::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+int FaultPlan::FiredCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fired_.find(site);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+std::string FaultPlan::Describe() const {
+  std::ostringstream os;
+  os << "fault-plan[";
+  for (size_t i = 0; i < triggers_.size(); ++i) {
+    const Trigger& t = triggers_[i];
+    if (i) os << "; ";
+    os << t.site << "@";
+    if (t.at > 0) {
+      os << t.at << (t.sticky ? "+" : "");
+    } else {
+      os << "p=" << t.prob;
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace recovery
+}  // namespace clfd

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+
+namespace clfd {
+namespace recovery {
+
+// Deterministic fault-injection harness (DESIGN.md §10).
+//
+// A FaultPlan is compiled from a textual spec and installed as the
+// process-wide fault::Injector. Probes embedded in the deep layers then
+// consult it:
+//
+//   arena.alloc   allocation in the tensor arena        -> std::bad_alloc
+//   heap.alloc    heap-backed Matrix storage            -> std::bad_alloc
+//   op.nan        autograd op boundary                  -> NaN poisoning
+//   ckpt.io       checkpoint WriteFileAtomic            -> CheckpointError
+//   run.epoch     end of a training epoch               -> SimulatedCrash
+//
+// Spec grammar — entries joined with ';', each `site@trigger`:
+//
+//   site@N      fire exactly on the Nth hit of the site (1-based)
+//   site@N+     fire on the Nth hit and every hit after it
+//   site@p=F    fire independently with probability F per hit
+//
+// e.g. "run.epoch@3;ckpt.io@2" crashes the run at the 3rd epoch boundary
+// and fails the 2nd checkpoint write. Probabilistic triggers draw from an
+// Rng seeded by the plan's `seed` argument — configuration, never wall
+// clock — so a given (spec, seed) pair injects the identical fault
+// sequence on every run. That is what lets ctest assert exact recovery
+// behaviour instead of flaking.
+
+// Thrown by the run.epoch probe to emulate a hard crash (power loss /
+// SIGKILL) at a chosen training step. Deliberately NOT derived from the
+// retryable error types: the watchdog rethrows it, so the process unwinds
+// exactly as an interrupted run would, leaving only the durable
+// checkpoints behind.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& where)
+      : std::runtime_error("simulated crash at " + where) {}
+};
+
+class FaultPlan : public fault::Injector {
+ public:
+  // Compiles `spec`; throws std::invalid_argument on malformed grammar.
+  // `seed` drives the probabilistic triggers only.
+  FaultPlan(const std::string& spec, uint64_t seed);
+
+  // fault::Injector. Thread-safe: probes fire inside parallel loops.
+  bool At(const char* site) override;
+
+  // Total hits observed at a site so far (fired or not).
+  int HitCount(const std::string& site) const;
+  // Total injections fired at a site so far.
+  int FiredCount(const std::string& site) const;
+
+  // Human-readable one-line summary of the compiled plan.
+  std::string Describe() const;
+
+ private:
+  struct Trigger {
+    std::string site;
+    int at = 0;          // Nth hit, 1-based (0 = probabilistic)
+    bool sticky = false; // "N+": keep firing after the Nth hit
+    double prob = -1.0;  // "p=F": per-hit probability (at == 0)
+  };
+
+  std::vector<Trigger> triggers_;
+  mutable std::mutex mu_;
+  std::map<std::string, int> hits_;
+  std::map<std::string, int> fired_;
+  Rng rng_;
+};
+
+// RAII install/uninstall of a FaultPlan as the process injector. The plan
+// lives inside the scope object, so the injector can never dangle.
+class ScopedFaultPlan {
+ public:
+  ScopedFaultPlan(const std::string& spec, uint64_t seed)
+      : plan_(spec, seed) {
+    fault::SetInjector(&plan_);
+  }
+  ~ScopedFaultPlan() { fault::SetInjector(nullptr); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  FaultPlan& plan() { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace recovery
+}  // namespace clfd

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/optimizer.h"
+
+namespace clfd {
+namespace recovery {
+
+// Hook surface a training loop exposes so RunCheckpointer can snapshot it
+// and the divergence watchdog can guard it. Kept deliberately tiny — a
+// loop that supports recovery only needs to (1) start at
+// `hooks->start_epoch` instead of 0, (2) route each optimizer step through
+// RunStep, (3) call on_begin once before the epoch loop and on_epoch_end
+// after every epoch. A null hooks pointer (the default everywhere) is the
+// uninstrumented fast path and changes nothing.
+
+// Guards one optimizer step. The default implementation just runs it; the
+// watchdog's SkippingBatchGuard catches check::InvariantError /
+// std::bad_alloc / non-finite loss, zeroes the half-accumulated gradients,
+// and reports the batch as skipped when the retry policy allows it.
+class BatchGuard {
+ public:
+  virtual ~BatchGuard() = default;
+  // `step` runs forward+backward+optimizer update and returns the batch
+  // loss. Returns false when the batch was skipped (loss untouched).
+  virtual bool RunBatch(nn::Adam* optimizer,
+                        const std::function<float()>& step, float* loss) {
+    (void)optimizer;
+    *loss = step();
+    return true;
+  }
+};
+
+struct PhaseHooks {
+  // First epoch index the loop should execute; epochs [0, start_epoch)
+  // were completed by a previous run and are restored, not replayed. Equal
+  // to the loop's total epoch count when the whole phase is already done.
+  int start_epoch = 0;
+
+  // Loop-local mutable state (beyond params/optimizer/rng) captured at the
+  // snapshot boundary — e.g. the classifier trainer's persistent shuffle
+  // order. Empty when the phase starts fresh; the loop owns the encoding.
+  std::string local_state;
+
+  // Optional step guard (watchdog). Null = run batches unguarded.
+  BatchGuard* guard = nullptr;
+
+  // Called once, after the loop constructed its optimizer and before the
+  // first executed epoch. Restores Adam moments/step count and applies any
+  // retry learning-rate scale.
+  std::function<void(nn::Adam* optimizer)> on_begin;
+
+  // Called at the end of every executed epoch with the epoch's mean loss,
+  // the optimizer, and the loop's freshly encoded local state. Runs the
+  // divergence sentinel and, when the interval is due, writes a snapshot.
+  // May throw (SimulatedCrash under a fault plan, DivergenceError from the
+  // watchdog) — the loop must not catch.
+  std::function<void(int epoch, float mean_loss, nn::Adam* optimizer,
+                     const std::string& local_state)>
+      on_epoch_end;
+};
+
+// Runs one guarded optimizer step. Templated so the unguarded fast path
+// (hooks null — every production run without a watchdog) is a plain
+// inlined call with no std::function materialization. Returns false when
+// the guard skipped the batch.
+template <typename Step>
+bool RunStep(const PhaseHooks* hooks, nn::Adam* optimizer, Step&& step,
+             float* loss) {
+  if (hooks != nullptr && hooks->guard != nullptr) {
+    return hooks->guard->RunBatch(optimizer, std::function<float()>(step),
+                                  loss);
+  }
+  *loss = step();
+  return true;
+}
+
+// Invokes on_begin if installed.
+inline void PhaseBegin(const PhaseHooks* hooks, nn::Adam* optimizer) {
+  if (hooks != nullptr && hooks->on_begin) hooks->on_begin(optimizer);
+}
+
+// Invokes on_epoch_end if installed.
+inline void PhaseEpochEnd(const PhaseHooks* hooks, int epoch, float mean_loss,
+                          nn::Adam* optimizer,
+                          const std::string& local_state) {
+  if (hooks != nullptr && hooks->on_epoch_end) {
+    hooks->on_epoch_end(epoch, mean_loss, optimizer, local_state);
+  }
+}
+
+}  // namespace recovery
+}  // namespace clfd

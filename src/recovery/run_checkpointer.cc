@@ -1,0 +1,319 @@
+#include "recovery/run_checkpointer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fault.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "recovery/fault_plan.h"
+
+namespace clfd {
+namespace recovery {
+
+RunCheckpointer::RunCheckpointer(const RecoveryOptions& options,
+                                 const std::string& stem)
+    : options_(options) {
+  options_.interval_epochs = std::max(1, options_.interval_epochs);
+  if (options_.enabled()) {
+    EnsureDirs(options_.dir);
+    path_ = options_.dir + "/" + stem + ".ckpt";
+  }
+}
+
+RunCheckpointer::~RunCheckpointer() {
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    stop_committer_ = true;
+  }
+  commit_cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+}
+
+void RunCheckpointer::EnqueueCommit(std::string bytes) {
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    if (!committer_.joinable()) {
+      // Lazily start the I/O-only committer; it never touches model state,
+      // so the ParallelFor determinism guards do not apply to it.
+      committer_ =
+          std::thread(  // clfd-lint: allow(concurrency-raw-thread)
+              [this] { CommitterLoop(); });
+    }
+    if (pending_bytes_.has_value()) {
+      CLFD_METRIC_COUNT("recovery.ckpt.coalesced", 1);
+    }
+    pending_bytes_ = std::move(bytes);
+  }
+  commit_cv_.notify_one();
+}
+
+void RunCheckpointer::DrainCommits() {
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_cv_.wait(lock,
+                  [this] { return !pending_bytes_.has_value() && !committing_; });
+}
+
+void RunCheckpointer::CommitterLoop() {
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  for (;;) {
+    commit_cv_.wait(lock, [this] {
+      return stop_committer_ || pending_bytes_.has_value();
+    });
+    if (!pending_bytes_.has_value()) break;  // stopping and drained
+    std::string bytes = std::move(*pending_bytes_);
+    pending_bytes_.reset();
+    committing_ = true;
+    lock.unlock();
+    try {
+      WriteFileAtomic(path_, bytes);
+    } catch (const CheckpointError& e) {
+      // A failed snapshot must not kill training: the previous snapshot is
+      // still intact on disk (the atomic-commit protocol never damages it),
+      // so the only cost is a longer replay if a crash follows.
+      CLFD_METRIC_COUNT("recovery.ckpt.save_failures", 1);
+      CLFD_LOG(WARN) << "checkpoint save failed; continuing"
+                     << obs::Kv("path", path_) << obs::Kv("error", e.what());
+    }
+    lock.lock();
+    committing_ = false;
+    commit_cv_.notify_all();
+  }
+}
+
+void RunCheckpointer::RegisterParams(const std::string& name,
+                                     std::vector<ag::Var> params) {
+  params_.push_back(ParamsEntry{name, std::move(params)});
+}
+
+void RunCheckpointer::RegisterRng(const std::string& name, Rng* rng) {
+  rngs_.push_back(RngEntry{name, rng});
+}
+
+void RunCheckpointer::RegisterBlob(
+    const std::string& name, std::function<std::string()> encode,
+    std::function<void(const std::string&)> decode) {
+  blobs_.push_back(BlobEntry{name, std::move(encode), std::move(decode)});
+}
+
+bool RunCheckpointer::LoadSnapshot() {
+  if (!options_.enabled() || !options_.resume) return false;
+  loaded_ = LoadCheckpointWithFallback(path_);
+  if (!loaded_.has_value()) return false;
+  ByteReader meta(loaded_->Section("meta"));
+  int phase = meta.GetI32();
+  int next_epoch = meta.GetI32();
+  int complete = meta.GetI32();
+  if (phase < kPhasePretrain || phase > kPhaseDone || next_epoch < 0 ||
+      (complete != 0 && complete != 1)) {
+    throw CheckpointError(CheckpointStatus::kCorrupt,
+                          "meta section out of range");
+  }
+  loaded_phase_ = phase;
+  loaded_next_epoch_ = next_epoch;
+  loaded_complete_ = complete != 0;
+  has_snapshot_ = true;
+  CLFD_METRIC_COUNT("recovery.run.resumes", 1);
+  CLFD_LOG(INFO) << "resuming from checkpoint" << obs::Kv("path", path_)
+                 << obs::Kv("phase", loaded_phase_)
+                 << obs::Kv("next_epoch", loaded_next_epoch_)
+                 << obs::Kv("complete", loaded_complete_ ? 1 : 0);
+  return true;
+}
+
+void RunCheckpointer::RestoreRegistered() {
+  if (!has_snapshot_) return;
+  obs::TraceSpan span("recovery.restore");
+
+  // Stage 1: decode and validate every section against the registered
+  // model before touching any of it, so a defective checkpoint can never
+  // leave the run half-restored.
+  std::vector<std::vector<Matrix>> staged_params(params_.size());
+  for (size_t e = 0; e < params_.size(); ++e) {
+    const ParamsEntry& entry = params_[e];
+    ByteReader r(loaded_->Section("params." + entry.name));
+    uint32_t count = r.GetU32();
+    if (count != entry.params.size()) {
+      throw CheckpointError(
+          CheckpointStatus::kShapeMismatch,
+          "section params." + entry.name + " holds " +
+              std::to_string(count) + " tensors, model has " +
+              std::to_string(entry.params.size()));
+    }
+    staged_params[e].reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Matrix m = r.GetMatrix();
+      const Matrix& current = entry.params[i].value();
+      if (m.rows() != current.rows() || m.cols() != current.cols()) {
+        throw CheckpointError(CheckpointStatus::kShapeMismatch,
+                              "tensor " + std::to_string(i) + " of params." +
+                                  entry.name + " has the wrong shape");
+      }
+      staged_params[e].push_back(std::move(m));
+    }
+  }
+  std::vector<std::string> staged_rngs(rngs_.size());
+  for (size_t e = 0; e < rngs_.size(); ++e) {
+    ByteReader r(loaded_->Section("rng." + rngs_[e].name));
+    std::string state = r.GetStr();
+    Rng probe(0);
+    if (!probe.LoadState(state)) {
+      throw CheckpointError(CheckpointStatus::kCorrupt,
+                            "rng." + rngs_[e].name + " does not parse");
+    }
+    staged_rngs[e] = std::move(state);
+  }
+
+  // Stage 2: commit.
+  for (size_t e = 0; e < params_.size(); ++e) {
+    for (size_t i = 0; i < staged_params[e].size(); ++i) {
+      params_[e].params[i].node()->value = std::move(staged_params[e][i]);
+    }
+  }
+  for (size_t e = 0; e < rngs_.size(); ++e) {
+    rngs_[e].rng->LoadState(staged_rngs[e]);
+  }
+  for (const BlobEntry& entry : blobs_) {
+    const std::string section = "blob." + entry.name;
+    if (loaded_->HasSection(section) && entry.decode) {
+      entry.decode(loaded_->Section(section));
+    }
+  }
+}
+
+PhaseHooks RunCheckpointer::HooksFor(int phase, const char* phase_name,
+                                     int total_epochs) {
+  PhaseHooks hooks;
+  int start = 0;
+  if (has_snapshot_) {
+    if (loaded_complete_ || phase < loaded_phase_) {
+      start = total_epochs;
+    } else if (phase == loaded_phase_) {
+      start = std::min(loaded_next_epoch_, total_epochs);
+    }
+    if (start >= total_epochs) {
+      CLFD_METRIC_COUNT("recovery.run.phases_skipped", 1);
+    } else if (start > 0) {
+      CLFD_METRIC_COUNT("recovery.run.phase_resumes", 1);
+      CLFD_LOG(INFO) << "phase resumed mid-way"
+                     << obs::Kv("phase", phase_name)
+                     << obs::Kv("start_epoch", start);
+    }
+    if (phase == loaded_phase_ && !loaded_complete_ &&
+        loaded_->HasSection("phase.local")) {
+      hooks.local_state = loaded_->Section("phase.local");
+    }
+  }
+  hooks.start_epoch = start;
+  hooks.guard = guard_;
+
+  hooks.on_begin = [this, phase](nn::Adam* optimizer) {
+    if (optimizer == nullptr) return;
+    if (has_snapshot_ && !loaded_complete_ && phase == loaded_phase_ &&
+        loaded_->HasSection("optimizer")) {
+      RestoreOptimizer(optimizer);
+    }
+    if (lr_scale_ != 1.0f) {
+      optimizer->set_learning_rate(optimizer->learning_rate() * lr_scale_);
+    }
+  };
+
+  hooks.on_epoch_end = [this, phase, phase_name, total_epochs](
+                           int epoch, float mean_loss, nn::Adam* optimizer,
+                           const std::string& local) {
+    // Sentinel first: a diverged epoch must never be snapshotted, so the
+    // last on-disk state is always healthy rollback material.
+    if (sentinel_) sentinel_(phase_name, epoch, mean_loss);
+    // Crash probe before the snapshot: a simulated crash at epoch k loses
+    // everything since the previous snapshot, exactly like a real one, and
+    // resume has to replay those epochs bitwise.
+    if (fault::At("run.epoch")) {
+      throw SimulatedCrash(std::string(phase_name) + " epoch " +
+                           std::to_string(epoch));
+    }
+    if (!options_.enabled()) return;
+    bool due = ((epoch + 1) % options_.interval_epochs == 0) ||
+               (epoch + 1 >= total_epochs);
+    if (due) Snapshot(phase, epoch + 1, false, optimizer, local);
+  };
+  return hooks;
+}
+
+void RunCheckpointer::MarkTrainingComplete() {
+  if (!options_.enabled()) return;
+  Snapshot(kPhaseDone, 0, true, nullptr, std::string());
+  // The completion marker is the write callers sequence against (e.g. the
+  // results store records the run as done only after it): make it durable
+  // before returning.
+  DrainCommits();
+}
+
+void RunCheckpointer::Snapshot(int phase, int next_epoch, bool complete,
+                               nn::Adam* optimizer,
+                               const std::string& local) {
+  obs::TraceSpan span("recovery.snapshot");
+  Checkpoint ckpt;
+  {
+    ByteWriter meta;
+    meta.PutI32(phase);
+    meta.PutI32(next_epoch);
+    meta.PutI32(complete ? 1 : 0);
+    ckpt.SetSection("meta", meta.Take());
+  }
+  for (const ParamsEntry& entry : params_) {
+    ByteWriter w;
+    w.PutU32(static_cast<uint32_t>(entry.params.size()));
+    for (const ag::Var& p : entry.params) w.PutMatrix(p.value());
+    ckpt.SetSection("params." + entry.name, w.Take());
+  }
+  for (const RngEntry& entry : rngs_) {
+    ByteWriter w;
+    w.PutStr(entry.rng->SaveState());
+    ckpt.SetSection("rng." + entry.name, w.Take());
+  }
+  for (const BlobEntry& entry : blobs_) {
+    if (entry.encode) ckpt.SetSection("blob." + entry.name, entry.encode());
+  }
+  if (optimizer != nullptr) {
+    ByteWriter w;
+    w.PutU32(static_cast<uint32_t>(optimizer->param_count()));
+    for (const Matrix& m : optimizer->first_moments()) w.PutMatrix(m);
+    for (const Matrix& v : optimizer->second_moments()) w.PutMatrix(v);
+    w.PutI32(optimizer->step_count());
+    w.PutF32(optimizer->learning_rate());
+    ckpt.SetSection("optimizer", w.Take());
+  }
+  ckpt.SetSection("phase.local", local);
+
+  // Hand the encoded snapshot to the committer thread; the fsync-heavy
+  // durable write overlaps the next training epochs.
+  EnqueueCommit(ckpt.Encode());
+}
+
+void RunCheckpointer::RestoreOptimizer(nn::Adam* optimizer) const {
+  ByteReader r(loaded_->Section("optimizer"));
+  uint32_t count = r.GetU32();
+  if (count != optimizer->param_count()) {
+    throw CheckpointError(CheckpointStatus::kShapeMismatch,
+                          "optimizer section holds " + std::to_string(count) +
+                              " moment pairs, optimizer has " +
+                              std::to_string(optimizer->param_count()));
+  }
+  std::vector<Matrix> m;
+  std::vector<Matrix> v;
+  m.reserve(count);
+  v.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) m.push_back(r.GetMatrix());
+  for (uint32_t i = 0; i < count; ++i) v.push_back(r.GetMatrix());
+  int t = r.GetI32();
+  float lr = r.GetF32();
+  if (!optimizer->RestoreState(std::move(m), std::move(v), t)) {
+    throw CheckpointError(CheckpointStatus::kShapeMismatch,
+                          "optimizer moment shapes do not match parameters");
+  }
+  optimizer->set_learning_rate(lr);
+}
+
+}  // namespace recovery
+}  // namespace clfd

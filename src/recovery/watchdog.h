@@ -1,0 +1,94 @@
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "recovery/phase.h"
+
+namespace clfd {
+namespace recovery {
+
+// Divergence watchdog (DESIGN.md §10).
+//
+// Wraps the four CLFD training phases with a bounded recovery policy.
+// Failure signals — check::InvariantError from the runtime invariant
+// layer, std::bad_alloc from the arena/heap path, non-finite batch or
+// epoch loss, an epoch loss spiking far above the phase's baseline — are
+// converted into a rollback to the last good checkpoint and a retry:
+//
+//   attempt 1: run normally
+//   attempt 2: resume from the last snapshot, skip offending batches
+//   attempt 3: resume, skip offending batches, halve the learning rate
+//   then:      abort cleanly with a structured WatchdogReport
+//
+// Every rollback / skipped batch / retry / abort is counted in the obs
+// metrics registry (recovery.watchdog.*) and visible in the Chrome trace.
+
+struct WatchdogOptions {
+  bool enabled = false;
+  // Epoch mean loss above spike_factor * (phase's first finite epoch loss)
+  // is treated as divergence.
+  float spike_factor = 50.0f;
+  // Total training attempts per run before aborting (>= 1).
+  int max_attempts = 3;
+};
+
+// Raised when training is detected to have diverged (NaN loss or spike).
+class DivergenceError : public std::runtime_error {
+ public:
+  explicit DivergenceError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// What the watchdog did for one run; carried by WatchdogAbort and useful
+// for logging even on success.
+struct WatchdogReport {
+  int attempts = 0;
+  int batches_skipped = 0;
+  int rollbacks = 0;
+  bool aborted = false;
+  std::string last_error;
+  std::string Summary() const;
+};
+
+// Terminal failure after the retry budget is exhausted. Clean abort: the
+// process state is intact, checkpoints are on disk, and the report says
+// what was tried.
+class WatchdogAbort : public std::runtime_error {
+ public:
+  explicit WatchdogAbort(WatchdogReport report);
+  const WatchdogReport& report() const { return report_; }
+
+ private:
+  WatchdogReport report_;
+};
+
+// BatchGuard that catches recoverable per-batch failures. When skipping is
+// allowed (attempt >= 2), a failed batch zeroes the half-accumulated
+// gradients and is dropped; otherwise the failure propagates so the run
+// driver rolls back and retries. SimulatedCrash and CheckpointError are
+// always rethrown — a crash is not a batch-level event.
+class SkippingBatchGuard : public BatchGuard {
+ public:
+  SkippingBatchGuard(bool skip_enabled, WatchdogReport* report)
+      : skip_enabled_(skip_enabled), report_(report) {}
+
+  bool RunBatch(nn::Adam* optimizer, const std::function<float()>& step,
+                float* loss) override;
+
+ private:
+  bool skip_enabled_;
+  WatchdogReport* report_;
+};
+
+// Per-epoch divergence check installed on the RunCheckpointer: throws
+// DivergenceError on a non-finite epoch loss or a spike above the phase
+// baseline. Runs before the epoch's snapshot, so a diverged model state is
+// never checkpointed — rollback always lands on a healthy snapshot.
+using EpochSentinel =
+    std::function<void(const char* phase, int epoch, float mean_loss)>;
+EpochSentinel MakeEpochSentinel(const WatchdogOptions& options);
+
+}  // namespace recovery
+}  // namespace clfd

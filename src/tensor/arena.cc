@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <new>
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/fault.h"
 
 namespace clfd {
 namespace arena {
@@ -36,6 +38,9 @@ Arena::Arena(size_t initial_floats)
     : next_capacity_(std::max(RoundUp(initial_floats), kBlockFloats)) {}
 
 float* Arena::Allocate(size_t count) {
+  // Fault probe: rehearses allocation failure at the bump-allocator
+  // boundary (the watchdog treats bad_alloc as a recoverable batch event).
+  if (fault::At("arena.alloc")) throw std::bad_alloc();
   size_t need = RoundUp(std::max<size_t>(count, 1));
   while (active_ < chunks_.size()) {
     Chunk& c = chunks_[active_];

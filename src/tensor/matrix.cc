@@ -5,10 +5,12 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <new>
 #include <sstream>
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/fault.h"
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "tensor/arena.h"
@@ -41,6 +43,9 @@ void Matrix::AllocateStorage() {
     if (!heap_.empty()) std::vector<float>().swap(heap_);
     return;
   }
+  // Fault probe: rehearses heap exhaustion on the non-arena path (fires
+  // only for resizes that would actually allocate).
+  if (heap_.capacity() < n && fault::At("heap.alloc")) throw std::bad_alloc();
   // Count only resizes that actually hit the allocator; re-filling a
   // vector that already has capacity (e.g. the optimizer's recycled
   // gradient buffers) is free and must not inflate the alloc metrics.

@@ -199,6 +199,45 @@ TEST(DatasetIoTest, MissingFileFails) {
   EXPECT_FALSE(LoadDataset("/nonexistent/clfd.txt", &out));
 }
 
+TEST(DatasetIoTest, RejectsHostileDeclaredCounts) {
+  // Header-declared counts far beyond what the stream can back must fail
+  // cleanly without commissioning the allocation they describe.
+  SessionDataset out;
+  std::stringstream huge_vocab("clfd-dataset v1\nvocab 2000000000\na\n");
+  EXPECT_FALSE(ReadDataset(huge_vocab, &out));
+  EXPECT_EQ(out.size(), 0);
+  EXPECT_TRUE(out.vocab.empty());
+
+  std::stringstream huge_sessions(
+      "clfd-dataset v1\nvocab 1\na\nsessions 2000000000\n0 0 1 0\n");
+  EXPECT_FALSE(ReadDataset(huge_sessions, &out));
+  EXPECT_EQ(out.size(), 0);
+
+  std::stringstream huge_session_len(
+      "clfd-dataset v1\nvocab 1\na\nsessions 1\n0 0 2000000000 0\n");
+  EXPECT_FALSE(ReadDataset(huge_session_len, &out));
+  EXPECT_EQ(out.size(), 0);
+}
+
+TEST(DatasetIoTest, RejectsNonBinaryLabelsAndTruncation) {
+  SessionDataset out;
+  std::stringstream bad_label(
+      "clfd-dataset v1\nvocab 1\na\nsessions 1\n7 0 1 0\n");
+  EXPECT_FALSE(ReadDataset(bad_label, &out));
+  std::stringstream bad_noisy(
+      "clfd-dataset v1\nvocab 1\na\nsessions 1\n0 -1 1 0\n");
+  EXPECT_FALSE(ReadDataset(bad_noisy, &out));
+  // Truncated mid-session: fewer activities than the declared length.
+  std::stringstream truncated(
+      "clfd-dataset v1\nvocab 2\na\nb\nsessions 1\n0 0 3 0 1\n");
+  EXPECT_FALSE(ReadDataset(truncated, &out));
+  EXPECT_EQ(out.size(), 0);
+  // Truncated vocab: fewer names than declared.
+  std::stringstream short_vocab("clfd-dataset v1\nvocab 3\na\nb\n");
+  EXPECT_FALSE(ReadDataset(short_vocab, &out));
+  EXPECT_TRUE(out.vocab.empty());
+}
+
 
 // ---- Co-teaching CLFD (future-work extension) ----
 

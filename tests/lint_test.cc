@@ -364,12 +364,54 @@ TEST(LintRules, EveryRuleIsRegistered) {
   for (const char* id :
        {kRuleDeterminismRand, kRuleDeterminismTime, kRuleDeterminismUnordered,
         kRuleRawThread, kRuleMutableGlobal, kRuleRawNew, kRuleArenaScope,
-        kRuleLoggingStdio, kRulePragmaOnce, kRuleUsingNamespace}) {
+        kRuleLoggingStdio, kRuleUncheckedStreamWrite, kRulePragmaOnce,
+        kRuleUsingNamespace}) {
     EXPECT_NE(std::find(names.begin(), names.end(), std::string(id)),
               names.end())
         << id;
   }
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST(LintUncheckedStreamWrite, FlagsAdHocFileWrites) {
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"std::ofstream out(path);"})),
+                      kRuleUncheckedStreamWrite),
+            1);
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"fwrite(buf, 1, n, f);"})),
+                      kRuleUncheckedStreamWrite),
+            1);
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"FILE* f = fopen(path, \"wb\");"})),
+                      kRuleUncheckedStreamWrite),
+            1);
+}
+
+TEST(LintUncheckedStreamWrite, CleanReadsAndCommentsPass) {
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"// std::ofstream is banned here",
+                                        "std::ifstream in(path);"})),
+                      kRuleUncheckedStreamWrite),
+            0);
+}
+
+TEST(LintUncheckedStreamWrite, IoAllowlistAndPragmaSuppress) {
+  // The audited IO layer may open files however it needs to.
+  for (const char* path :
+       {"src/nn/serialize.cc", "src/data/dataset_io.cc",
+        "src/recovery/checkpoint.cc"}) {
+    EXPECT_EQ(CountRule(LintSource(path,
+                                   Lines({"std::ofstream out(path);"})),
+                        kRuleUncheckedStreamWrite),
+              0)
+        << path;
+  }
+  auto vs = LintSource(
+      kModelPath,
+      Lines({"std::ofstream out(p);  "
+             "// clfd-lint: allow(unchecked-stream-write)"}));
+  EXPECT_EQ(CountRule(vs, kRuleUncheckedStreamWrite), 0);
 }
 
 }  // namespace

@@ -1,0 +1,607 @@
+// Tests for the fault-tolerance layer (DESIGN.md §10): checkpoint wire
+// format, corruption rejection, atomic-commit fallback, deterministic
+// fault injection, the divergence watchdog, and the headline guarantee —
+// a run killed mid-training resumes to bitwise-identical RunMetrics at
+// any thread width.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "autograd/var.h"
+#include "common/check.h"
+#include "common/fault.h"
+#include "core/clfd.h"
+#include "eval/experiment.h"
+#include "nn/optimizer.h"
+#include "parallel/thread_pool.h"
+#include "recovery/checkpoint.h"
+#include "recovery/fault_plan.h"
+#include "recovery/run_checkpointer.h"
+#include "recovery/watchdog.h"
+
+namespace clfd {
+namespace {
+
+using recovery::ByteReader;
+using recovery::ByteWriter;
+using recovery::Checkpoint;
+using recovery::CheckpointError;
+using recovery::CheckpointStatus;
+
+ClfdConfig TinyConfig() {
+  ClfdConfig config = ClfdConfig::Fast();
+  config.emb_dim = 12;
+  config.hidden_dim = 12;
+  config.batch_size = 24;
+  config.aux_batch_size = 4;
+  config.budget = {2, 30, 2};
+  return config;
+}
+
+// Fresh scratch directory per test case.
+std::string ScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "clfd_recovery_" + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// Raw writer used only to plant corrupted fixtures; product code must go
+// through WriteFileAtomic instead.
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);  // clfd-lint: allow(unchecked-stream-write)
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+CheckpointStatus DecodeStatus(const std::string& bytes) {
+  try {
+    Checkpoint::Decode(bytes);
+  } catch (const CheckpointError& e) {
+    return e.status();
+  }
+  ADD_FAILURE() << "Decode accepted defective input";
+  return CheckpointStatus::kIoError;
+}
+
+// ---- Wire format ----
+
+TEST(ByteCodecTest, RoundTripsEveryFieldType) {
+  ByteWriter w;
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI32(-42);
+  w.PutF32(1.5f);
+  w.PutF64(-2.25);
+  w.PutStr("hello");
+  Matrix m(2, 3);
+  for (int i = 0; i < 6; ++i) m[i] = static_cast<float>(i) * 0.5f;
+  w.PutMatrix(m);
+  w.PutInts({7, -1, 0, 5});
+  std::string bytes = w.Take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.GetI32(), -42);
+  EXPECT_EQ(r.GetF32(), 1.5f);
+  EXPECT_EQ(r.GetF64(), -2.25);
+  EXPECT_EQ(r.GetStr(), "hello");
+  Matrix back = r.GetMatrix();
+  ASSERT_EQ(back.rows(), 2);
+  ASSERT_EQ(back.cols(), 3);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(back[i], m[i]);
+  EXPECT_EQ(r.GetInts(), (std::vector<int>{7, -1, 0, 5}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteCodecTest, ShortReadsThrowTruncatedNotUB) {
+  ByteWriter w;
+  w.PutStr("abc");
+  std::string bytes = w.Take();
+  // Cut mid-string: the length prefix promises more bytes than exist.
+  std::string cut = bytes.substr(0, bytes.size() - 2);
+  ByteReader r(cut);
+  try {
+    r.GetStr();
+    FAIL() << "GetStr read past the end";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.status(), CheckpointStatus::kTruncated);
+  }
+  // A hostile length prefix must be rejected before allocation.
+  ByteWriter hostile;
+  hostile.PutU32(0x7FFFFFFFu);
+  ByteReader r2(hostile.bytes());
+  EXPECT_THROW(r2.GetStr(), CheckpointError);
+}
+
+TEST(ByteCodecTest, HostileMatrixHeadersRejected) {
+  {
+    ByteWriter w;  // negative dimensions
+    w.PutI32(-1);
+    w.PutI32(4);
+    ByteReader r(w.bytes());
+    EXPECT_THROW(r.GetMatrix(), CheckpointError);
+  }
+  {
+    ByteWriter w;  // element count far beyond the payload
+    w.PutI32(1 << 14);
+    w.PutI32(1 << 14);
+    w.PutF32(0.0f);
+    ByteReader r(w.bytes());
+    EXPECT_THROW(r.GetMatrix(), CheckpointError);
+  }
+}
+
+TEST(CheckpointTest, EncodeDecodeRoundTrip) {
+  Checkpoint ckpt;
+  ckpt.SetSection("meta", "abc");
+  ckpt.SetSection("params.encoder", std::string(1000, 'x'));
+  ckpt.SetSection("empty", "");
+  Checkpoint back = Checkpoint::Decode(ckpt.Encode());
+  EXPECT_EQ(back.SectionNames(),
+            (std::vector<std::string>{"empty", "meta", "params.encoder"}));
+  EXPECT_EQ(back.Section("meta"), "abc");
+  EXPECT_EQ(back.Section("params.encoder"), std::string(1000, 'x'));
+  EXPECT_TRUE(back.HasSection("empty"));
+  EXPECT_FALSE(back.HasSection("absent"));
+  try {
+    back.Section("absent");
+    FAIL() << "missing section not detected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.status(), CheckpointStatus::kMissingSection);
+  }
+}
+
+// ---- Corruption matrix: every byte region of the container is hostile ----
+
+TEST(CheckpointTest, CorruptionMatrixEveryRegionRejected) {
+  Checkpoint ckpt;
+  ckpt.SetSection("meta", "0123456789");
+  ckpt.SetSection("rng.main", "engine-state-bytes");
+  std::string good = ckpt.Encode();
+  ASSERT_NO_THROW(Checkpoint::Decode(good));
+
+  // Magic damage.
+  std::string bad_magic = good;
+  bad_magic[0] ^= 0x01;
+  EXPECT_EQ(DecodeStatus(bad_magic), CheckpointStatus::kBadMagic);
+
+  // Version bump (bytes 8..11 hold the u32 format version).
+  std::string bad_version = good;
+  bad_version[8] = static_cast<char>(Checkpoint::kFormatVersion + 1);
+  EXPECT_EQ(DecodeStatus(bad_version), CheckpointStatus::kBadVersion);
+
+  // Bit-flip every byte after the header. Almost all flips must surface a
+  // typed CheckpointError (CRC mismatch or a violated structural bound).
+  // The one benign case: a flip inside a section-name byte — names are not
+  // CRC-covered, so the container still decodes, just with a mutated name;
+  // a later RestoreRegistered then fails with kMissingSection. Assert that
+  // any flip that decodes at all changed nothing but a name.
+  for (size_t i = 16; i < good.size(); ++i) {
+    std::string flipped = good;
+    flipped[i] ^= 0x40;
+    try {
+      Checkpoint mutated = Checkpoint::Decode(flipped);
+      EXPECT_EQ(mutated.SectionNames().size(), 2u) << "flip at byte " << i;
+      EXPECT_TRUE(mutated.HasSection("meta") || mutated.HasSection("rng.main"))
+          << "flip at byte " << i;
+    } catch (const CheckpointError&) {
+      // Typed rejection is the expected path.
+    }
+  }
+
+  // Truncation at every prefix must throw a typed error, never crash.
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(Checkpoint::Decode(good.substr(0, len)), CheckpointError)
+        << "truncated to " << len << " bytes";
+  }
+}
+
+// ---- Atomic commit + fallback ----
+
+TEST(CheckpointFileTest, AtomicWriteKeepsPreviousSnapshot) {
+  std::string dir = ScratchDir("atomic");
+  recovery::EnsureDirs(dir);
+  std::string path = dir + "/run.ckpt";
+
+  Checkpoint first;
+  first.SetSection("meta", "one");
+  recovery::WriteFileAtomic(path, first.Encode());
+  Checkpoint second;
+  second.SetSection("meta", "two");
+  recovery::WriteFileAtomic(path, second.Encode());
+
+  EXPECT_EQ(recovery::LoadCheckpoint(path).Section("meta"), "two");
+  EXPECT_EQ(recovery::LoadCheckpoint(path + ".prev").Section("meta"), "one");
+
+  // Corrupt the primary: the loader falls back to the previous snapshot.
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() / 2] ^= 0xFF;
+  WriteFileBytes(path, bytes);
+  auto fallback = recovery::LoadCheckpointWithFallback(path);
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->Section("meta"), "one");
+
+  // Corrupt both: no checkpoint is recoverable.
+  WriteFileBytes(path + ".prev", "garbage");
+  EXPECT_FALSE(recovery::LoadCheckpointWithFallback(path).has_value());
+}
+
+TEST(CheckpointFileTest, MissingFileAndDirCreation) {
+  std::string dir = ScratchDir("dirs");
+  EXPECT_FALSE(
+      recovery::LoadCheckpointWithFallback(dir + "/absent.ckpt").has_value());
+  try {
+    recovery::LoadCheckpoint(dir + "/absent.ckpt");
+    FAIL() << "absent file loaded";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.status(), CheckpointStatus::kIoError);
+  }
+  // EnsureDirs builds nested components and tolerates repetition.
+  recovery::EnsureDirs(dir + "/a/b/c");
+  recovery::EnsureDirs(dir + "/a/b/c");
+  recovery::WriteFileAtomic(dir + "/a/b/c/x.ckpt", Checkpoint().Encode());
+  EXPECT_NO_THROW(recovery::LoadCheckpoint(dir + "/a/b/c/x.ckpt"));
+}
+
+// ---- Fault plans ----
+
+TEST(FaultPlanTest, ParsesAndFiresDeterministically) {
+  recovery::FaultPlan plan("a.site@2;b.site@3+", 1);
+  EXPECT_FALSE(plan.At("a.site"));
+  EXPECT_TRUE(plan.At("a.site"));   // exactly the 2nd hit
+  EXPECT_FALSE(plan.At("a.site"));  // not sticky
+  EXPECT_FALSE(plan.At("b.site"));
+  EXPECT_FALSE(plan.At("b.site"));
+  EXPECT_TRUE(plan.At("b.site"));  // 3rd hit...
+  EXPECT_TRUE(plan.At("b.site"));  // ...and every one after
+  EXPECT_FALSE(plan.At("unknown.site"));
+  EXPECT_EQ(plan.HitCount("a.site"), 3);
+  EXPECT_EQ(plan.FiredCount("a.site"), 1);
+  EXPECT_EQ(plan.FiredCount("b.site"), 2);
+  EXPECT_FALSE(plan.Describe().empty());
+}
+
+TEST(FaultPlanTest, ProbabilisticTriggersAreSeedDeterministic) {
+  recovery::FaultPlan a("x@p=0.5", 99);
+  recovery::FaultPlan b("x@p=0.5", 99);
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    bool fa = a.At("x");
+    EXPECT_EQ(fa, b.At("x")) << "hit " << i;
+    fired += fa ? 1 : 0;
+  }
+  EXPECT_GT(fired, 50);
+  EXPECT_LT(fired, 150);
+}
+
+TEST(FaultPlanTest, MalformedSpecsRejected) {
+  for (const char* spec :
+       {"nosep", "site@", "site@0", "site@-3", "site@p=", "site@p=1.5",
+        "site@p=x", "@3", "site@2junk"}) {
+    EXPECT_THROW(recovery::FaultPlan(spec, 1), std::invalid_argument) << spec;
+  }
+  // Empty entries between separators are tolerated; an empty spec is legal
+  // and arms nothing.
+  recovery::FaultPlan plan("a@1;;b@1", 1);
+  EXPECT_TRUE(plan.At("a"));
+  EXPECT_TRUE(plan.At("b"));
+}
+
+TEST(FaultPlanTest, ScopedInstallArmsAndDisarmsProbes) {
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_FALSE(fault::At("arena.alloc"));
+  {
+    recovery::ScopedFaultPlan scoped("arena.alloc@1", 1);
+    EXPECT_TRUE(fault::Armed());
+    EXPECT_TRUE(fault::At("arena.alloc"));
+    EXPECT_FALSE(fault::At("arena.alloc"));
+  }
+  EXPECT_FALSE(fault::Armed());
+}
+
+TEST(FaultPlanTest, CheckpointIoFaultLeavesSnapshotIntact) {
+  std::string dir = ScratchDir("iofault");
+  recovery::EnsureDirs(dir);
+  std::string path = dir + "/run.ckpt";
+  Checkpoint good;
+  good.SetSection("meta", "good");
+  recovery::WriteFileAtomic(path, good.Encode());
+
+  recovery::ScopedFaultPlan scoped("ckpt.io@1", 1);
+  Checkpoint next;
+  next.SetSection("meta", "next");
+  try {
+    recovery::WriteFileAtomic(path, next.Encode());
+    FAIL() << "injected IO fault did not fire";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.status(), CheckpointStatus::kIoError);
+  }
+  // The failed write never touched the durable snapshot.
+  EXPECT_EQ(recovery::LoadCheckpoint(path).Section("meta"), "good");
+  // The probe fires exactly once; the retry goes through.
+  recovery::WriteFileAtomic(path, next.Encode());
+  EXPECT_EQ(recovery::LoadCheckpoint(path).Section("meta"), "next");
+}
+
+// ---- Watchdog units ----
+
+TEST(WatchdogTest, SkippingGuardSkipsOrPropagates) {
+  recovery::WatchdogReport report;
+  recovery::SkippingBatchGuard skipper(/*skip_enabled=*/true, &report);
+  std::vector<ag::Var> params{ag::Param(Matrix(1, 1))};
+  nn::Adam optimizer(params, 0.01f);
+
+  float loss = 0.0f;
+  EXPECT_TRUE(skipper.RunBatch(&optimizer, [] { return 1.0f; }, &loss));
+  EXPECT_EQ(loss, 1.0f);
+  // Recoverable batch failures are skipped when the policy allows it.
+  EXPECT_FALSE(skipper.RunBatch(
+      &optimizer,
+      [] { return std::numeric_limits<float>::quiet_NaN(); }, &loss));
+  EXPECT_FALSE(skipper.RunBatch(
+      &optimizer,
+      []() -> float { throw check::InvariantError("poisoned op"); }, &loss));
+  EXPECT_FALSE(skipper.RunBatch(
+      &optimizer, []() -> float { throw std::bad_alloc(); }, &loss));
+  EXPECT_EQ(report.batches_skipped, 3);
+  EXPECT_EQ(loss, 1.0f);  // skipped batches leave the loss untouched
+
+  // With skipping off (attempt 1) the failure propagates to the run driver.
+  recovery::SkippingBatchGuard strict(/*skip_enabled=*/false, &report);
+  EXPECT_THROW(
+      strict.RunBatch(&optimizer, []() -> float { throw std::bad_alloc(); },
+                      &loss),
+      std::bad_alloc);
+  EXPECT_THROW(
+      strict.RunBatch(
+          &optimizer,
+          [] { return std::numeric_limits<float>::infinity(); }, &loss),
+      recovery::DivergenceError);
+  // A simulated crash is never a batch-level event, even when skipping.
+  EXPECT_THROW(
+      skipper.RunBatch(
+          &optimizer,
+          []() -> float { throw recovery::SimulatedCrash("x"); }, &loss),
+      recovery::SimulatedCrash);
+}
+
+TEST(WatchdogTest, EpochSentinelCatchesNaNAndSpike) {
+  recovery::WatchdogOptions options;
+  options.enabled = true;
+  options.spike_factor = 10.0f;
+  recovery::EpochSentinel sentinel = recovery::MakeEpochSentinel(options);
+  sentinel("pretrain", 0, 1.0f);  // establishes the phase baseline
+  sentinel("pretrain", 1, 5.0f);  // within 10x
+  EXPECT_THROW(
+      sentinel("pretrain", 2, std::numeric_limits<float>::quiet_NaN()),
+      recovery::DivergenceError);
+  EXPECT_THROW(sentinel("pretrain", 3, 11.0f), recovery::DivergenceError);
+  // Phases have independent baselines.
+  sentinel("detector", 0, 100.0f);
+  EXPECT_THROW(sentinel("detector", 1, 1001.0f), recovery::DivergenceError);
+}
+
+// ---- End-to-end: crash/resume and fault recovery ----
+
+// Single-seed experiment; with seeds==1 the aggregate mean is the run.
+RunMetrics RunOne(const recovery::RecoveryOptions& options) {
+  SplitSpec split{40, 6, 20, 4};
+  AggregatedMetrics agg = RunExperimentWithFactory(
+      [](uint64_t seed) {
+        return std::make_unique<ClfdModel>(TinyConfig(), seed);
+      },
+      DatasetKind::kWiki, split, NoiseSpec::Uniform(0.3),
+      TinyConfig().emb_dim, /*seeds=*/1, /*base_seed=*/100, options);
+  RunMetrics m;
+  m.f1 = agg.f1.mean();
+  m.fpr = agg.fpr.mean();
+  m.auc = agg.auc.mean();
+  return m;
+}
+
+TEST(CrashResumeTest, KillAndResumeBitwiseIdenticalAtEveryWidth) {
+  // The headline guarantee: crash at an epoch boundary, resume, and the
+  // final metrics equal an uninterrupted run bit for bit — at widths 1/2/4.
+  RunMetrics baseline = RunOne(recovery::RecoveryOptions{});
+
+  for (int width : {1, 2, 4}) {
+    parallel::SetGlobalThreads(width);
+    std::string dir = ScratchDir("resume_w" + std::to_string(width));
+    recovery::RecoveryOptions options;
+    options.dir = dir;
+    options.interval_epochs = 4;
+
+    // Interrupted run: simulated crash at the 20th epoch boundary (mid
+    // corrector phase; epochs since the last interval snapshot are lost).
+    {
+      recovery::ScopedFaultPlan crash("run.epoch@20", 1);
+      EXPECT_THROW(RunOne(options), recovery::SimulatedCrash);
+    }
+    // Restart: resumes from <dir>/seed_100.ckpt and replays the rest.
+    RunMetrics resumed = RunOne(options);
+    parallel::SetGlobalThreads(0);
+
+    EXPECT_EQ(resumed.f1, baseline.f1) << "width " << width;
+    EXPECT_EQ(resumed.fpr, baseline.fpr) << "width " << width;
+    EXPECT_EQ(resumed.auc, baseline.auc) << "width " << width;
+  }
+}
+
+TEST(CrashResumeTest, CheckpointingItselfDoesNotChangeResults) {
+  // Snapshot writes must be pure observers of training state.
+  RunMetrics plain = RunOne(recovery::RecoveryOptions{});
+  recovery::RecoveryOptions options;
+  options.dir = ScratchDir("observer");
+  options.interval_epochs = 1;  // snapshot after every epoch
+  RunMetrics checkpointed = RunOne(options);
+  EXPECT_EQ(plain.f1, checkpointed.f1);
+  EXPECT_EQ(plain.fpr, checkpointed.fpr);
+  EXPECT_EQ(plain.auc, checkpointed.auc);
+}
+
+TEST(CrashResumeTest, CompletedRunIsServedFromResultsStore) {
+  recovery::RecoveryOptions options;
+  options.dir = ScratchDir("results_store");
+  RunMetrics first = RunOne(options);
+  // The second invocation finds seed 100 in results.ckpt and skips
+  // training; identical numbers come straight from the store.
+  RunMetrics second = RunOne(options);
+  EXPECT_EQ(first.f1, second.f1);
+  EXPECT_EQ(first.fpr, second.fpr);
+  EXPECT_EQ(first.auc, second.auc);
+}
+
+TEST(CrashResumeTest, RepeatedCrashesStillConverge) {
+  // Crash three separate times at advancing epochs; each restart resumes
+  // from the latest snapshot and the final answer is still bitwise equal.
+  RunMetrics baseline = RunOne(recovery::RecoveryOptions{});
+  recovery::RecoveryOptions options;
+  options.dir = ScratchDir("multi_crash");
+  options.interval_epochs = 3;
+  for (int crash_epoch : {5, 11, 17}) {
+    recovery::ScopedFaultPlan crash(
+        "run.epoch@" + std::to_string(crash_epoch), 1);
+    EXPECT_THROW(RunOne(options), recovery::SimulatedCrash);
+  }
+  RunMetrics resumed = RunOne(options);
+  EXPECT_EQ(resumed.f1, baseline.f1);
+  EXPECT_EQ(resumed.fpr, baseline.fpr);
+  EXPECT_EQ(resumed.auc, baseline.auc);
+}
+
+TEST(CrashResumeTest, CorruptSnapshotFallsBackToPrevious) {
+  RunMetrics baseline = RunOne(recovery::RecoveryOptions{});
+  recovery::RecoveryOptions options;
+  options.dir = ScratchDir("corrupt_primary");
+  options.interval_epochs = 3;
+  {
+    recovery::ScopedFaultPlan crash("run.epoch@20", 1);
+    EXPECT_THROW(RunOne(options), recovery::SimulatedCrash);
+  }
+  // Flip a bit deep inside the primary snapshot (parameter payload, CRC
+  // protected): resume must reject it typed — never half-restore — and
+  // restart from the .prev snapshot, losing a few epochs but never
+  // correctness.
+  std::string path = options.dir + "/seed_100.ckpt";
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 3] ^= 0x10;
+  WriteFileBytes(path, bytes);
+  RunMetrics resumed = RunOne(options);
+  EXPECT_EQ(resumed.f1, baseline.f1);
+  EXPECT_EQ(resumed.fpr, baseline.fpr);
+  EXPECT_EQ(resumed.auc, baseline.auc);
+}
+
+TEST(WatchdogE2ETest, RecoversFromInjectedAllocAndNaNFaults) {
+  // An allocation failure and a NaN-poisoned op must not kill the run:
+  // the failing attempt rolls back to the last snapshot and the retry
+  // (with batch skipping) completes with sane metrics. The invariant
+  // layer is enabled so the poisoned op is caught at the op boundary,
+  // before the optimizer can apply a poisoned update.
+  check::ScopedEnable checks;
+  recovery::RecoveryOptions options;
+  options.dir = ScratchDir("watchdog_faults");
+  options.interval_epochs = 2;
+  options.watchdog.enabled = true;
+  recovery::ScopedFaultPlan faults("arena.alloc@300;op.nan@900", 7);
+  RunMetrics m = RunOne(options);
+  EXPECT_GE(m.auc, 0.0);
+  EXPECT_LE(m.auc, 100.0);
+  EXPECT_GE(m.f1, 0.0);
+  EXPECT_LE(m.f1, 100.0);
+}
+
+TEST(WatchdogE2ETest, PersistentDivergenceAbortsWithReport) {
+  // Sticky NaN poisoning from the first op: the attempt diverges, the
+  // retry budget exhausts, and the run aborts with a structured report
+  // instead of hanging or corrupting state.
+  check::ScopedEnable checks;
+  recovery::RecoveryOptions options;
+  options.watchdog.enabled = true;
+  options.watchdog.max_attempts = 1;
+  recovery::ScopedFaultPlan faults("op.nan@1+", 7);
+  try {
+    RunOne(options);
+    FAIL() << "persistent divergence did not abort";
+  } catch (const recovery::WatchdogAbort& e) {
+    EXPECT_TRUE(e.report().aborted);
+    EXPECT_EQ(e.report().attempts, 1);
+    EXPECT_FALSE(e.report().last_error.empty());
+    EXPECT_FALSE(e.report().Summary().empty());
+  }
+}
+
+// ---- RunCheckpointer state capture ----
+
+TEST(RunCheckpointerTest, CompletedTrainingRestoresIdenticalModel) {
+  // Train to completion under a checkpoint dir, then construct a fresh
+  // model and "train" it against the same dir: every phase is skipped, all
+  // state comes from the snapshot, and the two models score the test set
+  // identically — i.e. the snapshot captures the complete model.
+  SplitSpec split{40, 6, 20, 4};
+  ClfdConfig config = TinyConfig();
+  ExperimentContext context(DatasetKind::kWiki, split, NoiseSpec::Uniform(0.3),
+                            config.emb_dim, 31);
+  recovery::RecoveryOptions options;
+  options.dir = ScratchDir("full_restore");
+
+  ClfdModel trained(config, 31);
+  {
+    recovery::RunCheckpointer rc(options, "model");
+    trained.TrainWithRecovery(context.train(), context.embeddings(), &rc);
+  }
+  ClfdModel restored(config, 31);
+  {
+    recovery::RunCheckpointer rc(options, "model");
+    restored.TrainWithRecovery(context.train(), context.embeddings(), &rc);
+  }
+  std::vector<double> a = trained.Score(context.test());
+  std::vector<double> b = restored.Score(context.test());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << "score " << i;
+}
+
+TEST(RunCheckpointerTest, ShapeMismatchedSnapshotRejectedTyped) {
+  // A snapshot from a differently-shaped model must be rejected with
+  // kShapeMismatch before any state is overwritten.
+  SplitSpec split{40, 6, 20, 4};
+  ClfdConfig config = TinyConfig();
+  ExperimentContext context(DatasetKind::kWiki, split, NoiseSpec::Uniform(0.3),
+                            config.emb_dim, 31);
+  recovery::RecoveryOptions options;
+  options.dir = ScratchDir("shape_mismatch");
+  {
+    ClfdModel model(config, 31);
+    recovery::RunCheckpointer rc(options, "model");
+    model.TrainWithRecovery(context.train(), context.embeddings(), &rc);
+  }
+  ClfdConfig bigger = config;
+  bigger.hidden_dim = config.hidden_dim + 4;
+  ClfdModel other(bigger, 31);
+  recovery::RunCheckpointer rc(options, "model");
+  try {
+    other.TrainWithRecovery(context.train(), context.embeddings(), &rc);
+    FAIL() << "mismatched snapshot accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.status(), CheckpointStatus::kShapeMismatch);
+  }
+}
+
+}  // namespace
+}  // namespace clfd

@@ -3,9 +3,18 @@
 # tree. This is the same gate the acceptance criteria describe — run it
 # before pushing anything that touches src/.
 #
-#   tools/ci.sh               # default+Werror, asan, ubsan, tsan, lint
-#   tools/ci.sh default ubsan # just those presets (+ lint)
+#   tools/ci.sh                 # default+Werror, asan, ubsan, tsan,
+#                               # crash-resume, lint
+#   tools/ci.sh default ubsan   # just those presets (+ lint)
+#   tools/ci.sh crash-resume    # just the fault-tolerance job (+ lint)
 #   CLFD_CI_JOBS=8 tools/ci.sh
+#
+# `crash-resume` is a pseudo-preset, not a CMake preset: it builds the
+# recovery test under ASan and runs the kill-and-resume bitwise-equivalence
+# suite there (heap misuse across the crash/restore boundary is where ASan
+# earns its keep), then builds the `check` preset (runtime invariant checks
+# on) and runs the fault-injection + watchdog suite, where injected NaNs
+# must surface as check::InvariantError at the op boundary.
 #
 # When the default preset is in the run, the substrate micro-benchmarks
 # also run in smoke mode (short min-time) and emit BENCH_substrate.json:
@@ -28,16 +37,34 @@ cd "${repo_root}"
 jobs="${CLFD_CI_JOBS:-$(nproc)}"
 presets=("$@")
 if [[ ${#presets[@]} -eq 0 ]]; then
-  presets=(default asan ubsan tsan)
+  presets=(default asan ubsan tsan crash-resume)
 fi
 
 for preset in "${presets[@]}"; do
+  if [[ "${preset}" == "crash-resume" ]]; then
+    continue  # handled after the correctness matrix below
+  fi
   echo "==== [${preset}] configure"
   cmake --preset "${preset}"
   echo "==== [${preset}] build (-j${jobs})"
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==== [${preset}] test"
   ctest --preset "${preset}" -j "${jobs}"
+done
+
+for preset in "${presets[@]}"; do
+  if [[ "${preset}" != "crash-resume" ]]; then
+    continue
+  fi
+  echo "==== [crash-resume] kill-and-resume equivalence under ASan"
+  cmake --preset asan
+  cmake --build --preset asan -j "${jobs}" --target recovery_test
+  ./build-asan/tests/recovery_test --gtest_filter='CrashResumeTest.*'
+  echo "==== [crash-resume] fault-injection suite under the check preset"
+  cmake --preset check
+  cmake --build --preset check -j "${jobs}" --target recovery_test
+  ./build-check/tests/recovery_test \
+      --gtest_filter='FaultPlanTest.*:WatchdogTest.*:WatchdogE2ETest.*'
 done
 
 for preset in "${presets[@]}"; do

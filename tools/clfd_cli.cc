@@ -18,13 +18,26 @@
 //   --log-level=LVL     debug|info|warn|error|off (default: CLFD_LOG_LEVEL)
 //   --threads=N         parallel width (default: CLFD_THREADS env, else all
 //                       hardware threads); results are identical for any N
+//
+// Fault-tolerance flags:
+//   --checkpoint-dir=DIR      (run) checkpoint/resume training under DIR
+//   --checkpoint-interval=N   (run) snapshot every N epochs (default 5)
+//   --no-resume               (run) ignore existing checkpoints
+//   --watchdog                (run) divergence watchdog with rollback/retry
+//   --fault-plan=SPEC         deterministic fault injection, e.g.
+//                             "run.epoch@3;ckpt.io@2" (see recovery/fault_plan.h)
+//   --fault-seed=N            seed for probabilistic fault triggers
+// Exit codes: 3 = simulated crash (resume with the same command),
+//             4 = watchdog aborted after exhausting its retry budget.
 
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "baselines/registry.h"
+#include "common/check.h"
 #include "core/clfd.h"
 #include "core/noise_estimator.h"
 #include "data/dataset_io.h"
@@ -36,6 +49,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "recovery/fault_plan.h"
+#include "recovery/run_checkpointer.h"
+#include "recovery/watchdog.h"
 
 namespace clfd {
 namespace {
@@ -69,7 +85,10 @@ Args ParseArgs(int argc, char** argv) {
       size_t eq = key.find('=');
       if (eq != std::string::npos) {
         args.values[key.substr(0, eq)] = key.substr(eq + 1);
-      } else if (i + 1 < argc) {
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        // Space form takes the next token as the value — unless it is the
+        // next flag, so presence-only flags (--watchdog, --no-resume) don't
+        // swallow whatever follows them.
         args.values[key] = argv[++i];
       } else {
         args.values[key] = "";
@@ -96,6 +115,11 @@ int Usage() {
       "execution (any subcommand):\n"
       "  --threads=N   thread-pool width (default CLFD_THREADS or all\n"
       "                cores; never changes results, only speed)\n"
+      "fault tolerance (run):\n"
+      "  --checkpoint-dir=DIR --checkpoint-interval=N --no-resume\n"
+      "  --watchdog    divergence watchdog with rollback + bounded retry\n"
+      "fault injection (any subcommand):\n"
+      "  --fault-plan=SPEC --fault-seed=N   e.g. \"run.epoch@3;ckpt.io@1\"\n"
       "models: CLFD DivMix ULC Sel-CL CTRR Few-Shot CLDet DeepLog LogBert\n");
   return 2;
 }
@@ -190,14 +214,66 @@ int Run(const Args& args) {
   Matrix embeddings = TrainActivityEmbeddings(train, config.emb_dim, &rng);
 
   std::string model_name = args.Get("model", "CLFD");
-  auto model = MakeModel(model_name, config, seed);
-  if (!model) {
-    std::fprintf(stderr, "unknown model '%s'\n", model_name.c_str());
-    return 2;
-  }
+
+  recovery::RecoveryOptions ropts;
+  ropts.dir = args.Get("checkpoint-dir", "");
+  ropts.interval_epochs = args.GetInt("checkpoint-interval", 5);
+  ropts.resume = args.values.count("no-resume") == 0;
+  ropts.watchdog.enabled = args.values.count("watchdog") > 0;
+
   std::printf("training %s on %d sessions...\n", model_name.c_str(),
               train.size());
-  model->Train(train, embeddings);
+  std::unique_ptr<DetectorModel> model;
+  recovery::WatchdogReport report;
+  const int max_attempts =
+      ropts.watchdog.enabled ? std::max(1, ropts.watchdog.max_attempts) : 1;
+  for (int attempt = 1; attempt <= max_attempts && !model; ++attempt) {
+    report.attempts = attempt;
+    auto candidate = MakeModel(model_name, config, seed);
+    if (!candidate) {
+      std::fprintf(stderr, "unknown model '%s'\n", model_name.c_str());
+      return 2;
+    }
+    // Each attempt gets a fresh checkpointer: rollback is "resume from the
+    // last good snapshot", which LoadSnapshot performs from disk.
+    recovery::RunCheckpointer rc(ropts, "cli_seed_" + std::to_string(seed));
+    recovery::SkippingBatchGuard guard(attempt >= 2, &report);
+    if (ropts.watchdog.enabled) {
+      rc.SetBatchGuard(&guard);
+      rc.SetEpochSentinel(recovery::MakeEpochSentinel(ropts.watchdog));
+      if (attempt >= 3) rc.SetLrScale(0.5f);
+    }
+    try {
+      if (rc.active()) {
+        candidate->TrainWithRecovery(train, embeddings, &rc);
+      } else {
+        candidate->Train(train, embeddings);
+      }
+      model = std::move(candidate);
+    } catch (const recovery::SimulatedCrash&) {
+      throw;
+    } catch (const recovery::CheckpointError&) {
+      throw;
+    } catch (const recovery::DivergenceError& e) {
+      if (!ropts.watchdog.enabled) throw;
+      report.last_error = e.what();
+    } catch (const check::InvariantError& e) {
+      if (!ropts.watchdog.enabled) throw;
+      report.last_error = e.what();
+    } catch (const std::bad_alloc& e) {
+      if (!ropts.watchdog.enabled) throw;
+      report.last_error = e.what();
+    }
+    if (!model) {
+      ++report.rollbacks;
+      std::fprintf(stderr, "watchdog: attempt %d failed (%s); rolling back\n",
+                   attempt, report.last_error.c_str());
+    }
+  }
+  if (!model) {
+    report.aborted = true;
+    throw recovery::WatchdogAbort(report);
+  }
 
   std::vector<int> truths = TrueLabels(test);
   auto scores = model->Score(test);
@@ -274,7 +350,35 @@ int Main(int argc, char** argv) {
   int threads = args.GetInt("threads", 0);
   if (threads > 0) parallel::SetGlobalThreads(threads);
 
-  int rc = Dispatch(args);
+  // Deterministic fault injection: same (spec, seed) -> same fault
+  // sequence, so a crash/resume transcript is reproducible.
+  std::unique_ptr<recovery::ScopedFaultPlan> fault_plan;
+  std::string fault_spec = args.Get("fault-plan", "");
+  if (!fault_spec.empty()) {
+    try {
+      fault_plan = std::make_unique<recovery::ScopedFaultPlan>(
+          fault_spec, static_cast<uint64_t>(args.GetInt("fault-seed", 1)));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr, "fault plan armed: %s\n",
+                 fault_plan->plan().Describe().c_str());
+  }
+
+  int rc;
+  try {
+    rc = Dispatch(args);
+  } catch (const recovery::SimulatedCrash& e) {
+    // Emulated hard crash: checkpoints are on disk; rerunning the same
+    // command (without the crash trigger) resumes where it left off.
+    std::fprintf(stderr, "%s\n", e.what());
+    rc = 3;
+  } catch (const recovery::WatchdogAbort& e) {
+    std::fprintf(stderr, "watchdog abort: %s\n",
+                 e.report().Summary().c_str());
+    rc = 4;
+  }
 
   if (!trace_path.empty() && !obs::TraceRecorder::Get().Stop() && rc == 0) {
     rc = 1;  // Stop() already reported the write failure to stderr.

@@ -341,7 +341,19 @@ bool IsInfraAllowlisted(const std::string& path) {
   return StartsWith(path, "src/obs/") || StartsWith(path, "src/parallel/") ||
          StartsWith(path, "src/common/rng.") ||
          StartsWith(path, "src/common/check.") ||
+         StartsWith(path, "src/common/fault.") ||
          StartsWith(path, "src/tensor/arena.");
+}
+
+// Audited IO layer for unchecked-stream-write: the only src/ files allowed
+// to open output streams / call write syscalls. Each of these reports
+// failure through a typed error or a false return — serialize.cc returns
+// the final stream state from SaveParameters, dataset_io.cc validates on
+// both ends of the round trip, and recovery/checkpoint.cc fsyncs and
+// checks every POSIX write before the atomic rename commits anything.
+bool IsIoAllowlisted(const std::string& path) {
+  return path == "src/nn/serialize.cc" || path == "src/data/dataset_io.cc" ||
+         path == "src/recovery/checkpoint.cc";
 }
 
 bool SourceRulesApply(const std::string& path) {
@@ -369,6 +381,7 @@ const std::vector<std::string>& RuleNames() {
       kRuleDeterminismUnordered, kRuleRawThread,
       kRuleMutableGlobal,     kRuleRawNew,
       kRuleArenaScope,        kRuleLoggingStdio,
+      kRuleUncheckedStreamWrite,
       kRulePragmaOnce,        kRuleUsingNamespace,
   };
   return *names;
@@ -426,6 +439,19 @@ std::vector<Violation> LintSource(const std::string& rel_path,
                "mutable static/thread_local/atomic state in model/training "
                "code can make results depend on call interleaving; keep "
                "state in explicitly threaded objects");
+      }
+      if (!IsIoAllowlisted(rel_path)) {
+        for (const char* tok : {"std::ofstream", "fwrite(", "::fopen(",
+                                "fopen("}) {
+          if (HasToken(code, tok)) {
+            report(i, kRuleUncheckedStreamWrite,
+                   "file write outside the audited IO layer; durable output "
+                   "must go through nn::serialize / data::dataset_io / "
+                   "recovery::checkpoint, which validate stream state and "
+                   "commit atomically (write-temp + fsync + rename)");
+            break;
+          }
+        }
       }
       std::string what;
       if (HasRawNewDelete(code, &what)) {

@@ -27,6 +27,8 @@ inline constexpr const char kRuleMutableGlobal[] = "concurrency-mutable-global";
 inline constexpr const char kRuleRawNew[] = "resource-raw-new";
 inline constexpr const char kRuleArenaScope[] = "arena-scope-escape";
 inline constexpr const char kRuleLoggingStdio[] = "logging-stdio";
+inline constexpr const char kRuleUncheckedStreamWrite[] =
+    "unchecked-stream-write";
 inline constexpr const char kRulePragmaOnce[] = "header-pragma-once";
 inline constexpr const char kRuleUsingNamespace[] = "header-using-namespace";
 
@@ -37,7 +39,11 @@ const std::vector<std::string>& RuleNames();
 //   - determinism / concurrency / resource / logging / arena rules run on
 //     files under src/ except the infrastructure allowlist (src/obs/,
 //     src/parallel/, src/common/rng.*, src/common/check.*,
-//     src/tensor/arena.*);
+//     src/common/fault.*, src/tensor/arena.*);
+//   - unchecked-stream-write additionally exempts the audited IO layer
+//     (src/nn/serialize.cc, src/data/dataset_io.cc,
+//     src/recovery/checkpoint.cc), where every write path checks stream /
+//     syscall status and reports failure through a typed error;
 //   - header rules run on every .h/.hpp under src/, tests/, bench/, tools/.
 // A violation on a line is suppressed by `// clfd-lint: allow(<rule>[,..])`
 // in a comment on that line, or on an immediately preceding comment-only
