@@ -15,6 +15,7 @@
 #include "nn/optimizer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "tensor/arena.h"
 #include "tensor/matrix.h"
@@ -316,6 +317,67 @@ void BM_ObsCounterAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsCounterAdd);
+
+// ---- Profiler overhead (DESIGN.md Sec. 11: <= 2% default-on budget). ----
+// BM_ProfScope measures one scope enter/exit in isolation: enabled it is
+// two clock reads, one child lookup (pointer-compare fast path), and two
+// cursor moves; disabled it is a single relaxed load. BM_ProfCorrectorE2E
+// is the budget's end-to-end form — the BM_CorrectorE2E workload with the
+// profiler on (the default) vs. off; the delta between the two rows is the
+// price every user pays, and must stay <= 2%. Building with
+// -DCLFD_OBS_FORCE_OFF compiles the scope objects away entirely and gives
+// the third point of the on / off / compiled-out comparison.
+
+void BM_ProfScope(benchmark::State& state) {
+  obs::prof::ScopedEnabled prof(state.range(0) != 0);
+  for (auto _ : state) {
+    CLFD_PROF_SCOPE("bench.prof_scope");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ProfScope)->ArgName("enabled")->Arg(0)->Arg(1);
+
+void BM_ProfScopeNested(benchmark::State& state) {
+  // Three-deep nesting, the typical depth under a phase (phase -> op ->
+  // kernel); exercises the FindOrAddChild walk rather than a single hot
+  // node.
+  obs::prof::ScopedEnabled prof(true);
+  for (auto _ : state) {
+    CLFD_PROF_SCOPE("bench.outer");
+    {
+      CLFD_PROF_SCOPE("bench.mid");
+      {
+        CLFD_PROF_SCOPE("bench.inner");
+        obs::prof::AddFlops(1);
+        benchmark::ClobberMemory();
+      }
+    }
+  }
+}
+BENCHMARK(BM_ProfScopeNested);
+
+void BM_ProfCorrectorE2E(benchmark::State& state) {
+  obs::prof::ScopedEnabled prof(state.range(0) != 0);
+  nn::ScopedLstmFused fused(true);
+  arena::ScopedEnabled arena_on(true);
+  SplitSpec split{60, 6, 30, 6};
+  ClfdConfig config = ClfdConfig::Fast();
+  config.emb_dim = 16;
+  config.hidden_dim = 16;
+  config.batch_size = 24;
+  config.aux_batch_size = 4;
+  config.budget = {2, 30, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunCorrectorExperiment(
+        DatasetKind::kWiki, split, NoiseSpec::Uniform(0.45), config,
+        /*seeds=*/1));
+  }
+}
+BENCHMARK(BM_ProfCorrectorE2E)
+    ->ArgName("prof")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // The end-to-end guard: MatMul at the paper's batch/hidden dims with its
 // always-on call/flop counters. Regression here vs. the seed would mean

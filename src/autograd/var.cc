@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/fault.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace clfd {
 namespace ag {
@@ -104,6 +105,7 @@ namespace {
 void BackwardImpl(const Var& root, const Matrix* seed) {
   assert(root.defined());
   if (!root.requires_grad()) return;
+  CLFD_PROF_SCOPE("autograd.backward");
   std::vector<Node*> post_order;
   TopoSort(root.node(), &post_order);
   // Tape telemetry: graph depth is the main memory driver of training

@@ -1,0 +1,270 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace clfd {
+namespace json {
+
+const Value* Value::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::NumberOr(const std::string& key, double def) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->type == Type::kNumber ? v->number : def;
+}
+
+std::string Value::StringOr(const std::string& key,
+                            const std::string& def) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->type == Type::kString ? v->str : def;
+}
+
+namespace {
+
+// Recursive-descent parser over the raw buffer. Depth is bounded to keep
+// hostile inputs from overflowing the stack.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Run(Value* out) {
+    SkipWs();
+    if (!ParseValue(out, 0)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& reason) {
+    if (error_ != nullptr) {
+      int line = 1;
+      size_t col = 1;
+      for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+      }
+      *error_ = std::to_string(line) + ":" + std::to_string(col) + ": " +
+                reason;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        out->type = Value::Type::kNull;
+        return Literal("null", 4);
+      case 't':
+        out->type = Value::Type::kBool;
+        out->boolean = true;
+        return Literal("true", 4);
+      case 'f':
+        out->type = Value::Type::kBool;
+        out->boolean = false;
+        return Literal("false", 5);
+      case '"':
+        out->type = Value::Type::kString;
+        return ParseString(&out->str);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char h = text_[pos_ + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the basic-plane code point; surrogate pairs in
+            // our artifacts do not occur (names are ASCII), so a lone
+            // surrogate simply encodes as-is.
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Value* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    out->type = Value::Type::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  bool ParseArray(Value* out, int depth) {
+    out->type = Value::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      out->array.emplace_back();
+      if (!ParseValue(&out->array.back(), depth + 1)) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(Value* out, int depth) {
+    out->type = Value::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected member name");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWs();
+      out->object.emplace_back(std::move(key), Value{});
+      if (!ParseValue(&out->object.back().second, depth + 1)) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Parse(const std::string& text, Value* out, std::string* error) {
+  *out = Value{};
+  return Parser(text, error).Run(out);
+}
+
+}  // namespace json
+}  // namespace clfd

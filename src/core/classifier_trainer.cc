@@ -85,6 +85,7 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
   for (int epoch = start_epoch; epoch < config.budget.classifier_epochs;
        ++epoch) {
     obs::TraceSpan epoch_span(metric_scope);
+    CLFD_PROF_SCOPE("classifier.epoch");
     double loss_sum = 0.0;
     int batches = 0;
     rng->Shuffle(&order);

@@ -114,6 +114,7 @@ void FraudDetector::SupervisedPretrain(
   for (int epoch = start_epoch; epoch < config_.budget.contrastive_epochs;
        ++epoch) {
     obs::TraceSpan epoch_span("detector.supcon");
+    CLFD_PROF_SCOPE("supcon.epoch");
     double loss_sum = 0.0;
     int batches = 0;
     for (const auto& batch : train.MakeBatches(config_.batch_size, &rng_)) {

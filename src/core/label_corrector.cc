@@ -81,6 +81,7 @@ void LabelCorrector::SelfSupervisedPretrain(const SessionDataset& train,
 
 std::vector<Correction> LabelCorrector::Correct(
     const SessionDataset& data) const {
+  CLFD_PROF_SCOPE("corrector.correct");
   Matrix features = encoder_.EncodeDataset(data, embeddings_);
   Matrix probs = classifier_.PredictProbs(features);
   std::vector<Correction> corrections(data.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/prof.h"
 #include "parallel/thread_pool.h"
 #include "tensor/arena.h"
 
@@ -76,6 +77,7 @@ ag::Var SessionEncoder::EncodeBatch(
 Matrix SessionEncoder::EncodeDataset(const SessionDataset& dataset,
                                      const Matrix& embeddings,
                                      int chunk) const {
+  CLFD_PROF_SCOPE("encode.dataset");
   Matrix out(dataset.size(), hidden_dim());
   if (dataset.size() == 0) return out;
   // Forward-only: concurrent EncodeBatch calls read the shared parameter

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "nn/module.h"
+#include "obs/prof.h"
 #include "parallel/reduce.h"
 #include "parallel/thread_pool.h"
 
@@ -34,6 +35,7 @@ float ShardedEncoderTrainer::Step(
     const std::function<ag::Var(const ag::Var&)>& head) {
   const int batch = static_cast<int>(sessions.size());
   assert(batch > 0);
+  CLFD_PROF_SCOPE("encoder.step");
   const int num_shards =
       (batch + kExampleShardGrain - 1) / kExampleShardGrain;
   EnsureReplicas(num_shards);

@@ -32,6 +32,7 @@ void SimclrPretrain(SessionEncoder* encoder, ProjectionHead* projection,
       options.hooks != nullptr ? options.hooks->start_epoch : 0;
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     obs::TraceSpan epoch_span(options.metric_scope);
+    CLFD_PROF_SCOPE("simclr.epoch");
     double loss_sum = 0.0;
     int batches = 0;
     for (const auto& batch : train.MakeBatches(options.batch_size, rng)) {

@@ -1,7 +1,6 @@
 #include "eval/experiment.h"
 
 #include <cassert>
-#include <chrono>
 #include <mutex>
 #include <new>
 
@@ -25,12 +24,10 @@ namespace {
 
 // Wall-clock reads here time *reporting* fields (RunMetrics.*_seconds);
 // they never feed model math, so run-to-run timing jitter cannot move a
-// single table number.
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  // clfd-lint: allow(determinism-time)
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+// single table number. Timestamps come from the obs clock (UptimeMicros)
+// rather than raw std::chrono, keeping all timing behind one seam.
+double SecondsSince(int64_t start_us) {
+  return static_cast<double>(obs::UptimeMicros() - start_us) / 1e6;
 }
 
 // Persists completed per-seed results so a restarted experiment re-trains
@@ -160,6 +157,7 @@ ExperimentContext::ExperimentContext(DatasetKind kind, const SplitSpec& split,
                                      const NoiseSpec& noise, int emb_dim,
                                      uint64_t seed)
     : seed_(seed) {
+  CLFD_PROF_SCOPE("data.prepare");
   Rng rng(seed * 7919 + 17);
   data_ = MakeDataset(kind, split, &rng);
   noise.Apply(&data_.train, &rng);
@@ -170,7 +168,7 @@ RunMetrics TrainAndEvaluate(DetectorModel* model,
                             const ExperimentContext& context,
                             recovery::RunCheckpointer* rc) {
   RunMetrics metrics;
-  auto start = std::chrono::steady_clock::now();  // clfd-lint: allow(determinism-time)
+  const int64_t start_us = obs::UptimeMicros();
   {
     // Per-run, per-thread phase accounting: the PhaseSpan sites in core/
     // report into this capture, so runs executing concurrently on different
@@ -185,7 +183,7 @@ RunMetrics TrainAndEvaluate(DetectorModel* model,
         model->Train(context.train(), context.embeddings());
       }
     }
-    metrics.train_seconds = SecondsSince(start);
+    metrics.train_seconds = SecondsSince(start_us);
     metrics.phases.pretrain_seconds = capture.Micros("pretrain") / 1e6;
     metrics.phases.corrector_seconds = capture.Micros("corrector") / 1e6;
     metrics.phases.detector_seconds = capture.Micros("detector") / 1e6;
@@ -270,6 +268,10 @@ CorrectorMetrics RunCorrectorExperiment(
       counts[s] = RunWithRecovery(
           recovery, "corrector_seed_" + std::to_string(seed),
           [&](recovery::RunCheckpointer* rc) {
+            // Top-level profiler node for the run: the ≥95%-attribution
+            // check in tests/prof_test.cc measures how much of this scope's
+            // wall-time the phase/op scopes below account for.
+            CLFD_PROF_SCOPE("corrector_run");
             LabelCorrector corrector(config, seed * 31 + 7);
             if (rc != nullptr && rc->active()) {
               corrector.RegisterState(rc);

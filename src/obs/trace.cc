@@ -103,7 +103,40 @@ namespace {
 // Innermost active capture of the current thread (null when none).
 thread_local PhaseCapture* tls_phase_capture = nullptr;
 
+// Active span names of the current thread, outermost first. Maintained by
+// TraceSpan only while recording is enabled, so the common disabled path
+// stays a single relaxed load.
+thread_local std::vector<const char*> tls_span_stack;
+
 }  // namespace
+
+namespace internal {
+
+void PushSpan(const char* name) { tls_span_stack.push_back(name); }
+
+void PopSpan() { tls_span_stack.pop_back(); }
+
+}  // namespace internal
+
+std::vector<const char*> CurrentSpanPath() { return tls_span_stack; }
+
+ScopedSpanContext::ScopedSpanContext(const std::vector<const char*>& path) {
+  if (path.empty() || !TraceRecorder::Get().enabled()) return;
+  name_ = path.back();
+  for (const char* entry : path) {
+    if (!ctx_.empty()) ctx_ += ";";
+    ctx_ += entry;
+  }
+  start_us_ = UptimeMicros();
+}
+
+ScopedSpanContext::~ScopedSpanContext() {
+  if (start_us_ < 0) return;
+  int64_t end_us = UptimeMicros();
+  TraceRecorder::Get().RecordComplete(
+      name_, start_us_, end_us - start_us_,
+      std::string("\"ctx\":\"") + ctx_ + "\"");
+}
 
 PhaseCapture::PhaseCapture() : prev_(tls_phase_capture) {
   tls_phase_capture = this;
@@ -136,7 +169,19 @@ void TraceSpan::Arg(const char* key, double value) {
   args_json_ += buf;
 }
 
+void TraceSpan::ArgStr(const char* key, const char* value) {
+  if (start_us_ < 0) return;
+  if (!args_json_.empty()) args_json_ += ",";
+  args_json_ += std::string("\"") + key + "\":\"";
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') args_json_ += '\\';
+    args_json_ += *p;
+  }
+  args_json_ += "\"";
+}
+
 void TraceSpan::Finish() {
+  internal::PopSpan();
   int64_t end_us = UptimeMicros();
   TraceRecorder::Get().RecordComplete(name_, start_us_, end_us - start_us_,
                                       args_json_);

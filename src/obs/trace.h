@@ -29,8 +29,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 
 namespace clfd {
 namespace obs {
@@ -81,12 +83,25 @@ class TraceRecorder {
 
 #if defined(CLFD_OBS_FORCE_OFF)
 
+inline std::vector<const char*> CurrentSpanPath() { return {}; }
+
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) { (void)name; }
   void Arg(const char* key, double value) {
     (void)key;
     (void)value;
+  }
+  void ArgStr(const char* key, const char* value) {
+    (void)key;
+    (void)value;
+  }
+};
+
+class ScopedSpanContext {
+ public:
+  explicit ScopedSpanContext(const std::vector<const char*>& path) {
+    (void)path;
   }
 };
 
@@ -114,12 +129,25 @@ class PhaseCapture {
 
 #else
 
+namespace internal {
+// Span-stack bookkeeping used by CurrentSpanPath (trace.cc owns the
+// thread_local stack; TraceSpan's inline ctor/dtor call through).
+void PushSpan(const char* name);
+void PopSpan();
+}  // namespace internal
+
+// Names of the trace spans currently open on this thread, outermost first.
+// parallel::ParallelFor captures this at the submit site and re-applies it
+// on workers via ScopedSpanContext. Empty while recording is disabled.
+std::vector<const char*> CurrentSpanPath();
+
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
     if (TraceRecorder::Get().enabled()) {
       name_ = name;
       start_us_ = UptimeMicros();
+      internal::PushSpan(name);
     }
   }
   ~TraceSpan() {
@@ -130,6 +158,8 @@ class TraceSpan {
 
   // Attaches a numeric argument shown in the viewer's detail pane.
   void Arg(const char* key, double value);
+  // String-valued argument (escaped as needed).
+  void ArgStr(const char* key, const char* value);
 
  private:
   void Finish();
@@ -137,6 +167,26 @@ class TraceSpan {
   const char* name_ = nullptr;
   int64_t start_us_ = -1;
   std::string args_json_;
+};
+
+// Cross-thread nesting bridge: the Chrome viewer nests events per thread by
+// timestamp containment, so a worker's spans cannot sit under a span opened
+// on the submitting thread. The pool opens one of these per worker per job
+// with the submitter's CurrentSpanPath(): it emits a synthetic enclosing
+// event on the worker's own lane, named after the innermost captured span
+// and carrying the full path as a "ctx" arg, covering the worker's
+// participation — the worker's real spans then nest under it naturally.
+class ScopedSpanContext {
+ public:
+  explicit ScopedSpanContext(const std::vector<const char*>& path);
+  ~ScopedSpanContext();
+  ScopedSpanContext(const ScopedSpanContext&) = delete;
+  ScopedSpanContext& operator=(const ScopedSpanContext&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_us_ = -1;
+  std::string ctx_;
 };
 
 // Adds its lifetime in microseconds to `micros` (and, when given, records
@@ -194,7 +244,8 @@ class PhaseCapture {
 class PhaseSpan {
  public:
   explicit PhaseSpan(const char* phase)
-      : phase_(phase),
+      : prof_scope_(phase),
+        phase_(phase),
         span_(phase),
         counter_(MetricsRegistry::Get().GetCounter(
             std::string("phase.") + phase + ".micros")),
@@ -204,6 +255,8 @@ class PhaseSpan {
   PhaseSpan& operator=(const PhaseSpan&) = delete;
 
  private:
+  // Phases double as the top-level nodes of the profiler's scope tree.
+  prof::Scope prof_scope_;
   const char* phase_;
   TraceSpan span_;
   Counter* counter_;

@@ -1,9 +1,13 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "common/env.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
 
 namespace clfd {
 namespace parallel {
@@ -19,6 +23,12 @@ struct DepthGuard {
   ~DepthGuard() { --tls_parallel_depth; }
 };
 
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 // One ParallelFor invocation. Chunks are claimed with an atomic counter;
@@ -30,6 +40,18 @@ struct ThreadPool::Job {
   int64_t grain = 1;
   int64_t num_chunks = 0;
   const std::function<void(int64_t, int64_t)>* body = nullptr;
+
+  // Observability context captured on the submitting thread: workers
+  // re-root their profiler scopes / trace events under these paths so
+  // worker-side work nests beneath the issuing phase (empty when the
+  // respective subsystem is off, making the re-root a no-op).
+  std::vector<const char*> prof_path;
+  std::vector<const char*> span_path;
+  // Per-chunk wall time for shard-imbalance stats. Slots are disjoint and
+  // each is written before that chunk's done_chunks increment (acq_rel), so
+  // the submitting thread reads them race-free after the join. Empty when
+  // the profiler is disabled.
+  std::vector<int64_t> chunk_ns;
 
   std::atomic<int64_t> next_chunk{0};
   std::atomic<int64_t> done_chunks{0};
@@ -45,7 +67,7 @@ struct ThreadPool::Job {
 ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
   workers_.reserve(size_ - 1);
   for (int i = 0; i < size_ - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -62,13 +84,18 @@ bool ThreadPool::InParallelRegion() { return tls_parallel_depth > 0; }
 
 void ThreadPool::RunChunks(Job* job) {
   DepthGuard depth;
+  const bool timed = !job->chunk_ns.empty();
   for (;;) {
     int64_t chunk = job->next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job->num_chunks) return;
     if (!job->failed.load(std::memory_order_relaxed)) {
       int64_t lo = job->begin + chunk * job->grain;
       int64_t hi = std::min(lo + job->grain, job->end);
+      int64_t t0 = timed ? NowNs() : 0;
       try {
+        // Chunk boundaries are a pure function of (begin, end, grain), so
+        // the merged count of this scope is identical at every pool width.
+        obs::prof::Scope chunk_scope("parallel.chunk");
         (*job->body)(lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job->error_mutex);
@@ -77,6 +104,7 @@ void ThreadPool::RunChunks(Job* job) {
           job->failed.store(true, std::memory_order_relaxed);
         }
       }
+      if (timed) job->chunk_ns[static_cast<size_t>(chunk)] = NowNs() - t0;
     }
     // acq_rel: makes this chunk's writes visible to whoever observes the
     // final count and wakes the submitter after the last chunk.
@@ -88,7 +116,12 @@ void ThreadPool::RunChunks(Job* job) {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  // Per-worker busy time. The name is dynamic, so the counter is resolved
+  // once per worker directly from the registry instead of through the
+  // static-caching CLFD_METRIC_* macros (which cache per call site).
+  obs::Counter* busy = obs::MetricsRegistry::Get().GetCounter(
+      "parallel.worker." + std::to_string(worker_index) + ".busy_micros");
   uint64_t seen_generation = 0;
   for (;;) {
     std::shared_ptr<Job> job;
@@ -101,7 +134,17 @@ void ThreadPool::WorkerLoop() {
       seen_generation = job_generation_;
       job = current_job_;
     }
-    if (job) RunChunks(job.get());
+    if (job) {
+      // Re-root this worker's profiler scopes and trace events under the
+      // context captured at the submit site, so worker-side work nests
+      // beneath the issuing phase rather than dangling at top level.
+      obs::prof::ScopedContext prof_ctx(job->prof_path);
+      obs::ScopedSpanContext span_ctx(job->span_path);
+      obs::TraceSpan shard_span("parallel.shard");
+      int64_t t0 = NowNs();
+      RunChunks(job.get());
+      busy->Add((NowNs() - t0) / 1000);
+    }
   }
 }
 
@@ -115,12 +158,14 @@ void ThreadPool::ParallelFor(
 
   // Inline path: nested call, single-lane pool, or a single chunk. Chunk
   // boundaries and order are identical to the pooled path, so the numeric
-  // result cannot depend on which path ran.
+  // result cannot depend on which path ran — and the per-chunk profiler
+  // scope matches RunChunks, keeping merged scope counts width-invariant.
   if (InParallelRegion() || workers_.empty() || num_chunks == 1) {
     DepthGuard depth;
     for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
       int64_t lo = begin + chunk * grain;
       int64_t hi = std::min(lo + grain, end);
+      obs::prof::Scope chunk_scope("parallel.chunk");
       body(lo, hi);
     }
     return;
@@ -133,6 +178,11 @@ void ThreadPool::ParallelFor(
   job->grain = grain;
   job->num_chunks = num_chunks;
   job->body = &body;
+  if (obs::prof::Enabled()) {
+    job->prof_path = obs::prof::CurrentPath();
+    job->chunk_ns.assign(static_cast<size_t>(num_chunks), 0);
+  }
+  job->span_path = obs::CurrentSpanPath();
   {
     std::lock_guard<std::mutex> lock(wake_mutex_);
     current_job_ = job;
@@ -156,6 +206,30 @@ void ThreadPool::ParallelFor(
   if (job->failed.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(job->error_mutex);
     std::rethrow_exception(job->error);
+  }
+
+  // Shard-imbalance stats (profiler-gated): slowest shard relative to the
+  // mean, the number every static-partitioning tuning question starts with.
+  // Safe to read chunk_ns here — the join above ordered every chunk's write
+  // before this point.
+  if (!job->chunk_ns.empty()) {
+    int64_t max_ns = 0;
+    int64_t sum_ns = 0;
+    for (int64_t ns : job->chunk_ns) {
+      max_ns = std::max(max_ns, ns);
+      sum_ns += ns;
+    }
+    if (sum_ns > 0) {
+      double mean_ns =
+          static_cast<double>(sum_ns) / static_cast<double>(num_chunks);
+      CLFD_METRIC_COUNT("parallel.jobs", 1);
+      CLFD_METRIC_COUNT("parallel.chunks", num_chunks);
+      CLFD_METRIC_COUNT("parallel.slowest_shard_micros", max_ns / 1000);
+      CLFD_METRIC_HIST_RECORD(
+          "parallel.shard_skew",
+          obs::Histogram::LinearBounds(1.0, 0.25, 16),
+          static_cast<double>(max_ns) / mean_ns);
+    }
   }
 }
 

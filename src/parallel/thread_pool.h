@@ -31,6 +31,13 @@
 // Exceptions thrown by the body are captured (first one wins), remaining
 // unstarted chunks are skipped, and the exception is rethrown on the
 // calling thread once all in-flight chunks have drained.
+//
+// Observability context from src/obs — the profiler scope path and the
+// trace span path of the submitting thread — is captured per call and
+// re-applied on each worker, so worker-side scopes and spans nest under the
+// issuing phase instead of dangling at top level. When the profiler is
+// enabled, per-chunk wall times additionally feed the parallel.* metrics
+// (per-worker busy time, slowest-shard skew).
 
 #include <atomic>
 #include <condition_variable>
@@ -68,7 +75,7 @@ class ThreadPool {
  private:
   struct Job;
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   // Claims and runs chunks of `job` until none remain.
   static void RunChunks(Job* job);
 

@@ -12,6 +12,7 @@
 #include "common/env.h"
 #include "common/fault.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "parallel/thread_pool.h"
 #include "tensor/arena.h"
 
@@ -230,11 +231,14 @@ void MatMulTransposeBRows(const Matrix& a, const Matrix& b, Matrix* c, int r0,
 // Runs body(lo, hi) over [0, rows), splitting across the pool when the
 // nominal flop count is worth it. Workers write disjoint row ranges, and
 // serial/parallel share the body, so the split never changes results.
+// Dispatch is deliberately independent of the pool width: a single-lane
+// pool runs the same chunks inline, so the profiler's merged scope tree
+// (chunk counts included) is identical at every width — the byte-identical
+// deterministic-report guarantee in src/obs/prof.h depends on this.
 template <typename Body>
 void DispatchRowRange(int rows, int64_t flops, Body body) {
   if (rows > 1 && flops >= MatmulParallelThreshold() &&
-      !parallel::ThreadPool::InParallelRegion() &&
-      parallel::GlobalThreadCount() > 1) {
+      !parallel::ThreadPool::InParallelRegion()) {
     CLFD_METRIC_COUNT("tensor.matmul.parallel_dispatches", 1);
     parallel::ParallelFor(0, rows, 1, [&](int64_t lo, int64_t hi) {
       body(static_cast<int>(lo), static_cast<int>(hi));
@@ -278,6 +282,10 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   CLFD_METRIC_COUNT("tensor.matmul.calls", 1);
   const int64_t flops = int64_t{2} * a.rows() * a.cols() * b.cols();
   CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  CLFD_PROF_SCOPE("MatMul");
+  obs::prof::AddFlops(flops);
+  obs::prof::AddBytes(int64_t{4} *
+                      (a.size() + b.size() + int64_t{a.rows()} * b.cols()));
   Matrix c(a.rows(), b.cols());
   DispatchRows(a, b, &c, flops, MatMulRows);
   return c;
@@ -289,6 +297,10 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   CLFD_METRIC_COUNT("tensor.matmul_ta.calls", 1);
   const int64_t flops = int64_t{2} * a.cols() * a.rows() * b.cols();
   CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  CLFD_PROF_SCOPE("MatMulTA");
+  obs::prof::AddFlops(flops);
+  obs::prof::AddBytes(int64_t{4} *
+                      (a.size() + b.size() + int64_t{a.cols()} * b.cols()));
   Matrix c(a.cols(), b.cols());
   DispatchRows(a, b, &c, flops, MatMulTransposeARows);
   return c;
@@ -300,6 +312,10 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   CLFD_METRIC_COUNT("tensor.matmul_tb.calls", 1);
   const int64_t flops = int64_t{2} * a.rows() * a.cols() * b.rows();
   CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  CLFD_PROF_SCOPE("MatMulTB");
+  obs::prof::AddFlops(flops);
+  obs::prof::AddBytes(int64_t{4} *
+                      (a.size() + b.size() + int64_t{a.rows()} * b.rows()));
   Matrix c(a.rows(), b.rows());
   DispatchRows(a, b, &c, flops, MatMulTransposeBRows);
   return c;
@@ -421,6 +437,9 @@ Matrix SoftmaxRows(const Matrix& a) {
   CLFD_METRIC_COUNT("tensor.softmax.calls", 1);
   // Nominal cost: max + exp + sum + divide over every element.
   CLFD_METRIC_COUNT("tensor.softmax.flops", int64_t{4} * a.size());
+  CLFD_PROF_SCOPE("Softmax");
+  obs::prof::AddFlops(int64_t{4} * a.size());
+  obs::prof::AddBytes(int64_t{8} * a.size());
   Matrix out(a.rows(), a.cols());
   for (int r = 0; r < a.rows(); ++r) {
     const float* arow = a.row(r);
@@ -627,6 +646,10 @@ void LstmGatesForward(const Matrix& pre, const Matrix& hc_prev, Matrix* hc,
   // Nominal cost: ~12 unfused elementwise ops over [B x H].
   const int64_t flops = int64_t{12} * pre.rows() * h;
   CLFD_METRIC_COUNT("tensor.lstm_gates.flops", flops);
+  CLFD_PROF_SCOPE("LstmGatesForward");
+  obs::prof::AddFlops(flops);
+  // Reads pre [Bx4H] + hc_prev [Bx2H], writes hc [Bx2H] + acts [Bx5H].
+  obs::prof::AddBytes(int64_t{4} * pre.rows() * (13 * h));
   *hc = Matrix(pre.rows(), 2 * h);
   *acts = Matrix(pre.rows(), 5 * h);
   DispatchRowRange(pre.rows(), flops, [&](int lo, int hi) {
@@ -647,6 +670,12 @@ void LstmGatesBackward(const Matrix& gout, const Matrix& acts,
   CLFD_METRIC_COUNT("tensor.lstm_gates.calls", 1);
   const int64_t flops = int64_t{20} * gout.rows() * h;
   CLFD_METRIC_COUNT("tensor.lstm_gates.flops", flops);
+  CLFD_PROF_SCOPE("LstmGatesBackward");
+  obs::prof::AddFlops(flops);
+  // Reads gout [Bx2H] + acts [Bx5H] + hc_prev [Bx2H], writes dpre [Bx4H]
+  // and optionally dhc_prev [Bx2H].
+  obs::prof::AddBytes(int64_t{4} * gout.rows() *
+                      ((13 + (dhc_prev != nullptr ? 2 : 0)) * h));
   DispatchRowRange(gout.rows(), flops, [&](int lo, int hi) {
     LstmGatesBackwardRows(gout, acts, hc_prev, dpre, dhc_prev, lo, hi);
   });
@@ -661,6 +690,9 @@ void MatMulTransposeBGateBlockedAddInto(const Matrix& g, const Matrix& w,
   CLFD_METRIC_COUNT("tensor.matmul_tb_blocked.calls", 1);
   const int64_t flops = int64_t{2} * g.rows() * g.cols() * w.rows();
   CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  CLFD_PROF_SCOPE("MatMulTBBlocked");
+  obs::prof::AddFlops(flops);
+  obs::prof::AddBytes(int64_t{4} * (g.size() + w.size() + acc->size()));
   DispatchRowRange(g.rows(), flops, [&](int lo, int hi) {
     MatMulTransposeBGateBlockedRows(g, w, acc, lo, hi);
   });
@@ -675,6 +707,9 @@ void MatMulTransposeATimeBlockedAddInto(const Matrix& x, const Matrix& g,
   CLFD_METRIC_COUNT("tensor.matmul_ta_blocked.calls", 1);
   const int64_t flops = int64_t{2} * x.cols() * x.rows() * g.cols();
   CLFD_METRIC_COUNT("tensor.matmul.flops", flops);
+  CLFD_PROF_SCOPE("MatMulTABlocked");
+  obs::prof::AddFlops(flops);
+  obs::prof::AddBytes(int64_t{4} * (x.size() + g.size() + acc->size()));
   DispatchRowRange(acc->rows(), flops, [&](int lo, int hi) {
     MatMulTransposeATimeBlockedRows(x, g, block_rows, acc, lo, hi);
   });

@@ -102,6 +102,48 @@ TEST(LintDeterminismTime, NegativesAndPrecedingLinePragma) {
   EXPECT_EQ(CountRule(vs, kRuleDeterminismTime), 0);
 }
 
+TEST(LintRawChronoTiming, FlagsChronoClocksOutsideObs) {
+  EXPECT_EQ(
+      CountRule(LintSource(
+                    kModelPath,
+                    Lines({"auto t0 = std::chrono::steady_clock::now();"})),
+                kRuleRawChronoTiming),
+      1);
+  EXPECT_EQ(
+      CountRule(
+          LintSource(
+              kModelPath,
+              Lines({"using clk = std::chrono::high_resolution_clock;"})),
+          kRuleRawChronoTiming),
+      1);
+}
+
+TEST(LintRawChronoTiming, InfraDurationsAndPragmaPass) {
+  // The obs layer and the thread pool legitimately own the clock.
+  EXPECT_EQ(
+      CountRule(LintSource(
+                    "src/obs/prof.cc",
+                    Lines({"auto t0 = std::chrono::steady_clock::now();"})),
+                kRuleRawChronoTiming),
+      0);
+  EXPECT_EQ(
+      CountRule(LintSource(
+                    kInfraPath,
+                    Lines({"auto t0 = std::chrono::steady_clock::now();"})),
+                kRuleRawChronoTiming),
+      0);
+  // Duration *types* are not clock reads.
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"std::chrono::milliseconds wait(5);"})),
+                      kRuleRawChronoTiming),
+            0);
+  auto vs = LintSource(
+      kModelPath,
+      Lines({"// clfd-lint: allow(raw-chrono-timing, determinism-time)",
+             "auto t = std::chrono::steady_clock::now();"}));
+  EXPECT_EQ(CountRule(vs, kRuleRawChronoTiming), 0);
+}
+
 TEST(LintDeterminismUnordered, FlagsUnorderedContainers) {
   EXPECT_EQ(CountRule(LintSource(kModelPath,
                                  Lines({"std::unordered_map<int, int> m;"})),
@@ -362,15 +404,15 @@ TEST(LintFormat, CompilerStyleOutput) {
 TEST(LintRules, EveryRuleIsRegistered) {
   const auto& names = RuleNames();
   for (const char* id :
-       {kRuleDeterminismRand, kRuleDeterminismTime, kRuleDeterminismUnordered,
-        kRuleRawThread, kRuleMutableGlobal, kRuleRawNew, kRuleArenaScope,
-        kRuleLoggingStdio, kRuleUncheckedStreamWrite, kRulePragmaOnce,
-        kRuleUsingNamespace}) {
+       {kRuleDeterminismRand, kRuleDeterminismTime, kRuleRawChronoTiming,
+        kRuleDeterminismUnordered, kRuleRawThread, kRuleMutableGlobal,
+        kRuleRawNew, kRuleArenaScope, kRuleLoggingStdio,
+        kRuleUncheckedStreamWrite, kRulePragmaOnce, kRuleUsingNamespace}) {
     EXPECT_NE(std::find(names.begin(), names.end(), std::string(id)),
               names.end())
         << id;
   }
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 12u);
 }
 
 TEST(LintUncheckedStreamWrite, FlagsAdHocFileWrites) {

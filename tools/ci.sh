@@ -20,9 +20,13 @@
 # also run in smoke mode (short min-time) and emit BENCH_substrate.json:
 # kernel FLOP/s, matmul invocations and allocations per training step, and
 # wall-clock per phase (forward, forward+backward, optimizer, corrector
-# end-to-end). The arena itself is exercised under ASan/UBSan/TSan by the
-# ctest suite of those presets (arena_test plus every eval test runs with
-# CLFD_ARENA on by default).
+# end-to-end). Before the fresh numbers replace the committed baseline,
+# tools/perfdiff/perf_diff runs as a gate: any benchmark that regressed
+# past the threshold (default +50%, override with
+# CLFD_PERF_GATE_THRESHOLD) fails the run with a ranked delta table. The
+# arena itself is exercised under ASan/UBSan/TSan by the ctest suite of
+# those presets (arena_test plus every eval test runs with CLFD_ARENA on
+# by default).
 #
 # Every preset builds with -Werror (CLFD_WERROR defaults to ON) and runs
 # the whole ctest suite, which includes `lint.repo`; the explicit
@@ -69,11 +73,16 @@ done
 
 for preset in "${presets[@]}"; do
   if [[ "${preset}" == "default" ]]; then
-    echo "==== [default] substrate micro-bench (smoke) -> BENCH_substrate.json"
+    echo "==== [default] substrate micro-bench (smoke)"
+    bench_out="$(mktemp "${TMPDIR:-/tmp}/clfd_bench.XXXXXX.json")"
     ./build/bench/bench_micro_substrate \
         --benchmark_min_time=0.05 \
-        --benchmark_out=BENCH_substrate.json \
+        --benchmark_out="${bench_out}" \
         --benchmark_out_format=json
+    echo "==== [default] perf_diff gate vs committed BENCH_substrate.json"
+    ./build/tools/perfdiff/perf_diff --gate \
+        BENCH_substrate.json "${bench_out}"
+    mv "${bench_out}" BENCH_substrate.json
   fi
 done
 

@@ -15,6 +15,9 @@
 // Observability flags (valid with every subcommand, --key=value syntax):
 //   --trace=FILE        write a Chrome trace-event file (chrome://tracing)
 //   --metrics-out=FILE  dump the metrics registry (JSON; .jsonl for lines)
+//   --prof-out=FILE     write the hierarchical profile (timing JSON)
+//   --prof-collapsed=FILE  flamegraph-compatible collapsed stacks
+//   --prof-roofline=FILE|-  per-kernel roofline/attribution table
 //   --log-level=LVL     debug|info|warn|error|off (default: CLFD_LOG_LEVEL)
 //   --threads=N         parallel width (default: CLFD_THREADS env, else all
 //                       hardware threads); results are identical for any N
@@ -45,8 +48,10 @@
 #include "data/simulators.h"
 #include "embedding/word2vec.h"
 #include "metrics/metrics.h"
+#include "common/env.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "recovery/fault_plan.h"
@@ -112,6 +117,7 @@ int Usage() {
       "  clfd_cli correct --train FILE [--budget fast|paper] [--seed N]\n"
       "observability (any subcommand):\n"
       "  --trace=FILE --metrics-out=FILE[.jsonl] --log-level=LVL\n"
+      "  --prof-out=FILE --prof-collapsed=FILE --prof-roofline=FILE|-\n"
       "execution (any subcommand):\n"
       "  --threads=N   thread-pool width (default CLFD_THREADS or all\n"
       "                cores; never changes results, only speed)\n"
@@ -398,6 +404,40 @@ int Main(int argc, char** argv) {
                    metrics_path.c_str());
       if (rc == 0) rc = 1;
     }
+  }
+
+  std::string prof_json = args.Get("prof-out", "");
+  std::string prof_collapsed = args.Get("prof-collapsed", "");
+  std::string prof_roofline = args.Get("prof-roofline", "");
+  if (!prof_json.empty() || !prof_collapsed.empty() ||
+      !prof_roofline.empty()) {
+    obs::prof::ReportNode root = obs::prof::Snapshot();
+    auto write_report = [&rc](const std::string& path,
+                              const std::string& body, const char* what) {
+      if (path.empty()) return;
+      if (path == "-") {
+        std::fwrite(body.data(), 1, body.size(), stderr);
+        return;
+      }
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      bool ok = f != nullptr &&
+                std::fwrite(body.data(), 1, body.size(), f) == body.size();
+      if (f != nullptr) ok = std::fclose(f) == 0 && ok;
+      if (ok) {
+        std::fprintf(stderr, "obs: wrote %s to %s\n", what, path.c_str());
+      } else {
+        std::fprintf(stderr, "obs: cannot write %s file %s\n", what,
+                     path.c_str());
+        if (rc == 0) rc = 1;
+      }
+    };
+    write_report(prof_json, obs::prof::ToJson(root), "profile");
+    write_report(prof_collapsed, obs::prof::ToCollapsed(root),
+                 "collapsed stacks");
+    write_report(prof_roofline,
+                 obs::prof::RooflineReport(
+                     root, GetEnvDouble("CLFD_PEAK_GFLOPS", 0.0)),
+                 "roofline report");
   }
   return rc;
 }

@@ -211,6 +211,12 @@ const std::vector<TokenRule>& SourceHygieneRules() {
        {"time(", "clock(", "::now(", "gettimeofday", "clock_gettime"},
        "wall-clock read in model/training code; timestamps vary run-to-run "
        "and break the bitwise reproducibility guarantee"},
+      {kRuleRawChronoTiming,
+       {"chrono::steady_clock", "high_resolution_clock"},
+       "raw std::chrono clock outside src/obs; take timestamps through "
+       "obs::UptimeMicros() or wrap the region in an obs::prof::Scope so "
+       "the time shows up in traces and profiles instead of ad-hoc "
+       "variables"},
       {kRuleDeterminismUnordered,
        {"std::unordered_"},
        "std::unordered_* iteration order is unspecified and can vary with "
@@ -378,6 +384,7 @@ bool Allowed(const std::vector<Line>& lines, size_t idx,
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
       kRuleDeterminismRand,   kRuleDeterminismTime,
+      kRuleRawChronoTiming,
       kRuleDeterminismUnordered, kRuleRawThread,
       kRuleMutableGlobal,     kRuleRawNew,
       kRuleArenaScope,        kRuleLoggingStdio,

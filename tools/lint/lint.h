@@ -26,6 +26,7 @@ inline constexpr const char kRuleRawThread[] = "concurrency-raw-thread";
 inline constexpr const char kRuleMutableGlobal[] = "concurrency-mutable-global";
 inline constexpr const char kRuleRawNew[] = "resource-raw-new";
 inline constexpr const char kRuleArenaScope[] = "arena-scope-escape";
+inline constexpr const char kRuleRawChronoTiming[] = "raw-chrono-timing";
 inline constexpr const char kRuleLoggingStdio[] = "logging-stdio";
 inline constexpr const char kRuleUncheckedStreamWrite[] =
     "unchecked-stream-write";

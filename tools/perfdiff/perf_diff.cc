@@ -1,0 +1,178 @@
+#include "perfdiff/perf_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace clfd {
+namespace perfdiff {
+
+namespace {
+
+// google-benchmark per-entry bookkeeping fields that are not measurements.
+bool IsBenchmarkMetaField(const std::string& key) {
+  static const char* const kMeta[] = {
+      "name",       "family_index", "per_family_instance_index",
+      "run_name",   "run_type",     "repetitions",
+      "repetition_index", "threads", "iterations",
+      "time_unit",  "aggregate_name", "aggregate_unit",
+      "big_o",      "rms",          "cpu_coefficient",
+      "real_coefficient"};
+  for (const char* m : kMeta) {
+    if (key == m) return true;
+  }
+  return false;
+}
+
+double TimeUnitToNs(const std::string& unit) {
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return 1.0;  // ns (google-benchmark's default)
+}
+
+bool HigherIsBetter(const std::string& field) {
+  return field.find("per_second") != std::string::npos ||
+         field.find("gflops") != std::string::npos;
+}
+
+void ExtractBenchmarks(const json::Value& doc, std::vector<Metric>* out) {
+  const json::Value* benches = doc.Find("benchmarks");
+  if (benches == nullptr || !benches->IsArray()) return;
+  for (const json::Value& b : benches->array) {
+    if (!b.IsObject()) continue;
+    // Aggregate rows (BigO, RMS, mean/median of repetitions) restate the
+    // iteration rows; comparing them double-counts.
+    if (b.StringOr("run_type", "iteration") != "iteration") continue;
+    if (b.Find("aggregate_name") != nullptr) continue;
+    const std::string name = b.StringOr("name", "");
+    if (name.empty()) continue;
+    const double to_ns = TimeUnitToNs(b.StringOr("time_unit", "ns"));
+    for (const auto& [field, value] : b.object) {
+      if (!value.IsNumber() || IsBenchmarkMetaField(field)) continue;
+      double v = value.number;
+      if (field == "real_time" || field == "cpu_time") v *= to_ns;
+      out->push_back(Metric{name + " " + field, v, HigherIsBetter(field)});
+    }
+  }
+}
+
+void ExtractProfileNode(const json::Value& node, const std::string& prefix,
+                        std::vector<Metric>* out) {
+  if (!node.IsObject()) return;
+  const std::string name = node.StringOr("name", "");
+  if (name.empty()) return;
+  const std::string path = prefix.empty() ? name : prefix + ";" + name;
+  const json::Value* ns = node.Find("ns");
+  if (ns != nullptr && ns->IsNumber() && ns->number > 0) {
+    out->push_back(Metric{path + " ns", ns->number, false});
+  }
+  const json::Value* gflops = node.Find("gflops");
+  if (gflops != nullptr && gflops->IsNumber() && gflops->number > 0) {
+    out->push_back(Metric{path + " gflops", gflops->number, true});
+  }
+  const json::Value* children = node.Find("children");
+  if (children != nullptr && children->IsArray()) {
+    for (const json::Value& c : children->array) {
+      ExtractProfileNode(c, path, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Metric> ExtractMetrics(const json::Value& doc) {
+  std::vector<Metric> out;
+  if (doc.Find("benchmarks") != nullptr) {
+    ExtractBenchmarks(doc, &out);
+  } else if (doc.Find("tree") != nullptr) {
+    ExtractProfileNode(*doc.Find("tree"), "", &out);
+  }
+  return out;
+}
+
+DiffResult Diff(const std::vector<Metric>& baseline,
+                const std::vector<Metric>& current,
+                const DiffOptions& options) {
+  DiffResult result;
+  std::map<std::string, Metric> base_by_key;
+  for (const Metric& m : baseline) base_by_key.emplace(m.key, m);
+  std::map<std::string, Metric> cur_by_key;
+  for (const Metric& m : current) cur_by_key.emplace(m.key, m);
+
+  for (const auto& [key, base] : base_by_key) {
+    auto it = cur_by_key.find(key);
+    if (it == cur_by_key.end()) {
+      result.only_baseline.push_back(key);
+      continue;
+    }
+    const Metric& cur = it->second;
+    if (base.value <= 0 || cur.value <= 0 ||
+        base.value < options.min_value) {
+      continue;
+    }
+    DeltaRow row;
+    row.key = key;
+    row.baseline = base.value;
+    row.current = cur.value;
+    row.ratio = cur.value / base.value;
+    row.higher_is_better = base.higher_is_better;
+    row.severity = base.higher_is_better ? -std::log(row.ratio)
+                                         : std::log(row.ratio);
+    row.regression = row.severity > std::log(1.0 + options.threshold);
+    if (row.regression) ++result.regressions;
+    result.rows.push_back(row);
+  }
+  for (const auto& [key, cur] : cur_by_key) {
+    (void)cur;
+    if (base_by_key.find(key) == base_by_key.end()) {
+      result.only_current.push_back(key);
+    }
+  }
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const DeltaRow& a, const DeltaRow& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              return a.key < b.key;
+            });
+  return result;
+}
+
+std::string FormatTable(const DiffResult& result,
+                        const DiffOptions& options) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "perf_diff: %zu shared metrics, %d regression%s "
+                "(threshold %+.0f%%)\n",
+                result.rows.size(), result.regressions,
+                result.regressions == 1 ? "" : "s",
+                options.threshold * 100.0);
+  os << buf;
+  std::snprintf(buf, sizeof(buf), "%-10s %-44s %14s %14s %8s\n", "verdict",
+                "metric", "baseline", "current", "delta");
+  os << buf;
+  for (const DeltaRow& row : result.rows) {
+    const double delta_pct = (row.ratio - 1.0) * 100.0;
+    const char* verdict = row.regression
+                              ? "REGRESSED"
+                              : (row.severity < -std::log(1.0 + options.threshold)
+                                     ? "improved"
+                                     : "ok");
+    std::snprintf(buf, sizeof(buf), "%-10s %-44s %14.4g %14.4g %+7.1f%%\n",
+                  verdict, row.key.c_str(), row.baseline, row.current,
+                  delta_pct);
+    os << buf;
+  }
+  for (const std::string& key : result.only_baseline) {
+    os << "removed    " << key << "\n";
+  }
+  for (const std::string& key : result.only_current) {
+    os << "added      " << key << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace perfdiff
+}  // namespace clfd
