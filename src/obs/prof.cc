@@ -49,8 +49,10 @@ int64_t NowNs() {
 
 // One scope-tree node of one thread. Totals are written only by the owning
 // thread; cross-thread visibility for Snapshot/Reset is provided by the
-// ParallelFor join handshake (workers publish with an acq_rel counter
-// before the submitter proceeds), per the quiescence contract in prof.h.
+// ParallelFor join handshake (every worker that observed the job — even
+// one that claimed no chunks — signals after its obs-context teardown, and
+// the submitter waits that signal out), per the quiescence contract in
+// prof.h.
 struct Node {
   const char* name;
   Node* parent;
@@ -337,6 +339,35 @@ void NodeToJson(const ReportNode& node, bool include_timing, int indent,
   *os << "}";
 }
 
+// End offset (exclusive) of the JSON value starting at `pos`. Scalars end
+// at the first top-level ',' or '}'; objects and arrays are walked
+// brace/bracket-balanced with string contents skipped, so nested values
+// (the shard-skew histogram serializes as an object) are copied whole.
+size_t JsonValueEnd(const std::string& s, size_t pos) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = pos; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (depth == 0) return i;
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      return i;
+    }
+  }
+  return s.size();
+}
+
 void CollapseNode(const ReportNode& node, const std::string& prefix,
                   std::ostringstream* os) {
   std::string path =
@@ -386,8 +417,10 @@ std::string ToJson(const ReportNode& root, bool include_timing) {
     size_t pos = 0;
     while ((pos = metrics.find("\"parallel.", pos)) != std::string::npos) {
       size_t key_end = metrics.find('"', pos + 1);
-      size_t val_end = metrics.find_first_of(",}", key_end);
-      if (key_end == std::string::npos || val_end == std::string::npos) break;
+      size_t colon = key_end == std::string::npos ? std::string::npos
+                                                  : metrics.find(':', key_end);
+      if (colon == std::string::npos) break;
+      size_t val_end = JsonValueEnd(metrics, colon + 1);
       if (!first) os << ",";
       first = false;
       os << metrics.substr(pos, val_end - pos);

@@ -57,6 +57,17 @@ struct ThreadPool::Job {
   std::atomic<int64_t> done_chunks{0};
   std::atomic<bool> failed{false};
 
+  // Context-teardown handshake. A worker that picks the job up but claims
+  // zero chunks still mutates its profiler tree (ScopedContext re-root) and
+  // trace buffers, which the done_chunks join alone does not order before
+  // the submitter. `entered` counts pickups (guarded by the pool's
+  // wake_mutex_), `exited` counts workers whose obs contexts have been
+  // destroyed (guarded by done_mutex); the submitter waits for
+  // exited == entered after the chunk join, so every worker-side obs write
+  // happens-before ParallelFor returns (and before any Snapshot/Reset).
+  int64_t entered = 0;
+  int64_t exited = 0;
+
   std::mutex error_mutex;
   std::exception_ptr error;
 
@@ -133,17 +144,28 @@ void ThreadPool::WorkerLoop(int worker_index) {
       if (stop_) return;
       seen_generation = job_generation_;
       job = current_job_;
+      if (job) ++job->entered;
     }
     if (job) {
-      // Re-root this worker's profiler scopes and trace events under the
-      // context captured at the submit site, so worker-side work nests
-      // beneath the issuing phase rather than dangling at top level.
-      obs::prof::ScopedContext prof_ctx(job->prof_path);
-      obs::ScopedSpanContext span_ctx(job->span_path);
-      obs::TraceSpan shard_span("parallel.shard");
-      int64_t t0 = NowNs();
-      RunChunks(job.get());
-      busy->Add((NowNs() - t0) / 1000);
+      {
+        // Re-root this worker's profiler scopes and trace events under the
+        // context captured at the submit site, so worker-side work nests
+        // beneath the issuing phase rather than dangling at top level.
+        obs::prof::ScopedContext prof_ctx(job->prof_path);
+        obs::ScopedSpanContext span_ctx(job->span_path);
+        obs::TraceSpan shard_span("parallel.shard");
+        int64_t t0 = NowNs();
+        RunChunks(job.get());
+        busy->Add((NowNs() - t0) / 1000);
+      }
+      // Publish context teardown: the submitter's exited == entered wait
+      // orders the re-root/teardown writes above even when this worker
+      // claimed no chunks.
+      {
+        std::lock_guard<std::mutex> lock(job->done_mutex);
+        ++job->exited;
+      }
+      job->done_cv.notify_all();
     }
   }
 }
@@ -198,10 +220,20 @@ void ThreadPool::ParallelFor(
       return job->done_chunks.load(std::memory_order_acquire) == num_chunks;
     });
   }
+  int64_t entered;
   {
     std::lock_guard<std::mutex> lock(wake_mutex_);
     current_job_ = nullptr;
     ++job_generation_;
+    // No worker can pick the job up past this point, so entered is final.
+    entered = job->entered;
+  }
+  {
+    // Wait out zero-chunk participants: workers that observed the job but
+    // claimed nothing still re-rooted their obs contexts; their teardown
+    // must be ordered before we return (quiescence contract in prof.h).
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] { return job->exited == entered; });
   }
   if (job->failed.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(job->error_mutex);

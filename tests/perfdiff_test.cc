@@ -168,6 +168,35 @@ TEST(PerfDiffGate, ThresholdAndDirectionRespected) {
   EXPECT_EQ(perfdiff::Diff(base, cur, floor).regressions, 0);
 }
 
+TEST(PerfDiffGate, RepetitionRowsAggregateToBestObservation) {
+  // --benchmark_repetitions emits one iteration row per repetition, all
+  // with the same name. Duplicates aggregate to the best observation (min
+  // for times, max for rates) instead of keeping only the first row.
+  std::vector<perfdiff::Metric> base{{"t ns", 100.0, false},
+                                     {"t ns", 90.0, false},
+                                     {"r per_second", 50.0, true},
+                                     {"r per_second", 60.0, true}};
+  std::vector<perfdiff::Metric> cur{{"t ns", 400.0, false},
+                                    {"t ns", 95.0, false},
+                                    {"r per_second", 58.0, true},
+                                    {"r per_second", 45.0, true}};
+  perfdiff::DiffResult result = perfdiff::Diff(base, cur, {});
+  ASSERT_EQ(result.rows.size(), 2u);
+  // Best-vs-best (90 → 95 ns, 60 → 58 /s) is within the default threshold;
+  // first-row-vs-first-row (100 → 400 ns) would have gated.
+  EXPECT_EQ(result.regressions, 0);
+  for (const perfdiff::DeltaRow& row : result.rows) {
+    if (row.key == "t ns") {
+      EXPECT_DOUBLE_EQ(row.baseline, 90.0);
+      EXPECT_DOUBLE_EQ(row.current, 95.0);
+    } else {
+      EXPECT_EQ(row.key, "r per_second");
+      EXPECT_DOUBLE_EQ(row.baseline, 60.0);
+      EXPECT_DOUBLE_EQ(row.current, 58.0);
+    }
+  }
+}
+
 TEST(PerfDiffGate, AddedAndRemovedMetricsListedNotGated) {
   std::vector<perfdiff::Metric> base{{"a ns", 10.0, false},
                                      {"gone ns", 10.0, false}};

@@ -16,8 +16,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "tensor/matrix.h"
@@ -226,6 +228,65 @@ TEST(ProfContext, ConcurrentTraceSpansPropagateToWorkers) {
   EXPECT_NE(trace.find("\"ctx\":\"test.trace_phase\""), std::string::npos);
   EXPECT_NE(trace.find("\"parallel.shard\""), std::string::npos);
   EXPECT_NE(trace.find("\"test.worker_op\""), std::string::npos);
+}
+
+// The timing JSON's thread_pool section copies "parallel.*" entries out of
+// the metrics registry's JSON, where the shard-skew histogram is a nested
+// object; a scalar-style scrape cut it at its first comma and emitted
+// unparseable output. The whole report must stay valid JSON.
+TEST(ProfRender, TimingJsonStaysValidWithNestedPoolHistogram) {
+  obs::prof::ScopedEnabled on(true);
+  ScopedThreads threads(4);
+  obs::prof::Reset();
+  // Make the histogram's presence deterministic rather than dependent on
+  // the pooled run below recording nonzero chunk times.
+  obs::MetricsRegistry::Get()
+      .GetHistogram("parallel.shard_skew",
+                    obs::Histogram::LinearBounds(1.0, 0.25, 16))
+      ->Record(1.5);
+  {
+    obs::prof::Scope phase("test.json_valid");
+    parallel::ParallelFor(0, 64, 4, [](int64_t lo, int64_t hi) {
+      double sink = 0;
+      for (int64_t i = lo; i < hi; ++i) sink += static_cast<double>(i);
+      Sink(sink);
+    });
+  }
+  const std::string out =
+      obs::prof::ToJson(obs::prof::Snapshot(), /*include_timing=*/true);
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::Parse(out, &doc, &error)) << error << "\n" << out;
+  const json::Value* pool = doc.Find("thread_pool");
+  ASSERT_NE(pool, nullptr);
+  ASSERT_TRUE(pool->IsObject());
+  const json::Value* skew = pool->Find("parallel.shard_skew");
+  ASSERT_NE(skew, nullptr);
+  // The histogram came through as the full nested object, not a prefix.
+  ASSERT_TRUE(skew->IsObject());
+  EXPECT_GE(skew->NumberOr("count", 0.0), 1.0);
+}
+
+// Quiescence contract: a worker that picks a job up but claims zero chunks
+// still re-roots its profiler tree; the join must order that teardown
+// before the submitter's Snapshot/Reset. Two chunks across four lanes
+// leaves at least two zero-chunk participants per iteration; run under
+// TSan this is the regression check for the handshake.
+TEST(ProfContext, ZeroChunkWorkersQuiesceBeforeSnapshotReset) {
+  obs::prof::ScopedEnabled on(true);
+  ScopedThreads threads(4);
+  for (int i = 0; i < 200; ++i) {
+    obs::prof::Reset();
+    {
+      obs::prof::Scope phase("test.zero_chunk");
+      parallel::ParallelFor(0, 2, 1, [](int64_t, int64_t) {});
+    }
+    ReportNode root = obs::prof::Snapshot();
+    const ReportNode* phase = root.Child("test.zero_chunk");
+    ASSERT_NE(phase, nullptr);
+    ASSERT_NE(phase->Child("parallel.chunk"), nullptr);
+    EXPECT_EQ(phase->Child("parallel.chunk")->count, 2);
+  }
 }
 
 TEST(ProfRender, CollapsedStacksAndRooflineRender) {

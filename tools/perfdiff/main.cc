@@ -18,6 +18,8 @@
 // Exit codes: 0 ok, 1 regressions found (only with --gate), 2 bad
 // usage/unreadable input.
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,6 +44,19 @@ int Usage() {
   std::cerr << "usage: perf_diff [--gate] [--threshold=F] [--min-value=F] "
                "BASELINE CURRENT\n";
   return 2;
+}
+
+// Full-string double parse; false on empty, trailing junk, or overflow, so
+// a malformed flag value falls through to Usage() instead of aborting on an
+// uncaught std::stod exception.
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
 }
 
 bool LoadMetrics(const std::string& path,
@@ -80,9 +95,9 @@ int main(int argc, char** argv) {
     if (arg == "--gate") {
       gate = true;
     } else if (arg.rfind("--threshold=", 0) == 0) {
-      options.threshold = std::stod(arg.substr(12));
+      if (!ParseDouble(arg.substr(12), &options.threshold)) return Usage();
     } else if (arg.rfind("--min-value=", 0) == 0) {
-      options.min_value = std::stod(arg.substr(12));
+      if (!ParseDouble(arg.substr(12), &options.min_value)) return Usage();
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;

@@ -81,6 +81,24 @@ void ExtractProfileNode(const json::Value& node, const std::string& prefix,
   }
 }
 
+// Indexes metrics by key. Duplicate keys (google-benchmark with
+// --benchmark_repetitions emits one iteration row per repetition, all with
+// the same name) aggregate to the best observation — min for
+// lower-is-better, max for rates — so every repetition participates in the
+// diff instead of all but the first being silently dropped.
+std::map<std::string, Metric> IndexByKey(const std::vector<Metric>& metrics) {
+  std::map<std::string, Metric> out;
+  for (const Metric& m : metrics) {
+    auto [it, inserted] = out.emplace(m.key, m);
+    if (!inserted) {
+      it->second.value = m.higher_is_better
+                             ? std::max(it->second.value, m.value)
+                             : std::min(it->second.value, m.value);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<Metric> ExtractMetrics(const json::Value& doc) {
@@ -97,10 +115,8 @@ DiffResult Diff(const std::vector<Metric>& baseline,
                 const std::vector<Metric>& current,
                 const DiffOptions& options) {
   DiffResult result;
-  std::map<std::string, Metric> base_by_key;
-  for (const Metric& m : baseline) base_by_key.emplace(m.key, m);
-  std::map<std::string, Metric> cur_by_key;
-  for (const Metric& m : current) cur_by_key.emplace(m.key, m);
+  const std::map<std::string, Metric> base_by_key = IndexByKey(baseline);
+  const std::map<std::string, Metric> cur_by_key = IndexByKey(current);
 
   for (const auto& [key, base] : base_by_key) {
     auto it = cur_by_key.find(key);
