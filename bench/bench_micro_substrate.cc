@@ -18,6 +18,7 @@
 #include "obs/prof.h"
 #include "obs/trace.h"
 #include "tensor/arena.h"
+#include "tensor/kernel_backend.h"
 #include "tensor/matrix.h"
 
 namespace clfd {
@@ -45,8 +46,16 @@ int64_t ArenaAllocCount() {
       ->value();
 }
 
+// Every matmul-family benchmark carries a backend arg (0=scalar, 1=blocked,
+// 2=simd; tensor/kernel_backend.h) so BENCH_substrate.json records all
+// three side by side and perfdiff can print the cross-backend speedups.
+// items_per_second at the 256/512 square shapes is the per-backend GFLOP/s
+// figure the README table and the >= 2x blocked-vs-scalar acceptance
+// criterion read off.
 void BM_MatMul(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
+  ScopedKernelBackend backend(
+      static_cast<KernelBackend>(state.range(1)));
   Rng rng(1);
   Matrix a = Matrix::Randn(n, n, 1.0f, &rng);
   Matrix b = Matrix::Randn(n, n, 1.0f, &rng);
@@ -55,18 +64,60 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(50)->Arg(100)->Arg(200);
+BENCHMARK(BM_MatMul)
+    ->ArgNames({"n", "backend"})
+    ->ArgsProduct({{50, 100, 200, 256, 512}, {0, 1, 2}});
 
 void BM_MatMulTransposeB(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
+  ScopedKernelBackend backend(
+      static_cast<KernelBackend>(state.range(1)));
   Rng rng(1);
   Matrix a = Matrix::Randn(n, n, 1.0f, &rng);
   Matrix b = Matrix::Randn(n, n, 1.0f, &rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(MatMulTransposeB(a, b));
   }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
 }
-BENCHMARK(BM_MatMulTransposeB)->Arg(50)->Arg(100);
+BENCHMARK(BM_MatMulTransposeB)
+    ->ArgNames({"n", "backend"})
+    ->ArgsProduct({{50, 100, 256}, {0, 1, 2}});
+
+// Fused LSTM elementwise gate kernels at the paper's batch/hidden scale.
+// scalar and blocked share a body (nothing to block elementwise), so the
+// interesting delta is scalar vs simd.
+void BM_LstmGatesForward(benchmark::State& state) {
+  ScopedKernelBackend backend(
+      static_cast<KernelBackend>(state.range(0)));
+  Rng rng(1);
+  Matrix pre = Matrix::Randn(100, 4 * 50, 1.0f, &rng);
+  Matrix hc_prev = Matrix::Randn(100, 2 * 50, 1.0f, &rng);
+  for (auto _ : state) {
+    Matrix hc, acts;
+    LstmGatesForward(pre, hc_prev, &hc, &acts);
+    benchmark::DoNotOptimize(hc);
+  }
+}
+BENCHMARK(BM_LstmGatesForward)->ArgName("backend")->Arg(0)->Arg(2);
+
+void BM_LstmGatesBackward(benchmark::State& state) {
+  ScopedKernelBackend backend(
+      static_cast<KernelBackend>(state.range(0)));
+  Rng rng(1);
+  Matrix pre = Matrix::Randn(100, 4 * 50, 1.0f, &rng);
+  Matrix hc_prev = Matrix::Randn(100, 2 * 50, 1.0f, &rng);
+  Matrix hc, acts;
+  LstmGatesForward(pre, hc_prev, &hc, &acts);
+  Matrix gout = Matrix::Randn(100, 2 * 50, 1.0f, &rng);
+  for (auto _ : state) {
+    Matrix dpre(100, 4 * 50);
+    Matrix dhc(100, 2 * 50);
+    LstmGatesBackward(gout, acts, hc_prev, &dpre, &dhc);
+    benchmark::DoNotOptimize(dpre);
+  }
+}
+BENCHMARK(BM_LstmGatesBackward)->ArgName("backend")->Arg(0)->Arg(2);
 
 void BM_SoftmaxRows(benchmark::State& state) {
   Rng rng(1);
@@ -192,6 +243,8 @@ BENCHMARK(BM_LstmTrainStep)
 void BM_CorrectorE2E(benchmark::State& state) {
   nn::ScopedLstmFused fused(state.range(0) != 0);
   arena::ScopedEnabled arena_on(state.range(0) != 0);
+  ScopedKernelBackend backend(
+      static_cast<KernelBackend>(state.range(1)));
   SplitSpec split{60, 6, 30, 6};
   ClfdConfig config = ClfdConfig::Fast();
   config.emb_dim = 16;
@@ -205,10 +258,15 @@ void BM_CorrectorE2E(benchmark::State& state) {
         /*seeds=*/1));
   }
 }
+// The legacy/heap corner stays on the scalar backend (its original
+// baseline); the fused/arena configuration additionally runs on blocked
+// and simd for the end-to-end per-backend picture.
 BENCHMARK(BM_CorrectorE2E)
-    ->ArgName("fused_arena")
-    ->Arg(0)
-    ->Arg(1)
+    ->ArgNames({"fused_arena", "backend"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({1, 2})
     ->Unit(benchmark::kMillisecond);
 
 // Same corrector experiment with crash-consistent checkpointing armed at

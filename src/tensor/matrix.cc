@@ -15,6 +15,7 @@
 #include "obs/prof.h"
 #include "parallel/thread_pool.h"
 #include "tensor/arena.h"
+#include "tensor/kernel_backend.h"
 
 namespace clfd {
 
@@ -228,6 +229,398 @@ void MatMulTransposeBRows(const Matrix& a, const Matrix& b, Matrix* c, int r0,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Blocked / simd backend bodies (selected by CurrentKernelBackend()).
+//
+// Determinism contract (DESIGN.md §12): every backend accumulates each
+// output element over k in the same ascending order as the scalar oracle
+// above, with one rounded add per term and the oracle's zero-skip control
+// flow replicated per row. Register tiles regroup *independent* per-element
+// chains for ILP/vectorization — they never re-associate within a chain —
+// so every backend is bitwise-equal to scalar on all inputs, including
+// signed zeros, denormals, and Infs (tests/kernel_backend_test.cc sweeps
+// exactly these). The one exception is NaN *payload* bits: x86 add/mul
+// keep one operand's NaN and the compiler may commute FP operands, so
+// which payload survives a chain is codegen-dependent — the contract (and
+// the test) pins down NaN-ness per element, not NaN bits.
+//
+// Layout: a kRowTile x kColTile register tile of accumulators per output
+// block; the k loop streams A values and one B row slab per iteration. The
+// all-rows-nonzero fast path fuses the four row updates into one pass over
+// the B slab; when any tile row hits the oracle's zero-skip, the slow path
+// applies the skip row by row (same adds, different grouping). Column
+// remainders run the oracle's per-row loops over the leftover columns; row
+// remainders fall back to the oracle body wholesale.
+// ---------------------------------------------------------------------------
+
+// Tile height. DispatchRowRange chunks rows at this grain so full tiles
+// form inside every parallel chunk, keeping chunk boundaries a pure
+// function of the row count (width- and backend-independent).
+constexpr int kRowTile = 4;
+// Accumulator tile width: 4 SSE vectors per row, 8 xmm registers total for
+// the tile — half the register file, leaving room for the A/B operands.
+constexpr int kColTile = 8;
+// k-panel length for the blocked backend: one j-tile's B panel
+// (kKBlock x kColTile floats = 8 KB) stays L1-resident across the tile.
+// The panel split spills accumulators to C between panels — a memory
+// round-trip per element, which preserves float bits exactly.
+constexpr int kKBlock = 256;
+
+// Rows [r0, r1) of C = A * B, blocked backend.
+void MatMulRowsBlocked(const Matrix& a, const Matrix& b, Matrix* c, int r0,
+                       int r1) {
+  const int kt = a.cols();
+  const int n = b.cols();
+  int i = r0;
+  for (; i + kRowTile <= r1; i += kRowTile) {
+    const float* a0 = a.row(i);
+    const float* a1 = a.row(i + 1);
+    const float* a2 = a.row(i + 2);
+    const float* a3 = a.row(i + 3);
+    float* c0 = c->row(i);
+    float* c1 = c->row(i + 1);
+    float* c2 = c->row(i + 2);
+    float* c3 = c->row(i + 3);
+    int jj = 0;
+    for (; jj + kColTile <= n; jj += kColTile) {
+      for (int kk = 0; kk < kt; kk += kKBlock) {
+        const int kend = std::min(kt, kk + kKBlock);
+        // Accumulators resume from C (zero-fresh on the first panel), and
+        // the final store is an assignment, not an extra add — each
+        // element sees exactly one ascending-k chain.
+        float acc0[kColTile], acc1[kColTile], acc2[kColTile], acc3[kColTile];
+        for (int t = 0; t < kColTile; ++t) {
+          acc0[t] = c0[jj + t];
+          acc1[t] = c1[jj + t];
+          acc2[t] = c2[jj + t];
+          acc3[t] = c3[jj + t];
+        }
+        for (int k = kk; k < kend; ++k) {
+          const float* brow = b.row(k) + jj;
+          const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
+          if (v0 != 0.0f && v1 != 0.0f && v2 != 0.0f && v3 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) {
+              const float bv = brow[t];
+              acc0[t] += v0 * bv;
+              acc1[t] += v1 * bv;
+              acc2[t] += v2 * bv;
+              acc3[t] += v3 * bv;
+            }
+          } else {
+            // Oracle zero-skip per row: a skipped term is no operation at
+            // all, not an add of ±0 (which would flush -0 partials and
+            // turn 0*Inf into NaN).
+            if (v0 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) acc0[t] += v0 * brow[t];
+            }
+            if (v1 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) acc1[t] += v1 * brow[t];
+            }
+            if (v2 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) acc2[t] += v2 * brow[t];
+            }
+            if (v3 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) acc3[t] += v3 * brow[t];
+            }
+          }
+        }
+        for (int t = 0; t < kColTile; ++t) {
+          c0[jj + t] = acc0[t];
+          c1[jj + t] = acc1[t];
+          c2[jj + t] = acc2[t];
+          c3[jj + t] = acc3[t];
+        }
+      }
+    }
+    // Column remainder: the oracle's per-row loops over [jj, n).
+    for (int rr = 0; jj < n && rr < kRowTile; ++rr) {
+      const float* arow = a.row(i + rr);
+      float* crow = c->row(i + rr);
+      for (int k = 0; k < kt; ++k) {
+        const float aik = arow[k];
+        if (aik == 0.0f) continue;
+        const float* brow = b.row(k);
+        for (int j = jj; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+  if (i < r1) MatMulRows(a, b, c, i, r1);
+}
+
+// Rows [r0, r1) of C = A * B, simd backend: the register tiling above with
+// __restrict-qualified pointers and fixed trip counts, which is what lets
+// the autovectorizer emit packed arithmetic without intrinsics. No k-panel
+// split: accumulators live in registers for the whole k sweep (one chain
+// per element, same bits).
+void MatMulRowsSimd(const Matrix& a, const Matrix& b, Matrix* c, int r0,
+                    int r1) {
+  const int kt = a.cols();
+  const int n = b.cols();
+  int i = r0;
+  for (; i + kRowTile <= r1; i += kRowTile) {
+    const float* __restrict a0 = a.row(i);
+    const float* __restrict a1 = a.row(i + 1);
+    const float* __restrict a2 = a.row(i + 2);
+    const float* __restrict a3 = a.row(i + 3);
+    int jj = 0;
+    for (; jj + kColTile <= n; jj += kColTile) {
+      // Chains start at +0.0f exactly like the oracle's zero-fresh C row.
+      float acc0[kColTile] = {0.0f};
+      float acc1[kColTile] = {0.0f};
+      float acc2[kColTile] = {0.0f};
+      float acc3[kColTile] = {0.0f};
+      for (int k = 0; k < kt; ++k) {
+        const float* __restrict brow = b.row(k) + jj;
+        const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
+        if (v0 != 0.0f && v1 != 0.0f && v2 != 0.0f && v3 != 0.0f) {
+          for (int t = 0; t < kColTile; ++t) {
+            const float bv = brow[t];
+            acc0[t] += v0 * bv;
+            acc1[t] += v1 * bv;
+            acc2[t] += v2 * bv;
+            acc3[t] += v3 * bv;
+          }
+        } else {
+          if (v0 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) acc0[t] += v0 * brow[t];
+          }
+          if (v1 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) acc1[t] += v1 * brow[t];
+          }
+          if (v2 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) acc2[t] += v2 * brow[t];
+          }
+          if (v3 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) acc3[t] += v3 * brow[t];
+          }
+        }
+      }
+      float* __restrict c0 = c->row(i) + jj;
+      float* __restrict c1 = c->row(i + 1) + jj;
+      float* __restrict c2 = c->row(i + 2) + jj;
+      float* __restrict c3 = c->row(i + 3) + jj;
+      for (int t = 0; t < kColTile; ++t) {
+        c0[t] = acc0[t];
+        c1[t] = acc1[t];
+        c2[t] = acc2[t];
+        c3[t] = acc3[t];
+      }
+    }
+    for (int rr = 0; jj < n && rr < kRowTile; ++rr) {
+      const float* arow = a.row(i + rr);
+      float* crow = c->row(i + rr);
+      for (int k = 0; k < kt; ++k) {
+        const float aik = arow[k];
+        if (aik == 0.0f) continue;
+        const float* brow = b.row(k);
+        for (int j = jj; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+  if (i < r1) MatMulRows(a, b, c, i, r1);
+}
+
+// Rows [r0, r1) of C = A^T * B, blocked backend. Same tiling as MatMul;
+// the tile's four A values per k are a.at(k, i..i+3) — contiguous in row k.
+void MatMulTransposeARowsBlocked(const Matrix& a, const Matrix& b, Matrix* c,
+                                 int r0, int r1) {
+  const int kt = a.rows();
+  const int n = b.cols();
+  int i = r0;
+  for (; i + kRowTile <= r1; i += kRowTile) {
+    float* c0 = c->row(i);
+    float* c1 = c->row(i + 1);
+    float* c2 = c->row(i + 2);
+    float* c3 = c->row(i + 3);
+    int jj = 0;
+    for (; jj + kColTile <= n; jj += kColTile) {
+      for (int kk = 0; kk < kt; kk += kKBlock) {
+        const int kend = std::min(kt, kk + kKBlock);
+        float acc0[kColTile], acc1[kColTile], acc2[kColTile], acc3[kColTile];
+        for (int t = 0; t < kColTile; ++t) {
+          acc0[t] = c0[jj + t];
+          acc1[t] = c1[jj + t];
+          acc2[t] = c2[jj + t];
+          acc3[t] = c3[jj + t];
+        }
+        for (int k = kk; k < kend; ++k) {
+          const float* ak = a.row(k) + i;
+          const float* brow = b.row(k) + jj;
+          const float v0 = ak[0], v1 = ak[1], v2 = ak[2], v3 = ak[3];
+          if (v0 != 0.0f && v1 != 0.0f && v2 != 0.0f && v3 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) {
+              const float bv = brow[t];
+              acc0[t] += v0 * bv;
+              acc1[t] += v1 * bv;
+              acc2[t] += v2 * bv;
+              acc3[t] += v3 * bv;
+            }
+          } else {
+            if (v0 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) acc0[t] += v0 * brow[t];
+            }
+            if (v1 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) acc1[t] += v1 * brow[t];
+            }
+            if (v2 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) acc2[t] += v2 * brow[t];
+            }
+            if (v3 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) acc3[t] += v3 * brow[t];
+            }
+          }
+        }
+        for (int t = 0; t < kColTile; ++t) {
+          c0[jj + t] = acc0[t];
+          c1[jj + t] = acc1[t];
+          c2[jj + t] = acc2[t];
+          c3[jj + t] = acc3[t];
+        }
+      }
+    }
+    for (int rr = 0; jj < n && rr < kRowTile; ++rr) {
+      float* crow = c->row(i + rr);
+      for (int k = 0; k < kt; ++k) {
+        const float aki = a.at(k, i + rr);
+        if (aki == 0.0f) continue;
+        const float* brow = b.row(k);
+        for (int j = jj; j < n; ++j) crow[j] += aki * brow[j];
+      }
+    }
+  }
+  if (i < r1) MatMulTransposeARows(a, b, c, i, r1);
+}
+
+// Rows [r0, r1) of C = A^T * B, simd backend.
+void MatMulTransposeARowsSimd(const Matrix& a, const Matrix& b, Matrix* c,
+                              int r0, int r1) {
+  const int kt = a.rows();
+  const int n = b.cols();
+  int i = r0;
+  for (; i + kRowTile <= r1; i += kRowTile) {
+    int jj = 0;
+    for (; jj + kColTile <= n; jj += kColTile) {
+      float acc0[kColTile] = {0.0f};
+      float acc1[kColTile] = {0.0f};
+      float acc2[kColTile] = {0.0f};
+      float acc3[kColTile] = {0.0f};
+      for (int k = 0; k < kt; ++k) {
+        const float* __restrict ak = a.row(k) + i;
+        const float* __restrict brow = b.row(k) + jj;
+        const float v0 = ak[0], v1 = ak[1], v2 = ak[2], v3 = ak[3];
+        if (v0 != 0.0f && v1 != 0.0f && v2 != 0.0f && v3 != 0.0f) {
+          for (int t = 0; t < kColTile; ++t) {
+            const float bv = brow[t];
+            acc0[t] += v0 * bv;
+            acc1[t] += v1 * bv;
+            acc2[t] += v2 * bv;
+            acc3[t] += v3 * bv;
+          }
+        } else {
+          if (v0 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) acc0[t] += v0 * brow[t];
+          }
+          if (v1 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) acc1[t] += v1 * brow[t];
+          }
+          if (v2 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) acc2[t] += v2 * brow[t];
+          }
+          if (v3 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) acc3[t] += v3 * brow[t];
+          }
+        }
+      }
+      float* __restrict c0 = c->row(i) + jj;
+      float* __restrict c1 = c->row(i + 1) + jj;
+      float* __restrict c2 = c->row(i + 2) + jj;
+      float* __restrict c3 = c->row(i + 3) + jj;
+      for (int t = 0; t < kColTile; ++t) {
+        c0[t] = acc0[t];
+        c1[t] = acc1[t];
+        c2[t] = acc2[t];
+        c3[t] = acc3[t];
+      }
+    }
+    for (int rr = 0; jj < n && rr < kRowTile; ++rr) {
+      float* crow = c->row(i + rr);
+      for (int k = 0; k < kt; ++k) {
+        const float aki = a.at(k, i + rr);
+        if (aki == 0.0f) continue;
+        const float* brow = b.row(k);
+        for (int j = jj; j < n; ++j) crow[j] += aki * brow[j];
+      }
+    }
+  }
+  if (i < r1) MatMulTransposeARows(a, b, c, i, r1);
+}
+
+// A*B^T is a dot-product kernel: each element is one k-ascending reduction
+// chain that cannot be vectorized across k without re-association. The
+// tile is therefore kDotTile x kDotTile *independent* chains advanced in
+// lockstep — an ILP transform, not a reduction reorder.
+constexpr int kDotTile = 4;
+
+// Rows [r0, r1) of C = A * B^T, shared tiled body for blocked and simd
+// (the dot tile keeps all state in scalar registers either way; restrict
+// adds nothing because every loop already carries a serial dependence).
+void MatMulTransposeBRowsTiled(const Matrix& a, const Matrix& b, Matrix* c,
+                               int r0, int r1) {
+  const int kt = a.cols();
+  const int m = b.rows();
+  int i = r0;
+  for (; i + kDotTile <= r1; i += kDotTile) {
+    const float* a0 = a.row(i);
+    const float* a1 = a.row(i + 1);
+    const float* a2 = a.row(i + 2);
+    const float* a3 = a.row(i + 3);
+    int j = 0;
+    for (; j + kDotTile <= m; j += kDotTile) {
+      const float* b0 = b.row(j);
+      const float* b1 = b.row(j + 1);
+      const float* b2 = b.row(j + 2);
+      const float* b3 = b.row(j + 3);
+      float acc[kDotTile][kDotTile] = {};
+      for (int k = 0; k < kt; ++k) {
+        const float av0 = a0[k], av1 = a1[k], av2 = a2[k], av3 = a3[k];
+        const float bv0 = b0[k], bv1 = b1[k], bv2 = b2[k], bv3 = b3[k];
+        acc[0][0] += av0 * bv0;
+        acc[0][1] += av0 * bv1;
+        acc[0][2] += av0 * bv2;
+        acc[0][3] += av0 * bv3;
+        acc[1][0] += av1 * bv0;
+        acc[1][1] += av1 * bv1;
+        acc[1][2] += av1 * bv2;
+        acc[1][3] += av1 * bv3;
+        acc[2][0] += av2 * bv0;
+        acc[2][1] += av2 * bv1;
+        acc[2][2] += av2 * bv2;
+        acc[2][3] += av2 * bv3;
+        acc[3][0] += av3 * bv0;
+        acc[3][1] += av3 * bv1;
+        acc[3][2] += av3 * bv2;
+        acc[3][3] += av3 * bv3;
+      }
+      for (int r = 0; r < kDotTile; ++r) {
+        float* crow = c->row(i + r);
+        for (int s = 0; s < kDotTile; ++s) crow[j + s] = acc[r][s];
+      }
+    }
+    // Column remainder: oracle dot loops for the leftover B rows.
+    for (int rr = 0; rr < kDotTile; ++rr) {
+      const float* arow = a.row(i + rr);
+      float* crow = c->row(i + rr);
+      for (int jt = j; jt < m; ++jt) {
+        const float* brow = b.row(jt);
+        float acc1 = 0.0f;
+        for (int k = 0; k < kt; ++k) acc1 += arow[k] * brow[k];
+        crow[jt] = acc1;
+      }
+    }
+  }
+  if (i < r1) MatMulTransposeBRows(a, b, c, i, r1);
+}
+
 // Runs body(lo, hi) over [0, rows), splitting across the pool when the
 // nominal flop count is worth it. Workers write disjoint row ranges, and
 // serial/parallel share the body, so the split never changes results.
@@ -235,12 +628,18 @@ void MatMulTransposeBRows(const Matrix& a, const Matrix& b, Matrix* c, int r0,
 // pool runs the same chunks inline, so the profiler's merged scope tree
 // (chunk counts included) is identical at every width — the byte-identical
 // deterministic-report guarantee in src/obs/prof.h depends on this.
+// Chunks are kRowTile rows (a pure function of the row count, so the
+// width-independence above still holds, and backend-independent so the
+// deterministic report is also identical across kernel backends): the
+// blocked/simd bodies then form full register tiles inside every chunk but
+// the last. Which rows share a tile never affects results — a tile groups
+// independent per-row chains, it does not mix them.
 template <typename Body>
 void DispatchRowRange(int rows, int64_t flops, Body body) {
   if (rows > 1 && flops >= MatmulParallelThreshold() &&
       !parallel::ThreadPool::InParallelRegion()) {
     CLFD_METRIC_COUNT("tensor.matmul.parallel_dispatches", 1);
-    parallel::ParallelFor(0, rows, 1, [&](int64_t lo, int64_t hi) {
+    parallel::ParallelFor(0, rows, kRowTile, [&](int64_t lo, int64_t hi) {
       body(static_cast<int>(lo), static_cast<int>(hi));
     });
   } else {
@@ -287,7 +686,17 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   obs::prof::AddBytes(int64_t{4} *
                       (a.size() + b.size() + int64_t{a.rows()} * b.cols()));
   Matrix c(a.rows(), b.cols());
-  DispatchRows(a, b, &c, flops, MatMulRows);
+  switch (CurrentKernelBackend()) {
+    case KernelBackend::kScalar:
+      DispatchRows(a, b, &c, flops, MatMulRows);
+      break;
+    case KernelBackend::kBlocked:
+      DispatchRows(a, b, &c, flops, MatMulRowsBlocked);
+      break;
+    case KernelBackend::kSimd:
+      DispatchRows(a, b, &c, flops, MatMulRowsSimd);
+      break;
+  }
   return c;
 }
 
@@ -302,7 +711,17 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   obs::prof::AddBytes(int64_t{4} *
                       (a.size() + b.size() + int64_t{a.cols()} * b.cols()));
   Matrix c(a.cols(), b.cols());
-  DispatchRows(a, b, &c, flops, MatMulTransposeARows);
+  switch (CurrentKernelBackend()) {
+    case KernelBackend::kScalar:
+      DispatchRows(a, b, &c, flops, MatMulTransposeARows);
+      break;
+    case KernelBackend::kBlocked:
+      DispatchRows(a, b, &c, flops, MatMulTransposeARowsBlocked);
+      break;
+    case KernelBackend::kSimd:
+      DispatchRows(a, b, &c, flops, MatMulTransposeARowsSimd);
+      break;
+  }
   return c;
 }
 
@@ -317,7 +736,11 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   obs::prof::AddBytes(int64_t{4} *
                       (a.size() + b.size() + int64_t{a.rows()} * b.rows()));
   Matrix c(a.rows(), b.rows());
-  DispatchRows(a, b, &c, flops, MatMulTransposeBRows);
+  if (CurrentKernelBackend() == KernelBackend::kScalar) {
+    DispatchRows(a, b, &c, flops, MatMulTransposeBRows);
+  } else {
+    DispatchRows(a, b, &c, flops, MatMulTransposeBRowsTiled);
+  }
   return c;
 }
 
@@ -332,13 +755,26 @@ Matrix Transpose(const Matrix& a) {
 
 namespace {
 
+// Elementwise kernels have no cross-element arithmetic, so backends may
+// only differ in how the compiler schedules the identical per-element
+// expression — the simd variants below just hand it __restrict pointers
+// and a hoisted bound. Bitwise equality across backends is structural.
+
 template <typename Fn>
 Matrix Binary(const Matrix& a, const Matrix& b, Fn fn) {
   CheckShape(a.SameShape(b), "Matrix elementwise op", a, b);
   assert(a.SameShape(b));
   CLFD_METRIC_COUNT("tensor.elementwise.calls", 1);
   Matrix c(a.rows(), a.cols());
-  for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i], b[i]);
+  if (CurrentKernelBackend() == KernelBackend::kSimd && a.size() > 0) {
+    const float* __restrict pa = a.data();
+    const float* __restrict pb = b.data();
+    float* __restrict pc = c.data();
+    const int n = a.size();
+    for (int i = 0; i < n; ++i) pc[i] = fn(pa[i], pb[i]);
+  } else {
+    for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i], b[i]);
+  }
   return c;
 }
 
@@ -346,7 +782,14 @@ template <typename Fn>
 Matrix Unary(const Matrix& a, Fn fn) {
   CLFD_METRIC_COUNT("tensor.elementwise.calls", 1);
   Matrix c(a.rows(), a.cols());
-  for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i]);
+  if (CurrentKernelBackend() == KernelBackend::kSimd && a.size() > 0) {
+    const float* __restrict pa = a.data();
+    float* __restrict pc = c.data();
+    const int n = a.size();
+    for (int i = 0; i < n; ++i) pc[i] = fn(pa[i]);
+  } else {
+    for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i]);
+  }
   return c;
 }
 
@@ -441,6 +884,27 @@ Matrix SoftmaxRows(const Matrix& a) {
   obs::prof::AddFlops(int64_t{4} * a.size());
   obs::prof::AddBytes(int64_t{8} * a.size());
   Matrix out(a.rows(), a.cols());
+  if (CurrentKernelBackend() == KernelBackend::kSimd) {
+    // Same per-row ops in the same order (the max and denom reductions
+    // stay ascending-c scalar chains — reordering those would change
+    // bits); __restrict lets the exp and divide passes vectorize.
+    const int cols = a.cols();
+    for (int r = 0; r < a.rows(); ++r) {
+      const float* __restrict arow = a.row(r);
+      float* __restrict orow = out.row(r);
+      float mx = -std::numeric_limits<float>::infinity();
+      for (int c = 0; c < cols; ++c) mx = std::max(mx, arow[c]);
+      double denom = 0.0;
+      for (int c = 0; c < cols; ++c) {
+        orow[c] = std::exp(arow[c] - mx);
+        denom += orow[c];
+      }
+      for (int c = 0; c < cols; ++c) {
+        orow[c] = static_cast<float>(orow[c] / denom);
+      }
+    }
+    return out;
+  }
   for (int r = 0; r < a.rows(); ++r) {
     const float* arow = a.row(r);
     float* orow = out.row(r);
@@ -632,6 +1096,219 @@ void MatMulTransposeATimeBlockedRows(const Matrix& x, const Matrix& g,
   }
 }
 
+// ---- Backend variants of the fused LSTM bodies (DESIGN.md §12). The
+// elementwise gate bodies differ from scalar only by __restrict (per-
+// element math is identical, so bitwise equality is structural); the two
+// AddInto matmuls get the same register tiling as the standalone kernels,
+// with the oracle's per-block fresh-partial-then-add order preserved per
+// element. ----
+
+void LstmGatesForwardRowsSimd(const Matrix& pre, const Matrix& hc_prev,
+                              Matrix* hc, Matrix* acts, int r0, int r1) {
+  const int h = pre.cols() / 4;
+  for (int r = r0; r < r1; ++r) {
+    const float* __restrict p = pre.row(r);
+    const float* __restrict hcp = hc_prev.row(r);
+    float* __restrict out = hc->row(r);
+    float* __restrict act = acts->row(r);
+    for (int j = 0; j < h; ++j) {
+      float iv = 1.0f / (1.0f + std::exp(-p[j]));
+      float fv = 1.0f / (1.0f + std::exp(-p[h + j]));
+      float gv = std::tanh(p[2 * h + j]);
+      float ov = 1.0f / (1.0f + std::exp(-p[3 * h + j]));
+      float t1 = fv * hcp[h + j];
+      float t2 = iv * gv;
+      float cv = t1 + t2;
+      float tc = std::tanh(cv);
+      out[j] = ov * tc;
+      out[h + j] = cv;
+      act[j] = iv;
+      act[h + j] = fv;
+      act[2 * h + j] = gv;
+      act[3 * h + j] = ov;
+      act[4 * h + j] = tc;
+    }
+  }
+}
+
+void LstmGatesBackwardRowsSimd(const Matrix& gout, const Matrix& acts,
+                               const Matrix& hc_prev, Matrix* dpre,
+                               Matrix* dhc_prev, int r0, int r1) {
+  const int h = dpre->cols() / 4;
+  for (int r = r0; r < r1; ++r) {
+    const float* __restrict g = gout.row(r);
+    const float* __restrict act = acts.row(r);
+    const float* __restrict hcp = hc_prev.row(r);
+    float* __restrict dp = dpre->row(r);
+    float* __restrict dhp = dhc_prev != nullptr ? dhc_prev->row(r) : nullptr;
+    for (int j = 0; j < h; ++j) {
+      float iv = act[j], fv = act[h + j], gv = act[2 * h + j];
+      float ov = act[3 * h + j], tc = act[4 * h + j];
+      float dh = g[j];
+      float dc_ext = g[h + j];
+      float dov = dh * tc;
+      float dtc = dh * ov;
+      float dc = dc_ext + dtc * (1.0f - tc * tc);
+      float div_ = dc * gv;
+      float dgv = dc * iv;
+      float dfv = dc * hcp[h + j];
+      if (dhp != nullptr) dhp[h + j] += dc * fv;
+      dp[j] += div_ * iv * (1.0f - iv);
+      dp[h + j] += dfv * fv * (1.0f - fv);
+      dp[2 * h + j] += dgv * (1.0f - gv * gv);
+      dp[3 * h + j] += dov * ov * (1.0f - ov);
+    }
+  }
+}
+
+// Tiled acc += g * w^T per gate block: a kDotTile x kDotTile tile of
+// independent fresh-partial chains (ascending k within the block), each
+// finished by the oracle's single rounded add into acc.
+void MatMulTransposeBGateBlockedRowsTiled(const Matrix& g, const Matrix& w,
+                                          Matrix* acc, int r0, int r1) {
+  const int h = w.cols() / 4;
+  const int m = w.rows();
+  int i = r0;
+  for (; i + kDotTile <= r1; i += kDotTile) {
+    const float* g0 = g.row(i);
+    const float* g1 = g.row(i + 1);
+    const float* g2 = g.row(i + 2);
+    const float* g3 = g.row(i + 3);
+    float* o0 = acc->row(i);
+    float* o1 = acc->row(i + 1);
+    float* o2 = acc->row(i + 2);
+    float* o3 = acc->row(i + 3);
+    for (int blk : kLstmGateBackwardOrder) {
+      const int k0 = blk * h;
+      int j = 0;
+      for (; j + kDotTile <= m; j += kDotTile) {
+        const float* w0 = w.row(j) + k0;
+        const float* w1 = w.row(j + 1) + k0;
+        const float* w2 = w.row(j + 2) + k0;
+        const float* w3 = w.row(j + 3) + k0;
+        float p[kDotTile][kDotTile] = {};
+        for (int k = 0; k < h; ++k) {
+          const float gv0 = g0[k0 + k], gv1 = g1[k0 + k];
+          const float gv2 = g2[k0 + k], gv3 = g3[k0 + k];
+          const float wv0 = w0[k], wv1 = w1[k], wv2 = w2[k], wv3 = w3[k];
+          p[0][0] += gv0 * wv0;
+          p[0][1] += gv0 * wv1;
+          p[0][2] += gv0 * wv2;
+          p[0][3] += gv0 * wv3;
+          p[1][0] += gv1 * wv0;
+          p[1][1] += gv1 * wv1;
+          p[1][2] += gv1 * wv2;
+          p[1][3] += gv1 * wv3;
+          p[2][0] += gv2 * wv0;
+          p[2][1] += gv2 * wv1;
+          p[2][2] += gv2 * wv2;
+          p[2][3] += gv2 * wv3;
+          p[3][0] += gv3 * wv0;
+          p[3][1] += gv3 * wv1;
+          p[3][2] += gv3 * wv2;
+          p[3][3] += gv3 * wv3;
+        }
+        for (int s = 0; s < kDotTile; ++s) {
+          o0[j + s] += p[0][s];
+          o1[j + s] += p[1][s];
+          o2[j + s] += p[2][s];
+          o3[j + s] += p[3][s];
+        }
+      }
+      // Column remainder: oracle per-element dot + add over [j, m).
+      for (int rr = 0; rr < kDotTile; ++rr) {
+        const float* grow = g.row(i + rr);
+        float* arow = acc->row(i + rr);
+        for (int jt = j; jt < m; ++jt) {
+          const float* wrow = w.row(jt);
+          float partial = 0.0f;
+          for (int k = 0; k < h; ++k) partial += grow[k0 + k] * wrow[k0 + k];
+          arow[jt] += partial;
+        }
+      }
+    }
+  }
+  if (i < r1) MatMulTransposeBGateBlockedRows(g, w, acc, i, r1);
+}
+
+// Tiled acc += x^T * g per descending time block: the MatMul register tile
+// over four acc rows (x columns — x.at(k, i..i+3) is contiguous in row k),
+// with the oracle's fresh per-block partials and block-end adds.
+void MatMulTransposeATimeBlockedRowsTiled(const Matrix& x, const Matrix& g,
+                                          int block_rows, Matrix* acc, int r0,
+                                          int r1) {
+  const int n = g.cols();
+  const int t_blocks = x.rows() / block_rows;
+  int i = r0;
+  for (; i + kRowTile <= r1; i += kRowTile) {
+    float* o0 = acc->row(i);
+    float* o1 = acc->row(i + 1);
+    float* o2 = acc->row(i + 2);
+    float* o3 = acc->row(i + 3);
+    for (int tb = t_blocks - 1; tb >= 0; --tb) {
+      const int kbegin = tb * block_rows;
+      const int kend = (tb + 1) * block_rows;
+      int jj = 0;
+      for (; jj + kColTile <= n; jj += kColTile) {
+        float p0[kColTile] = {0.0f};
+        float p1[kColTile] = {0.0f};
+        float p2[kColTile] = {0.0f};
+        float p3[kColTile] = {0.0f};
+        for (int k = kbegin; k < kend; ++k) {
+          const float* xk = x.row(k) + i;
+          const float* grow = g.row(k) + jj;
+          const float v0 = xk[0], v1 = xk[1], v2 = xk[2], v3 = xk[3];
+          if (v0 != 0.0f && v1 != 0.0f && v2 != 0.0f && v3 != 0.0f) {
+            for (int t = 0; t < kColTile; ++t) {
+              const float gv = grow[t];
+              p0[t] += v0 * gv;
+              p1[t] += v1 * gv;
+              p2[t] += v2 * gv;
+              p3[t] += v3 * gv;
+            }
+          } else {
+            if (v0 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) p0[t] += v0 * grow[t];
+            }
+            if (v1 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) p1[t] += v1 * grow[t];
+            }
+            if (v2 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) p2[t] += v2 * grow[t];
+            }
+            if (v3 != 0.0f) {
+              for (int t = 0; t < kColTile; ++t) p3[t] += v3 * grow[t];
+            }
+          }
+        }
+        // The oracle adds the whole partial vector unconditionally at
+        // block end (even all-zero partials), so no skip here.
+        for (int t = 0; t < kColTile; ++t) {
+          o0[jj + t] += p0[t];
+          o1[jj + t] += p1[t];
+          o2[jj + t] += p2[t];
+          o3[jj + t] += p3[t];
+        }
+      }
+      // Column remainder: per element, the same fresh ascending-k chain
+      // (with the oracle's zero-skip) followed by one add.
+      for (int rr = 0; jj < n && rr < kRowTile; ++rr) {
+        float* arow = acc->row(i + rr);
+        for (int j = jj; j < n; ++j) {
+          float partial = 0.0f;
+          for (int k = kbegin; k < kend; ++k) {
+            const float aki = x.at(k, i + rr);
+            if (aki == 0.0f) continue;
+            partial += aki * g.at(k, j);
+          }
+          arow[j] += partial;
+        }
+      }
+    }
+  }
+  if (i < r1) MatMulTransposeATimeBlockedRows(x, g, block_rows, acc, i, r1);
+}
+
 }  // namespace
 
 void LstmGatesForward(const Matrix& pre, const Matrix& hc_prev, Matrix* hc,
@@ -652,8 +1329,15 @@ void LstmGatesForward(const Matrix& pre, const Matrix& hc_prev, Matrix* hc,
   obs::prof::AddBytes(int64_t{4} * pre.rows() * (13 * h));
   *hc = Matrix(pre.rows(), 2 * h);
   *acts = Matrix(pre.rows(), 5 * h);
+  // scalar and blocked share the scalar body (there is nothing to block in
+  // an elementwise kernel); simd gets the __restrict variant.
+  const bool simd = CurrentKernelBackend() == KernelBackend::kSimd;
   DispatchRowRange(pre.rows(), flops, [&](int lo, int hi) {
-    LstmGatesForwardRows(pre, hc_prev, hc, acts, lo, hi);
+    if (simd) {
+      LstmGatesForwardRowsSimd(pre, hc_prev, hc, acts, lo, hi);
+    } else {
+      LstmGatesForwardRows(pre, hc_prev, hc, acts, lo, hi);
+    }
   });
 }
 
@@ -676,8 +1360,13 @@ void LstmGatesBackward(const Matrix& gout, const Matrix& acts,
   // and optionally dhc_prev [Bx2H].
   obs::prof::AddBytes(int64_t{4} * gout.rows() *
                       ((13 + (dhc_prev != nullptr ? 2 : 0)) * h));
+  const bool simd = CurrentKernelBackend() == KernelBackend::kSimd;
   DispatchRowRange(gout.rows(), flops, [&](int lo, int hi) {
-    LstmGatesBackwardRows(gout, acts, hc_prev, dpre, dhc_prev, lo, hi);
+    if (simd) {
+      LstmGatesBackwardRowsSimd(gout, acts, hc_prev, dpre, dhc_prev, lo, hi);
+    } else {
+      LstmGatesBackwardRows(gout, acts, hc_prev, dpre, dhc_prev, lo, hi);
+    }
   });
 }
 
@@ -693,8 +1382,15 @@ void MatMulTransposeBGateBlockedAddInto(const Matrix& g, const Matrix& w,
   CLFD_PROF_SCOPE("MatMulTBBlocked");
   obs::prof::AddFlops(flops);
   obs::prof::AddBytes(int64_t{4} * (g.size() + w.size() + acc->size()));
+  // The dot tile keeps its chains in scalar registers, so blocked and simd
+  // share the tiled body (like MatMulTransposeB).
+  const bool tiled = CurrentKernelBackend() != KernelBackend::kScalar;
   DispatchRowRange(g.rows(), flops, [&](int lo, int hi) {
-    MatMulTransposeBGateBlockedRows(g, w, acc, lo, hi);
+    if (tiled) {
+      MatMulTransposeBGateBlockedRowsTiled(g, w, acc, lo, hi);
+    } else {
+      MatMulTransposeBGateBlockedRows(g, w, acc, lo, hi);
+    }
   });
 }
 
@@ -710,8 +1406,13 @@ void MatMulTransposeATimeBlockedAddInto(const Matrix& x, const Matrix& g,
   CLFD_PROF_SCOPE("MatMulTABlocked");
   obs::prof::AddFlops(flops);
   obs::prof::AddBytes(int64_t{4} * (x.size() + g.size() + acc->size()));
+  const bool tiled = CurrentKernelBackend() != KernelBackend::kScalar;
   DispatchRowRange(acc->rows(), flops, [&](int lo, int hi) {
-    MatMulTransposeATimeBlockedRows(x, g, block_rows, acc, lo, hi);
+    if (tiled) {
+      MatMulTransposeATimeBlockedRowsTiled(x, g, block_rows, acc, lo, hi);
+    } else {
+      MatMulTransposeATimeBlockedRows(x, g, block_rows, acc, lo, hi);
+    }
   });
 }
 

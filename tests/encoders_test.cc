@@ -65,7 +65,7 @@ TEST(SessionEncoderTest, GradCheckThroughMaskedMean) {
   SessionEncoder enc(3, 4, 1, &rng);
   Session a = MakeSession({1, 2, 3});
   Session b = MakeSession({4, 5});
-  auto result = ag::CheckGradientsBothKernelPaths(
+  auto result = ag::CheckGradientsAllBackends(
       [&](const std::vector<ag::Var>&) {
         ag::Var z = enc.EncodeBatch({&a, &b}, emb);
         return ag::SumAll(ag::Mul(z, z));

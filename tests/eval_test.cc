@@ -6,6 +6,7 @@
 #include "eval/experiment.h"
 #include "nn/lstm.h"
 #include "parallel/thread_pool.h"
+#include "tensor/kernel_backend.h"
 
 namespace clfd {
 namespace {
@@ -114,6 +115,40 @@ TEST(ThreadInvarianceTest, FusedLstmMatchesLegacyRunMetrics) {
     EXPECT_EQ(fused[i].f1, fused[0].f1) << "threads=" << widths[i];
     EXPECT_EQ(fused[i].auc, fused[0].auc) << "threads=" << widths[i];
   }
+}
+
+TEST(BackendInvarianceTest, RunMetricsBitwiseIdenticalAcrossBackends) {
+  // The kernel backends (tensor/kernel_backend.h) are bitwise-
+  // interchangeable, so the full pipeline — SimCLR pretrain, corrector,
+  // SupCon detector, classifier — must produce identical RunMetrics under
+  // every backend at every thread width. The scalar run at width 1 is the
+  // oracle; all eight other (backend, width) combinations must match it.
+  SplitSpec split{40, 6, 20, 4};
+  ClfdConfig config = TinyConfig();
+  RunMetrics oracle;
+  bool have_oracle = false;
+  for (KernelBackend backend : AllKernelBackends()) {
+    ScopedKernelBackend use(backend);
+    for (int width : {1, 2, 4}) {
+      parallel::SetGlobalThreads(width);
+      ExperimentContext context(DatasetKind::kWiki, split,
+                                NoiseSpec::Uniform(0.3), config.emb_dim, 21);
+      ClfdModel model(config, 21);
+      RunMetrics run = TrainAndEvaluate(&model, context);
+      if (!have_oracle) {
+        oracle = run;
+        have_oracle = true;
+        continue;
+      }
+      EXPECT_EQ(oracle.f1, run.f1)
+          << "backend=" << KernelBackendName(backend) << " threads=" << width;
+      EXPECT_EQ(oracle.fpr, run.fpr)
+          << "backend=" << KernelBackendName(backend) << " threads=" << width;
+      EXPECT_EQ(oracle.auc, run.auc)
+          << "backend=" << KernelBackendName(backend) << " threads=" << width;
+    }
+  }
+  parallel::SetGlobalThreads(0);
 }
 
 TEST(ThreadInvarianceTest, SeedParallelAggregateBitwiseIdentical) {

@@ -1,0 +1,433 @@
+// Scalar-oracle equivalence suite for the kernel backends
+// (src/tensor/kernel_backend.h). The repo invariant under test: the
+// blocked and simd backends are *bitwise* interchangeable with the scalar
+// bodies for every kernel, every shape — including tile-boundary
+// remainders, degenerate dims, signed zeros, denormals, and Inf inputs —
+// at every thread width. Each case computes the oracle result on the
+// scalar backend with kernels forced serial, then recomputes under every
+// backend x {serial, parallel width 2, parallel width 4} and
+// memcmp-compares the raw float bits. The single carve-out is NaN
+// *payload* bits (EqualModuloNanPayload below): NaN-ness itself is still
+// exact per element.
+
+#include "tensor/kernel_backend.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/prof.h"
+#include "parallel/thread_pool.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+namespace {
+
+// Restores the default pool width when a test resizes it.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) { parallel::SetGlobalThreads(n); }
+  ~ScopedThreads() { parallel::SetGlobalThreads(0); }
+};
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  if (!a.SameShape(b)) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// Bitwise equality except that two NaNs match regardless of payload/sign
+// bits. NaN payloads are the one place the backends cannot promise
+// identical bits: x86 add/mul propagate *one* operand's NaN (and invalid
+// operations manufacture the sign-set "indefinite" QNaN), and the
+// compiler may commute FP operands — value-preserving, payload-changing —
+// so which NaN survives a chain is codegen-dependent, differing across
+// optimization levels and sanitizer instrumentation of the *same* source.
+// Everything else — which elements are NaN, every Inf, zero sign, every
+// finite bit — must still match exactly.
+bool EqualModuloNanPayload(const Matrix& a, const Matrix& b) {
+  if (!a.SameShape(b)) return false;
+  for (int i = 0; i < a.size(); ++i) {
+    uint32_t abits, bbits;
+    std::memcpy(&abits, a.data() + i, sizeof(abits));
+    std::memcpy(&bbits, b.data() + i, sizeof(bbits));
+    if (abits == bbits) continue;
+    if (!(std::isnan(a.data()[i]) && std::isnan(b.data()[i]))) return false;
+  }
+  return true;
+}
+
+// Random data stressing the oracle's zero-skip and rounding edge cases:
+// exact +0.0f (skip taken), -0.0f (skip taken; an add of it would flush a
+// -0 partial to +0), and single-precision denormals.
+Matrix AdversarialRandn(int rows, int cols, Rng* rng) {
+  Matrix m = Matrix::Randn(rows, cols, 1.0f, rng);
+  for (int i = 0; i < m.size(); ++i) {
+    const double u = rng->Uniform();
+    if (u < 0.10) {
+      m[i] = 0.0f;
+    } else if (u < 0.15) {
+      m[i] = -0.0f;
+    } else if (u < 0.20) {
+      m[i] = 1.2e-41f * (rng->Uniform() < 0.5 ? 1.0f : -1.0f);  // denormal
+    }
+  }
+  return m;
+}
+
+// Computes `compute` (which may return several output matrices) on the
+// scalar backend with kernels serial — the oracle — then re-runs it under
+// every backend on the serial path and the row-parallel path at widths 2
+// and 4, asserting bitwise equality output by output. Inputs that produce
+// NaN outputs pass `nan_payload_tolerant` (see EqualModuloNanPayload).
+void ExpectAllBackendsBitwiseEqual(
+    const std::function<std::vector<Matrix>()>& compute,
+    const std::string& what, bool nan_payload_tolerant = false) {
+  const auto equal = [&](const Matrix& a, const Matrix& b) {
+    return nan_payload_tolerant ? EqualModuloNanPayload(a, b)
+                                : BitwiseEqual(a, b);
+  };
+  std::vector<Matrix> oracle;
+  {
+    ScopedKernelBackend scalar(KernelBackend::kScalar);
+    ScopedMatmulParallelThreshold serial(
+        std::numeric_limits<int64_t>::max());
+    oracle = compute();
+  }
+  for (KernelBackend backend : AllKernelBackends()) {
+    ScopedKernelBackend use(backend);
+    {
+      ScopedMatmulParallelThreshold serial(
+          std::numeric_limits<int64_t>::max());
+      std::vector<Matrix> got = compute();
+      ASSERT_EQ(oracle.size(), got.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_TRUE(equal(oracle[i], got[i]))
+            << what << " output " << i << " backend "
+            << KernelBackendName(backend) << " serial, max diff "
+            << MaxAbsDiff(oracle[i], got[i]);
+      }
+    }
+    for (int width : {2, 4}) {
+      ScopedThreads threads(width);
+      ScopedMatmulParallelThreshold parallel_path(0);
+      std::vector<Matrix> got = compute();
+      ASSERT_EQ(oracle.size(), got.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_TRUE(equal(oracle[i], got[i]))
+            << what << " output " << i << " backend "
+            << KernelBackendName(backend) << " width " << width
+            << ", max diff " << MaxAbsDiff(oracle[i], got[i]);
+      }
+    }
+  }
+}
+
+// ---- Selector plumbing ----
+
+TEST(KernelBackendSelector, NamesParseRoundTrip) {
+  for (KernelBackend b : AllKernelBackends()) {
+    KernelBackend parsed = KernelBackend::kScalar;
+    EXPECT_TRUE(ParseKernelBackend(KernelBackendName(b), &parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  KernelBackend parsed = KernelBackend::kBlocked;
+  EXPECT_FALSE(ParseKernelBackend("avx512", &parsed));
+  EXPECT_FALSE(ParseKernelBackend("", &parsed));
+  EXPECT_FALSE(ParseKernelBackend("Scalar", &parsed));
+  EXPECT_EQ(parsed, KernelBackend::kBlocked);  // untouched on failure
+}
+
+TEST(KernelBackendSelector, ScopedOverrideRestores) {
+  const KernelBackend before = CurrentKernelBackend();
+  {
+    ScopedKernelBackend use(KernelBackend::kSimd);
+    EXPECT_EQ(CurrentKernelBackend(), KernelBackend::kSimd);
+    {
+      ScopedKernelBackend inner(KernelBackend::kBlocked);
+      EXPECT_EQ(CurrentKernelBackend(), KernelBackend::kBlocked);
+    }
+    EXPECT_EQ(CurrentKernelBackend(), KernelBackend::kSimd);
+  }
+  EXPECT_EQ(CurrentKernelBackend(), before);
+}
+
+TEST(KernelBackendSelector, SelectionStampsReportAnnotation) {
+  auto annotation = []() -> std::string {
+    for (const auto& [key, value] : obs::prof::ReportAnnotations()) {
+      if (key == "kernel_backend") return value;
+    }
+    return "";
+  };
+  {
+    ScopedKernelBackend use(KernelBackend::kBlocked);
+    EXPECT_EQ(annotation(), "blocked");
+  }
+  EXPECT_EQ(annotation(), KernelBackendName(CurrentKernelBackend()));
+}
+
+// ---- MatMul family over adversarial shapes ----
+
+struct Shape3 {
+  int m, k, n;
+};
+
+// 1x1, primes, exact register-tile multiples and their ±1 neighbours
+// (kRowTile=4, kColTile=8, kDotTile=4 in matrix.cc), tall/skinny, and
+// zero-extent degenerates.
+const Shape3 kAdversarialShapes[] = {
+    {1, 1, 1},   {1, 1, 8},   {8, 1, 1},   {1, 8, 1},   {2, 3, 5},
+    {3, 5, 7},   {7, 7, 7},   {11, 13, 17}, {4, 4, 4},  {4, 8, 8},
+    {8, 8, 8},   {3, 8, 8},   {5, 8, 8},   {4, 8, 7},   {4, 8, 9},
+    {12, 16, 24}, {13, 17, 15}, {9, 9, 9},  {16, 4, 32}, {17, 5, 33},
+    {64, 3, 5},  {3, 64, 5},  {31, 1, 33}, {1, 64, 1},  {5, 300, 9},
+    {0, 3, 4},   {4, 0, 3},   {4, 3, 0},
+};
+
+TEST(KernelBackendEquivalence, MatMulAdversarialShapes) {
+  Rng rng(101);
+  for (const Shape3& s : kAdversarialShapes) {
+    Matrix a = AdversarialRandn(s.m, s.k, &rng);
+    Matrix b = AdversarialRandn(s.k, s.n, &rng);
+    ExpectAllBackendsBitwiseEqual(
+        [&]() { return std::vector<Matrix>{MatMul(a, b)}; },
+        "MatMul " + std::to_string(s.m) + "x" + std::to_string(s.k) + "x" +
+            std::to_string(s.n));
+  }
+}
+
+TEST(KernelBackendEquivalence, MatMulTransposeAAdversarialShapes) {
+  Rng rng(102);
+  for (const Shape3& s : kAdversarialShapes) {
+    Matrix a = AdversarialRandn(s.k, s.m, &rng);  // result is [m x n]
+    Matrix b = AdversarialRandn(s.k, s.n, &rng);
+    ExpectAllBackendsBitwiseEqual(
+        [&]() { return std::vector<Matrix>{MatMulTransposeA(a, b)}; },
+        "MatMulTransposeA " + std::to_string(s.m) + "x" +
+            std::to_string(s.k) + "x" + std::to_string(s.n));
+  }
+}
+
+TEST(KernelBackendEquivalence, MatMulTransposeBAdversarialShapes) {
+  Rng rng(103);
+  for (const Shape3& s : kAdversarialShapes) {
+    Matrix a = AdversarialRandn(s.m, s.k, &rng);
+    Matrix b = AdversarialRandn(s.n, s.k, &rng);  // result is [m x n]
+    ExpectAllBackendsBitwiseEqual(
+        [&]() { return std::vector<Matrix>{MatMulTransposeB(a, b)}; },
+        "MatMulTransposeB " + std::to_string(s.m) + "x" +
+            std::to_string(s.k) + "x" + std::to_string(s.n));
+  }
+}
+
+// Non-finite propagation: the zero-skip is semantic, not an optimization —
+// skipping 0 * Inf avoids the NaN an "add everything" kernel would create.
+// The backends must reproduce Inf/NaN placement (and NaN payload bits)
+// exactly.
+// Inf and NaN inputs: every backend must agree bitwise on which output
+// elements go non-finite, on every Inf (sign included), and on every
+// element that stays finite. NaN *payload* bits are compared tolerantly —
+// see EqualModuloNanPayload for why exact NaN bits are a codegen artifact
+// no source-level contract can pin down.
+TEST(KernelBackendEquivalence, NonFinitePropagationBitwise) {
+  Rng rng(104);
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (const Shape3& s : {Shape3{5, 9, 17}, Shape3{8, 16, 8},
+                          Shape3{13, 7, 9}}) {
+    Matrix a = AdversarialRandn(s.m, s.k, &rng);
+    Matrix b = AdversarialRandn(s.k, s.n, &rng);
+    for (int i = 0; i < a.size(); i += 7) a[i] = (i % 14 != 0) ? inf : nan;
+    for (int i = 0; i < b.size(); i += 5) b[i] = (i % 10 != 0) ? -inf : nan;
+    ExpectAllBackendsBitwiseEqual(
+        [&]() { return std::vector<Matrix>{MatMul(a, b)}; },
+        "MatMul non-finite", /*nan_payload_tolerant=*/true);
+    Matrix bt = Transpose(b);
+    ExpectAllBackendsBitwiseEqual(
+        [&]() { return std::vector<Matrix>{MatMulTransposeB(a, bt)}; },
+        "MatMulTransposeB non-finite", /*nan_payload_tolerant=*/true);
+  }
+}
+
+// ---- Fused LSTM kernels ----
+
+TEST(KernelBackendEquivalence, LstmGatesForwardBackward) {
+  Rng rng(105);
+  struct BH {
+    int b, h;
+  };
+  for (const BH& s : {BH{1, 1}, BH{2, 3}, BH{3, 4}, BH{4, 4}, BH{5, 8},
+                      BH{7, 5}, BH{8, 12}}) {
+    Matrix pre = AdversarialRandn(s.b, 4 * s.h, &rng);
+    Matrix hc_prev = AdversarialRandn(s.b, 2 * s.h, &rng);
+    ExpectAllBackendsBitwiseEqual(
+        [&]() {
+          Matrix hc, acts;
+          LstmGatesForward(pre, hc_prev, &hc, &acts);
+          return std::vector<Matrix>{hc, acts};
+        },
+        "LstmGatesForward b=" + std::to_string(s.b) +
+            " h=" + std::to_string(s.h));
+
+    Matrix hc, acts;
+    LstmGatesForward(pre, hc_prev, &hc, &acts);
+    Matrix gout = AdversarialRandn(s.b, 2 * s.h, &rng);
+    Matrix dpre0 = AdversarialRandn(s.b, 4 * s.h, &rng);
+    Matrix dhc0 = AdversarialRandn(s.b, 2 * s.h, &rng);
+    ExpectAllBackendsBitwiseEqual(
+        [&]() {
+          Matrix dpre = dpre0;  // += semantics: fresh accumulators per run
+          Matrix dhc = dhc0;
+          LstmGatesBackward(gout, acts, hc_prev, &dpre, &dhc);
+          return std::vector<Matrix>{dpre, dhc};
+        },
+        "LstmGatesBackward b=" + std::to_string(s.b) +
+            " h=" + std::to_string(s.h));
+  }
+}
+
+TEST(KernelBackendEquivalence, MatMulTransposeBGateBlockedAddInto) {
+  Rng rng(106);
+  struct GW {
+    int r, c, h;
+  };
+  for (const GW& s : {GW{1, 1, 1}, GW{3, 5, 2}, GW{4, 4, 4}, GW{5, 9, 3},
+                      GW{8, 7, 8}, GW{12, 13, 5}, GW{9, 16, 12}}) {
+    Matrix g = AdversarialRandn(s.r, 4 * s.h, &rng);
+    Matrix w = AdversarialRandn(s.c, 4 * s.h, &rng);
+    Matrix acc0 = AdversarialRandn(s.r, s.c, &rng);
+    ExpectAllBackendsBitwiseEqual(
+        [&]() {
+          Matrix acc = acc0;
+          MatMulTransposeBGateBlockedAddInto(g, w, &acc);
+          return std::vector<Matrix>{acc};
+        },
+        "GateBlockedAddInto r=" + std::to_string(s.r) +
+            " c=" + std::to_string(s.c) + " h=" + std::to_string(s.h));
+  }
+}
+
+TEST(KernelBackendEquivalence, MatMulTransposeATimeBlockedAddInto) {
+  Rng rng(107);
+  struct TK {
+    int t, b, k, n;
+  };
+  for (const TK& s : {TK{1, 1, 1, 1}, TK{3, 2, 5, 7}, TK{4, 4, 8, 8},
+                      TK{5, 3, 9, 17}, TK{2, 8, 13, 9}, TK{6, 5, 12, 33}}) {
+    Matrix x = AdversarialRandn(s.t * s.b, s.k, &rng);
+    Matrix g = AdversarialRandn(s.t * s.b, s.n, &rng);
+    Matrix acc0 = AdversarialRandn(s.k, s.n, &rng);
+    ExpectAllBackendsBitwiseEqual(
+        [&]() {
+          Matrix acc = acc0;
+          MatMulTransposeATimeBlockedAddInto(x, g, s.b, &acc);
+          return std::vector<Matrix>{acc};
+        },
+        "TimeBlockedAddInto t=" + std::to_string(s.t) +
+            " b=" + std::to_string(s.b) + " k=" + std::to_string(s.k) +
+            " n=" + std::to_string(s.n));
+  }
+}
+
+// ---- Elementwise + softmax ----
+
+TEST(KernelBackendEquivalence, ElementwiseAndSoftmax) {
+  Rng rng(108);
+  struct RC {
+    int r, c;
+  };
+  for (const RC& s : {RC{1, 1}, RC{3, 7}, RC{5, 9}, RC{12, 33}, RC{4, 8}}) {
+    Matrix a = AdversarialRandn(s.r, s.c, &rng);
+    Matrix b = AdversarialRandn(s.r, s.c, &rng);
+    Matrix row = AdversarialRandn(1, s.c, &rng);
+    ExpectAllBackendsBitwiseEqual(
+        [&]() {
+          return std::vector<Matrix>{
+              Add(a, b),        Sub(a, b),       Mul(a, b),
+              Div(a, b),        AddScalar(a, 0.37f), MulScalar(a, -1.91f),
+              Exp(a),           Log(a),          Pow(a, 1.7f),
+              Tanh(a),          Sigmoid(a),      Relu(a),
+              LeakyRelu(a, 0.01f), AddRowBroadcast(a, row),
+              SoftmaxRows(a)};
+        },
+        "elementwise " + std::to_string(s.r) + "x" + std::to_string(s.c));
+  }
+}
+
+// ---- Seeded property fuzz: ~1k shapes biased toward tile boundaries ----
+
+// Half the draws land within ±1 of a register-tile multiple (4 or 8); the
+// rest are uniform small dims. This is where remainder-handling bugs live.
+int BoundaryBiasedDim(Rng* rng) {
+  if (rng->Uniform() < 0.5) {
+    const int tile = rng->Uniform() < 0.5 ? 4 : 8;
+    const int mult = tile * (1 + rng->UniformInt(5));
+    return std::max(1, mult + rng->UniformInt(3) - 1);  // mult - 1 .. mult + 1
+  }
+  return 1 + rng->UniformInt(40);
+}
+
+TEST(KernelBackendFuzz, ThousandRandomShapesBitwiseIdentical) {
+  Rng rng(20260807);
+  ScopedThreads threads(4);
+  int parallel_runs = 0;
+  for (int iter = 0; iter < 1000; ++iter) {
+    const int m = BoundaryBiasedDim(&rng);
+    const int k = BoundaryBiasedDim(&rng);
+    const int n = BoundaryBiasedDim(&rng);
+    Matrix a = AdversarialRandn(m, k, &rng);
+    Matrix b = AdversarialRandn(k, n, &rng);
+    Matrix bt = AdversarialRandn(n, k, &rng);
+    Matrix at = AdversarialRandn(k, m, &rng);
+    Matrix e = AdversarialRandn(m, k, &rng);
+
+    // Exercise the serial and row-parallel dispatch paths about equally.
+    const bool parallel_path = rng.Uniform() < 0.5;
+    parallel_runs += parallel_path ? 1 : 0;
+    ScopedMatmulParallelThreshold threshold(
+        parallel_path ? 0 : std::numeric_limits<int64_t>::max());
+
+    Matrix mm, ta, tb, ew, sm;
+    {
+      ScopedKernelBackend scalar(KernelBackend::kScalar);
+      mm = MatMul(a, b);
+      ta = MatMulTransposeA(at, b);
+      tb = MatMulTransposeB(a, bt);
+      ew = Mul(Sigmoid(a), e);
+      sm = SoftmaxRows(a);
+    }
+    for (KernelBackend backend :
+         {KernelBackend::kBlocked, KernelBackend::kSimd}) {
+      ScopedKernelBackend use(backend);
+      ASSERT_TRUE(BitwiseEqual(mm, MatMul(a, b)))
+          << "MatMul " << m << "x" << k << "x" << n << " backend "
+          << KernelBackendName(backend) << " iter " << iter;
+      ASSERT_TRUE(BitwiseEqual(ta, MatMulTransposeA(at, b)))
+          << "MatMulTransposeA " << m << "x" << k << "x" << n << " backend "
+          << KernelBackendName(backend) << " iter " << iter;
+      ASSERT_TRUE(BitwiseEqual(tb, MatMulTransposeB(a, bt)))
+          << "MatMulTransposeB " << m << "x" << k << "x" << n << " backend "
+          << KernelBackendName(backend) << " iter " << iter;
+      ASSERT_TRUE(BitwiseEqual(ew, Mul(Sigmoid(a), e)))
+          << "elementwise " << m << "x" << k << " backend "
+          << KernelBackendName(backend) << " iter " << iter;
+      ASSERT_TRUE(BitwiseEqual(sm, SoftmaxRows(a)))
+          << "softmax " << m << "x" << k << " backend "
+          << KernelBackendName(backend) << " iter " << iter;
+    }
+  }
+  // The 50/50 dispatch split actually exercised both paths.
+  EXPECT_GT(parallel_runs, 300);
+  EXPECT_LT(parallel_runs, 700);
+}
+
+}  // namespace
+}  // namespace clfd

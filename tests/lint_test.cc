@@ -407,12 +407,65 @@ TEST(LintRules, EveryRuleIsRegistered) {
        {kRuleDeterminismRand, kRuleDeterminismTime, kRuleRawChronoTiming,
         kRuleDeterminismUnordered, kRuleRawThread, kRuleMutableGlobal,
         kRuleRawNew, kRuleArenaScope, kRuleLoggingStdio,
-        kRuleUncheckedStreamWrite, kRulePragmaOnce, kRuleUsingNamespace}) {
+        kRuleUncheckedStreamWrite, kRuleKernelBackendConfinement,
+        kRulePragmaOnce, kRuleUsingNamespace}) {
     EXPECT_NE(std::find(names.begin(), names.end(), std::string(id)),
               names.end())
         << id;
   }
-  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.size(), 13u);
+}
+
+TEST(LintKernelBackendConfinement, FlagsBackendSelectionOutsideTensor) {
+  // Ops and layers must stay backend-agnostic; naming any piece of the
+  // selection API outside src/tensor (and the grad checker) fires.
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"ScopedKernelBackend use(b);"})),
+                      kRuleKernelBackendConfinement),
+            1);
+  EXPECT_EQ(CountRule(
+                LintSource(kModelPath,
+                           Lines({"if (CurrentKernelBackend() == "
+                                  "KernelBackend::kSimd) {"})),
+                kRuleKernelBackendConfinement),
+            1);
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"SetKernelBackend(backend);"})),
+                      kRuleKernelBackendConfinement),
+            1);
+}
+
+TEST(LintKernelBackendConfinement, AllowlistCommentsAndPragmaPass) {
+  // The tensor layer owns the dispatch; the grad checker sweeps backends.
+  EXPECT_EQ(CountRule(LintSource("src/tensor/matrix.cc",
+                                 Lines({"switch (CurrentKernelBackend()) {"})),
+                      kRuleKernelBackendConfinement),
+            0);
+  EXPECT_EQ(CountRule(LintSource("src/autograd/grad_check.cc",
+                                 Lines({"ScopedKernelBackend use(b);"})),
+                      kRuleKernelBackendConfinement),
+            0);
+  // Prose and include paths are blanked before the token scan.
+  EXPECT_EQ(CountRule(
+                LintSource(kModelPath,
+                           Lines({"// every KernelBackend is bitwise equal",
+                                  "int x = 0;"})),
+                kRuleKernelBackendConfinement),
+            0);
+  EXPECT_EQ(CountRule(LintSource(kModelPath,
+                                 Lines({"#include \"tensor/kernel_backend.h\""})),
+                      kRuleKernelBackendConfinement),
+            0);
+  // Tests drive backends freely; only src/ is confined.
+  EXPECT_EQ(CountRule(LintSource("tests/foo_test.cc",
+                                 Lines({"ScopedKernelBackend use(b);"})),
+                      kRuleKernelBackendConfinement),
+            0);
+  auto vs = LintSource(
+      kModelPath,
+      Lines({"ScopedKernelBackend use(b);  "
+             "// clfd-lint: allow(kernel-backend-confinement)"}));
+  EXPECT_EQ(CountRule(vs, kRuleKernelBackendConfinement), 0);
 }
 
 TEST(LintUncheckedStreamWrite, FlagsAdHocFileWrites) {

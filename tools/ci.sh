@@ -54,6 +54,21 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==== [${preset}] test"
   ctest --preset "${preset}" -j "${jobs}"
+  # Kernel-backend dimension: the equivalence suite sweeps every backend
+  # internally, but the ambient default (CLFD_KERNEL_BACKEND) decides which
+  # bodies the rest of the pipeline executes — so rerun the scalar-oracle
+  # suite and the end-to-end invariance test with each non-scalar backend
+  # as the process default. Under asan/ubsan/tsan this is what puts the
+  # blocked/simd tile loops in front of the sanitizers.
+  build_dir="build"
+  [[ "${preset}" != "default" ]] && build_dir="build-${preset}"
+  for backend in blocked simd; do
+    echo "==== [${preset}] kernel backend dimension: ${backend}"
+    CLFD_KERNEL_BACKEND="${backend}" \
+        "./${build_dir}/tests/kernel_backend_test"
+    CLFD_KERNEL_BACKEND="${backend}" "./${build_dir}/tests/eval_test" \
+        --gtest_filter='BackendInvarianceTest.*'
+  done
 done
 
 for preset in "${presets[@]}"; do

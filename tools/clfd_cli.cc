@@ -21,6 +21,9 @@
 //   --log-level=LVL     debug|info|warn|error|off (default: CLFD_LOG_LEVEL)
 //   --threads=N         parallel width (default: CLFD_THREADS env, else all
 //                       hardware threads); results are identical for any N
+//   --kernel-backend=B  scalar|blocked|simd kernel bodies (default:
+//                       CLFD_KERNEL_BACKEND env, else scalar); every
+//                       backend is bitwise-identical, only speed differs
 //
 // Fault-tolerance flags:
 //   --checkpoint-dir=DIR      (run) checkpoint/resume training under DIR
@@ -55,6 +58,7 @@
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "recovery/fault_plan.h"
+#include "tensor/kernel_backend.h"
 #include "recovery/run_checkpointer.h"
 #include "recovery/watchdog.h"
 
@@ -121,6 +125,9 @@ int Usage() {
       "execution (any subcommand):\n"
       "  --threads=N   thread-pool width (default CLFD_THREADS or all\n"
       "                cores; never changes results, only speed)\n"
+      "  --kernel-backend=scalar|blocked|simd\n"
+      "                kernel implementation (default CLFD_KERNEL_BACKEND\n"
+      "                or scalar; bitwise-identical results, only speed)\n"
       "fault tolerance (run):\n"
       "  --checkpoint-dir=DIR --checkpoint-interval=N --no-resume\n"
       "  --watchdog    divergence watchdog with rollback + bounded retry\n"
@@ -355,6 +362,18 @@ int Main(int argc, char** argv) {
 
   int threads = args.GetInt("threads", 0);
   if (threads > 0) parallel::SetGlobalThreads(threads);
+
+  std::string backend_name = args.Get("kernel-backend", "");
+  if (!backend_name.empty()) {
+    KernelBackend backend;
+    if (!ParseKernelBackend(backend_name, &backend)) {
+      std::fprintf(stderr,
+                   "bad --kernel-backend '%s' (want scalar|blocked|simd)\n",
+                   backend_name.c_str());
+      return 2;
+    }
+    SetKernelBackend(backend);
+  }
 
   // Deterministic fault injection: same (spec, seed) -> same fault
   // sequence, so a crash/resume transcript is reproducible.

@@ -362,6 +362,18 @@ bool IsIoAllowlisted(const std::string& path) {
          path == "src/recovery/checkpoint.cc";
 }
 
+// The only src/ files allowed to name the kernel-backend machinery
+// (tensor/kernel_backend.h): the tensor layer itself, where the backend
+// dispatch lives, and the gradient checker, whose whole job is sweeping
+// backends. Everything else — autograd ops, layers, losses, training — must
+// stay backend-agnostic: selection is process-global (env / CLI / a scoped
+// override in tests), never a per-call-site decision, or the bitwise
+// interchangeability guarantee fragments into per-op special cases.
+bool IsKernelBackendAllowlisted(const std::string& path) {
+  return StartsWith(path, "src/tensor/") ||
+         StartsWith(path, "src/autograd/grad_check.");
+}
+
 bool SourceRulesApply(const std::string& path) {
   return StartsWith(path, "src/") && !IsInfraAllowlisted(path);
 }
@@ -389,6 +401,7 @@ const std::vector<std::string>& RuleNames() {
       kRuleMutableGlobal,     kRuleRawNew,
       kRuleArenaScope,        kRuleLoggingStdio,
       kRuleUncheckedStreamWrite,
+      kRuleKernelBackendConfinement,
       kRulePragmaOnce,        kRuleUsingNamespace,
   };
   return *names;
@@ -456,6 +469,23 @@ std::vector<Violation> LintSource(const std::string& rel_path,
                    "must go through nn::serialize / data::dataset_io / "
                    "recovery::checkpoint, which validate stream state and "
                    "commit atomically (write-temp + fsync + rename)");
+            break;
+          }
+        }
+      }
+      if (!IsKernelBackendAllowlisted(rel_path)) {
+        // Identifier tokens, not the include path: string contents (and so
+        // #include "tensor/kernel_backend.h") are blanked by pass 1.
+        for (const char* tok :
+             {"KernelBackend", "CurrentKernelBackend", "ScopedKernelBackend",
+              "SetKernelBackend", "ParseKernelBackend", "AllKernelBackends"}) {
+          if (HasToken(code, tok)) {
+            report(i, kRuleKernelBackendConfinement,
+                   "kernel-backend selection outside src/tensor (and the "
+                   "grad checker); ops and layers must stay backend-"
+                   "agnostic — dispatch lives inside the tensor kernels, "
+                   "selection is global (env/CLI) or a test-scoped "
+                   "ScopedKernelBackend");
             break;
           }
         }

@@ -30,6 +30,8 @@ inline constexpr const char kRuleRawChronoTiming[] = "raw-chrono-timing";
 inline constexpr const char kRuleLoggingStdio[] = "logging-stdio";
 inline constexpr const char kRuleUncheckedStreamWrite[] =
     "unchecked-stream-write";
+inline constexpr const char kRuleKernelBackendConfinement[] =
+    "kernel-backend-confinement";
 inline constexpr const char kRulePragmaOnce[] = "header-pragma-once";
 inline constexpr const char kRuleUsingNamespace[] = "header-using-namespace";
 

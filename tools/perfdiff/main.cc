@@ -119,6 +119,10 @@ int main(int argc, char** argv) {
   clfd::perfdiff::DiffResult result =
       clfd::perfdiff::Diff(baseline, current, options);
   std::cout << clfd::perfdiff::FormatTable(result, options);
+  // Cross-backend view of the CURRENT artifact: what did blocked/simd buy
+  // over scalar in this very run? Informational, never gated.
+  std::cout << clfd::perfdiff::FormatBackendSpeedups(
+      clfd::perfdiff::BackendSpeedups(current));
   if (result.regressions > 0 && gate) {
     std::cerr << "perf_diff: GATE FAILED (" << result.regressions
               << " regression" << (result.regressions == 1 ? "" : "s")
