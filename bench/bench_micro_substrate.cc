@@ -11,7 +11,6 @@
 #include "losses/contrastive.h"
 #include "losses/robust_losses.h"
 #include "nn/lstm.h"
-#include "nn/module.h"
 #include "nn/optimizer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"

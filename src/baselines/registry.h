@@ -4,7 +4,6 @@
 #include <string>
 #include <vector>
 
-#include "baselines/baseline_config.h"
 #include "core/config.h"
 #include "core/detector.h"
 

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "losses/mixup.h"
-#include "nn/module.h"
 #include "nn/optimizer.h"
 
 namespace clfd {

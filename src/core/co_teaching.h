@@ -3,7 +3,6 @@
 #include <memory>
 #include <vector>
 
-#include "core/clfd.h"
 #include "core/config.h"
 #include "core/detector.h"
 #include "core/fraud_detector.h"

@@ -7,7 +7,6 @@
 #include "baselines/registry.h"
 #include "common/check.h"
 #include "common/env.h"
-#include "core/clfd.h"
 #include "core/label_corrector.h"
 #include "embedding/word2vec.h"
 #include "metrics/metrics.h"

@@ -13,7 +13,7 @@ namespace {
 // parallel threshold, this selects between two bitwise-identical
 // implementations — it can change speed, never values (locked by the
 // fused-vs-legacy equality tests).
-// clfd-lint: allow(concurrency-mutable-global)
+// clfd-lint: allow(concurrency-mutable-global) clfd-analyze: allow(semantic-mutable-global)
 std::atomic<int> g_lstm_fused{-1};
 
 }  // namespace

@@ -11,7 +11,6 @@
 #include <sstream>
 
 #include "common/env.h"
-#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace clfd {

@@ -15,7 +15,7 @@ namespace {
 // identical results (tests/kernel_backend_test.cc), so its value can never
 // change what is computed, only which compiled body computes it. Same
 // idiom as g_matmul_threshold in matrix.cc.
-// clfd-lint: allow(concurrency-mutable-global)
+// clfd-lint: allow(concurrency-mutable-global) clfd-analyze: allow(semantic-mutable-global)
 std::atomic<int> g_kernel_backend{-1};
 
 void Annotate(KernelBackend b) {

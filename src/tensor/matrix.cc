@@ -175,7 +175,7 @@ namespace {
 // Deliberate mutable global: a dispatch *threshold*, not numeric state —
 // both kernel paths produce bitwise-identical results, so its value can
 // never change what is computed, only where.
-// clfd-lint: allow(concurrency-mutable-global)
+// clfd-lint: allow(concurrency-mutable-global) clfd-analyze: allow(semantic-mutable-global)
 std::atomic<int64_t> g_matmul_threshold{-1};
 
 // Per-row kernel bodies, shared verbatim by the serial and parallel

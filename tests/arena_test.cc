@@ -7,7 +7,6 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "nn/lstm.h"
-#include "nn/module.h"
 #include "nn/optimizer.h"
 #include "tensor/arena.h"
 #include "tensor/matrix.h"

@@ -9,7 +9,6 @@
 #include "baselines/registry.h"
 #include "core/clfd.h"
 #include "data/noise.h"
-#include "data/simulators.h"
 #include "embedding/word2vec.h"
 
 namespace clfd {

@@ -1,0 +1,26 @@
+#include "analysis_common/paths.h"
+
+#include "analysis_common/text.h"
+
+namespace clfd {
+namespace analysis {
+
+bool IsHeaderPath(const std::string& path) {
+  return EndsWith(path, ".h") || EndsWith(path, ".hpp");
+}
+
+bool IsInfraAllowlisted(const std::string& path) {
+  return StartsWith(path, "src/obs/") || StartsWith(path, "src/parallel/") ||
+         StartsWith(path, "src/common/rng.") ||
+         StartsWith(path, "src/common/check.") ||
+         StartsWith(path, "src/common/fault.") ||
+         StartsWith(path, "src/tensor/arena.");
+}
+
+bool IsKernelBackendAllowlisted(const std::string& path) {
+  return StartsWith(path, "src/tensor/") ||
+         StartsWith(path, "src/autograd/grad_check.");
+}
+
+}  // namespace analysis
+}  // namespace clfd

@@ -1,0 +1,34 @@
+#pragma once
+
+// Path scoping shared by the lint and analyze rule sets. Both tools key
+// rule applicability off repo-relative paths, and both must agree on
+// which files are "infrastructure" — the code that legitimately owns
+// threads, clocks, mutable process state, and stderr — or the two rule
+// sets would demand contradictory pragma sets at the same sites.
+
+#include <string>
+
+namespace clfd {
+namespace analysis {
+
+bool IsHeaderPath(const std::string& path);
+
+// The observability layer, the thread pool, the seeded RNG wrapper (the
+// one place std::mt19937_64 may appear), the invariant checker's enable
+// latch, the fault-injection registry, and the tensor arena (its dispatch
+// switch and thread-local scope pointer are mutable globals by design —
+// see src/tensor/arena.cc).
+bool IsInfraAllowlisted(const std::string& path);
+
+// The only src/ files allowed to name the kernel-backend machinery
+// (tensor/kernel_backend.h): the tensor layer itself, where the backend
+// dispatch lives, and the gradient checker, whose whole job is sweeping
+// backends. Everything else — autograd ops, layers, losses, training —
+// must stay backend-agnostic: selection is process-global (env / CLI / a
+// scoped override in tests), never a per-call-site decision, or the
+// bitwise interchangeability guarantee fragments into per-op special
+// cases.
+bool IsKernelBackendAllowlisted(const std::string& path);
+
+}  // namespace analysis
+}  // namespace clfd

@@ -1,0 +1,53 @@
+#pragma once
+
+// Shared lexical substrate for the repo's static-analysis tools
+// (tools/lint and tools/analyze): a comment/string/raw-string stripper
+// that preserves line structure, inline-pragma parsing, and small token
+// helpers. Factored out of tools/lint/lint.cc so both tools agree exactly
+// on what counts as code; the behavior is locked down by the lint_test
+// fixtures (stripper cases) and analyze_test.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace clfd {
+namespace analysis {
+
+// One source line after stripping. Comment and string-literal *contents*
+// are blanked (string literals collapse to `""`, char literals to `' '`,
+// comments to spaces) so token rules never fire on prose, while pragmas
+// are parsed out of the comment text before it is dropped. Line structure
+// is preserved exactly, so violation line numbers match the original
+// file.
+struct Line {
+  std::string code;                 // comments/strings blanked
+  std::vector<std::string> allows;  // rules allowed by pragmas on this line
+  bool comment_only = false;        // nothing but whitespace + comment(s)
+};
+
+// Splits `content` into stripped lines. `pragma_key` is the marker that
+// introduces an allow-pragma inside a comment, e.g. "clfd-lint:" or
+// "clfd-analyze:"; the accepted form is `<key> allow(rule[, rule...])`.
+std::vector<Line> SplitAndStrip(const std::string& content,
+                                const std::string& pragma_key);
+
+// True when `rule` is allow-pragma'd for line index `idx` (0-based):
+// either on the line itself or on an immediately preceding comment-only
+// line.
+bool Allowed(const std::vector<Line>& lines, size_t idx,
+             const std::string& rule);
+
+bool IsIdentChar(char c);
+
+// True if `token` occurs in `code` with no identifier character
+// immediately before it (so "rand(" does not match "srand("). The
+// boundary test only applies when the token begins with an identifier
+// character — "::now(" legitimately follows one.
+bool HasToken(const std::string& code, const std::string& token);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+}  // namespace analysis
+}  // namespace clfd

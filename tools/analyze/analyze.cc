@@ -1,0 +1,172 @@
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "analysis_common/text.h"
+#include "analyze/parsed_file.h"
+
+namespace clfd {
+namespace analyze {
+
+namespace {
+
+constexpr char kPragmaKey[] = "clfd-analyze:";
+
+// Extracts the include target from a raw directive line ("..." or <...>).
+bool ParseIncludeTarget(const std::string& raw, IncludeDirective* out) {
+  size_t q = raw.find('"');
+  if (q != std::string::npos) {
+    size_t e = raw.find('"', q + 1);
+    if (e == std::string::npos) return false;
+    out->target = raw.substr(q + 1, e - q - 1);
+    out->system = false;
+    return true;
+  }
+  size_t a = raw.find('<');
+  if (a != std::string::npos) {
+    size_t e = raw.find('>', a + 1);
+    if (e == std::string::npos) return false;
+    out->target = raw.substr(a + 1, e - a - 1);
+    out->system = true;
+    return true;
+  }
+  return false;
+}
+
+// True when the stripped line is the given preprocessor directive
+// (`#include`, `#define`, ...), tolerating `#  include` spacing.
+bool IsDirective(const std::string& code, const std::string& name,
+                 size_t* after) {
+  size_t b = code.find_first_not_of(" \t");
+  if (b == std::string::npos || code[b] != '#') return false;
+  size_t d = code.find_first_not_of(" \t", b + 1);
+  if (d == std::string::npos) return false;
+  if (code.compare(d, name.size(), name) != 0) return false;
+  *after = d + name.size();
+  return true;
+}
+
+std::string PathModule(const std::string& path) {
+  if (!analysis::StartsWith(path, "src/")) return "";
+  size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      kRuleLayeringUpward,   kRuleLayeringCycle,
+      kRuleLayeringUnknown,  kRuleIncludeUnused,
+      kRuleMutableGlobal,    kRuleKernelBackendConfinement,
+      kRuleNestedParallelFor, kRuleBlockingInWorker,
+      kRuleScopeEscape,      kRuleNonTreeAccumulation,
+      kRuleDotStale,
+  };
+  return *names;
+}
+
+// The declared layering of src/ (DESIGN.md §14 has the diagram; the
+// committed rendering is docs/module_dag.dot). Reading it bottom-up:
+// `common` is the root; `obs` and `parallel` are leaf infrastructure
+// everything may use; `tensor` owns kernels and backends; `data`,
+// `metrics`, `augment`, and `embedding` are side substrates; `autograd`
+// sits on tensor; `nn` and `losses` are peer layers on autograd;
+// `recovery` hooks under the training loops (loops thread its PhaseHooks,
+// so it must sit *below* encoders/core); `encoders` -> `core` ->
+// `baselines` -> `eval` is the training/experiment stack. A new src/
+// directory must be added here (and the DOT regenerated) before the tree
+// passes `analyze.repo` — that is deliberate: layering is declared, not
+// inferred.
+const std::map<std::string, int>& DefaultLayers() {
+  static const std::map<std::string, int>* layers =
+      new std::map<std::string, int>{
+          {"common", 0},
+          {"obs", 1},
+          {"parallel", 2}, {"data", 2}, {"metrics", 2},
+          {"tensor", 3},   {"augment", 3},
+          {"autograd", 4}, {"embedding", 4},
+          {"nn", 5},       {"losses", 5},
+          {"recovery", 6},
+          {"encoders", 7},
+          {"core", 8},
+          {"baselines", 9},
+          {"eval", 10},
+      };
+  return *layers;
+}
+
+ParsedFile ParseFile(const std::string& path, const std::string& content) {
+  ParsedFile f;
+  f.path = path;
+  f.module = PathModule(path);
+  f.lines = analysis::SplitAndStrip(content, kPragmaKey);
+  f.tokens = analysis::Tokenize(f.lines);
+
+  // Preprocessor facts come straight from the lines (the tokenizer skips
+  // directive lines). Include targets are read from the *raw* content of
+  // the directive line, because the stripper blanks the quoted path.
+  std::vector<std::string> raw_lines;
+  {
+    std::string cur;
+    for (char c : content) {
+      if (c == '\n') {
+        raw_lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    raw_lines.push_back(cur);
+  }
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    size_t after = 0;
+    if (IsDirective(f.lines[i].code, "include", &after)) {
+      IncludeDirective inc;
+      inc.line = static_cast<int>(i) + 1;
+      if (i < raw_lines.size() && ParseIncludeTarget(raw_lines[i], &inc)) {
+        f.includes.push_back(inc);
+      }
+    } else if (IsDirective(f.lines[i].code, "define", &after)) {
+      const std::string& code = f.lines[i].code;
+      size_t b = code.find_first_not_of(" \t", after);
+      if (b != std::string::npos) {
+        size_t e = b;
+        while (e < code.size() && analysis::IsIdentChar(code[e])) ++e;
+        if (e > b) f.defines.insert(code.substr(b, e - b));
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<Diagnostic> AnalyzeProgram(const std::vector<FileInput>& files,
+                                       const Options& opts) {
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
+  for (const FileInput& in : files) {
+    parsed.push_back(ParseFile(in.path, in.content));
+  }
+
+  std::vector<Diagnostic> diags;
+  Reporter reporter(&diags);
+  CheckIncludeGraph(parsed, opts.layers, &reporter);
+  for (const ParsedFile& f : parsed) {
+    if (!analysis::StartsWith(f.path, "src/")) continue;
+    CheckSymbols(f, &reporter);
+    CheckConcurrency(f, &reporter);
+  }
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return diags;
+}
+
+}  // namespace analyze
+}  // namespace clfd

@@ -1,0 +1,436 @@
+// Pass 2: symbol-table semantic rules. A per-TU declaration scanner walks
+// the token stream with a brace-context stack (namespace / type / enum /
+// function / lambda / block), which gives two things the per-line lint
+// heuristics cannot: (a) the set of names a header *exports* (types,
+// functions, variables, aliases, enumerators, macros) — the substrate for
+// the IWYU-lite pass — and (b) symbol-resolved versions of the
+// mutable-global and kernel-backend-confinement rules that survive
+// multi-line declarations and qualified names without extra pragma
+// escapes (factory-function declarations, const tables, and deleted
+// functions are recognized structurally, not by line shape).
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis_common/paths.h"
+#include "analysis_common/text.h"
+#include "analyze/analyze.h"
+#include "analyze/parsed_file.h"
+
+namespace clfd {
+namespace analyze {
+
+namespace {
+
+using analysis::Token;
+
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string>* kw = new std::set<std::string>{
+      "alignas",  "alignof",  "auto",     "bool",      "break",
+      "case",     "catch",    "char",     "class",     "const",
+      "constexpr", "constinit", "consteval", "continue", "decltype",
+      "default",  "delete",   "do",       "double",    "else",
+      "enum",     "explicit", "extern",   "false",     "final",
+      "float",    "for",      "friend",   "goto",      "if",
+      "inline",   "int",      "long",     "mutable",   "namespace",
+      "new",      "noexcept", "nullptr",  "operator",  "override",
+      "private",  "protected", "public",  "register",  "requires",
+      "return",   "short",    "signed",   "sizeof",    "static",
+      "struct",   "switch",   "template", "this",      "thread_local",
+      "throw",    "true",     "try",      "typedef",   "typeid",
+      "typename", "union",    "unsigned", "using",     "virtual",
+      "void",     "volatile", "wchar_t",  "while",     "std",
+  };
+  return kw->count(s) != 0;
+}
+
+enum class Scope { kNamespace, kType, kEnum, kFunction, kLambda, kBlock };
+
+bool IsDeclScope(Scope s) {
+  return s == Scope::kNamespace || s == Scope::kType || s == Scope::kEnum;
+}
+
+struct Context {
+  Scope scope;
+  std::vector<Token> stmt;  // statement buffer at this nesting level
+};
+
+bool HasIdent(const std::vector<Token>& stmt, const std::string& name) {
+  for (const Token& t : stmt) {
+    if (t.kind == Token::Kind::kIdent && t.text == name) return true;
+  }
+  return false;
+}
+
+// The identifier right after `class` / `struct` / `union` / `enum [class]`,
+// skipping attributes and alignas.
+std::string TypeNameOf(const std::vector<Token>& stmt) {
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    const std::string& t = stmt[i].text;
+    if (t != "class" && t != "struct" && t != "union" && t != "enum") {
+      continue;
+    }
+    for (size_t j = i + 1; j < stmt.size(); ++j) {
+      if (stmt[j].text == "[[") {
+        while (j < stmt.size() && stmt[j].text != "]]") ++j;
+        continue;
+      }
+      if (stmt[j].kind == Token::Kind::kIdent) {
+        if (stmt[j].text == "class" || stmt[j].text == "struct" ||
+            stmt[j].text == "alignas" || stmt[j].text == "final") {
+          continue;
+        }
+        return stmt[j].text;
+      }
+      if (stmt[j].kind != Token::Kind::kPunct) break;
+    }
+    break;
+  }
+  return "";
+}
+
+// Splits out the declared name of a non-type declaration statement at
+// namespace/class scope: the identifier before the first top-level `(`
+// (function or ctor-style variable), else the identifier before the first
+// top-level `=` / `{}` placeholder / end of statement (variable, alias).
+std::string DeclaredNameOf(const std::vector<Token>& stmt) {
+  int paren = 0;
+  int angle = 0;
+  size_t marker = stmt.size();
+  size_t first_paren = stmt.size();
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    const Token& t = stmt[i];
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "(") {
+        if (paren == 0 && angle == 0 && first_paren == stmt.size()) {
+          first_paren = i;
+        }
+        ++paren;
+      } else if (t.text == ")") {
+        paren = std::max(0, paren - 1);
+      } else if (paren == 0 && t.text == "<") {
+        ++angle;
+      } else if (paren == 0 && (t.text == ">" || t.text == ">>")) {
+        angle = std::max(0, angle - (t.text == ">>" ? 2 : 1));
+      } else if (paren == 0 && angle == 0 &&
+                 (t.text == "=" || t.text == "{}")) {
+        marker = i;
+        break;
+      }
+    }
+  }
+  size_t end = std::min(marker, first_paren);
+  // Walk back over array brackets / numbers to the declarator name.
+  for (size_t i = end; i > 0; --i) {
+    const Token& t = stmt[i - 1];
+    if (t.kind == Token::Kind::kPunct &&
+        (t.text == "[" || t.text == "]")) {
+      continue;
+    }
+    if (t.kind == Token::Kind::kNumber) continue;
+    if (t.kind == Token::Kind::kIdent && !IsKeyword(t.text)) return t.text;
+    break;
+  }
+  return "";
+}
+
+// True when the statement declares a function (or a ctor-initialized
+// object, which is indistinguishable without types — the lint heuristic
+// shares this blind spot): a top-level `(` before any top-level `=` /
+// brace-init / end.
+bool IsFunctionShaped(const std::vector<Token>& stmt) {
+  int paren = 0;
+  int angle = 0;
+  for (const Token& t : stmt) {
+    if (t.kind != Token::Kind::kPunct) continue;
+    if (t.text == "(") {
+      if (paren == 0 && angle == 0) return true;
+      ++paren;
+    } else if (t.text == ")") {
+      paren = std::max(0, paren - 1);
+    } else if (paren == 0 && t.text == "<") {
+      ++angle;
+    } else if (paren == 0 && (t.text == ">" || t.text == ">>")) {
+      angle = std::max(0, angle - (t.text == ">>" ? 2 : 1));
+    } else if (paren == 0 && angle == 0 &&
+               (t.text == "=" || t.text == "{}")) {
+      return false;
+    }
+  }
+  return false;
+}
+
+// `std::atomic<...>` as the declared type (top-level, not nested inside
+// another template's arguments).
+bool IsAtomicDecl(const std::vector<Token>& stmt) {
+  int angle = 0;
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    const Token& t = stmt[i];
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "<") ++angle;
+      if (t.text == ">" || t.text == ">>") {
+        angle = std::max(0, angle - (t.text == ">>" ? 2 : 1));
+      }
+    }
+    if (angle == 0 && t.kind == Token::Kind::kIdent && t.text == "atomic" &&
+        i + 1 < stmt.size() && stmt[i + 1].text == "<") {
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* const kKernelBackendTokens[] = {
+    "KernelBackend",      "CurrentKernelBackend", "ScopedKernelBackend",
+    "SetKernelBackend",   "ParseKernelBackend",   "AllKernelBackends",
+};
+
+class DeclarationScanner {
+ public:
+  DeclarationScanner(const ParsedFile& file, std::set<std::string>* exports,
+                     Reporter* reporter)
+      : file_(file), exports_(exports), reporter_(reporter) {
+    mutable_global_applies_ =
+        reporter_ != nullptr && analysis::StartsWith(file.path, "src/") &&
+        !analysis::IsInfraAllowlisted(file.path);
+  }
+
+  void Run() {
+    stack_.push_back(Context{Scope::kNamespace, {}});
+    const std::vector<Token>& toks = file_.tokens;
+    int pending_lambda_paren = -1;  // paren depth at lambda introducer
+    int paren_depth = 0;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == Token::Kind::kPunct) {
+        if (t.text == "(") ++paren_depth;
+        if (t.text == ")") paren_depth = std::max(0, paren_depth - 1);
+        if (t.text == "[" && LambdaIntroducer(toks, i)) {
+          // Skip the capture list; the next `{` at this paren depth opens
+          // the lambda body.
+          size_t j = i + 1;
+          int depth = 1;
+          while (j < toks.size() && depth > 0) {
+            if (toks[j].text == "[") ++depth;
+            if (toks[j].text == "]") --depth;
+            ++j;
+          }
+          pending_lambda_paren = paren_depth;
+          Cur().stmt.push_back(t);
+          i = j - 1;
+          continue;
+        }
+        if (t.text == "{") {
+          Scope s;
+          if (pending_lambda_paren >= 0 &&
+              paren_depth == pending_lambda_paren) {
+            s = Scope::kLambda;
+            pending_lambda_paren = -1;
+          } else {
+            s = ClassifyBrace();
+          }
+          // A namespace / type / enum / function header is consumed by
+          // its own brace construct; only init-braces and lambdas are
+          // part of a statement that continues at the parent level.
+          if (s != Scope::kBlock && s != Scope::kLambda) Cur().stmt.clear();
+          stack_.push_back(Context{s, {}});
+          continue;
+        }
+        if (t.text == "}") {
+          if (stack_.size() > 1) {
+            if (Cur().scope == Scope::kEnum) ProcessEnumerator();
+            const Scope popped = Cur().scope;
+            stack_.pop_back();
+            if (popped == Scope::kBlock || popped == Scope::kLambda) {
+              // Leave a placeholder so `X x{...};` and `auto f = [..]{};`
+              // statements stay parseable by the parent level.
+              Token ph;
+              ph.kind = Token::Kind::kPunct;
+              ph.text = "{}";
+              ph.line = t.line;
+              Cur().stmt.push_back(ph);
+            }
+          }
+          continue;
+        }
+        if (t.text == ";") {
+          ProcessStatement();
+          Cur().stmt.clear();
+          continue;
+        }
+        if (t.text == "," && Cur().scope == Scope::kEnum &&
+            paren_depth == 0) {
+          ProcessEnumerator();
+          Cur().stmt.clear();
+          continue;
+        }
+      }
+      Cur().stmt.push_back(t);
+    }
+    ProcessStatement();  // trailing statement without `;`
+  }
+
+ private:
+  Context& Cur() { return stack_.back(); }
+
+  // A `[` introduces a lambda when it cannot be a subscript or attribute:
+  // the previous significant token is not an identifier, `)`, `]`, or a
+  // literal. (`[[` attributes are a single token and never reach here.)
+  bool LambdaIntroducer(const std::vector<Token>& toks, size_t i) const {
+    if (i == 0) return true;
+    const Token& p = toks[i - 1];
+    if (p.kind == Token::Kind::kIdent) {
+      // `return [...]` / `case x:` keywords still introduce expressions.
+      return p.text == "return" || p.text == "co_return" ||
+             p.text == "co_yield";
+    }
+    if (p.kind == Token::Kind::kNumber || p.kind == Token::Kind::kString ||
+        p.kind == Token::Kind::kChar) {
+      return false;
+    }
+    return p.text != ")" && p.text != "]";
+  }
+
+  Scope ClassifyBrace() {
+    const std::vector<Token>& stmt = Cur().stmt;
+    if (HasIdent(stmt, "namespace")) return Scope::kNamespace;
+    if (HasIdent(stmt, "enum")) {
+      RecordTypeDecl();
+      return Scope::kEnum;
+    }
+    if (HasIdent(stmt, "class") || HasIdent(stmt, "struct") ||
+        HasIdent(stmt, "union")) {
+      RecordTypeDecl();
+      return Scope::kType;
+    }
+    for (const Token& t : stmt) {
+      if (t.kind == Token::Kind::kPunct && t.text == ")") {
+        return Scope::kFunction;
+      }
+    }
+    return Scope::kBlock;
+  }
+
+  // Exports are *namespace-scope* names only: types, free functions,
+  // globals, aliases, and enumerators of namespace-scope enums. Members
+  // are deliberately excluded — they are reached through their type's
+  // name, and member identifiers (`b`, `h`, `Step`, ...) are common
+  // enough that exporting them would mark nearly every include as used.
+  void RecordTypeDecl() {
+    if (exports_ == nullptr || Cur().scope != Scope::kNamespace) return;
+    std::string name = TypeNameOf(Cur().stmt);
+    if (!name.empty()) exports_->insert(name);
+  }
+
+  void ProcessEnumerator() {
+    if (exports_ == nullptr) return;
+    if (stack_.size() < 2 ||
+        stack_[stack_.size() - 2].scope != Scope::kNamespace) {
+      return;
+    }
+    for (const Token& t : Cur().stmt) {
+      if (t.kind == Token::Kind::kIdent && !IsKeyword(t.text)) {
+        exports_->insert(t.text);
+        break;
+      }
+    }
+  }
+
+  void ProcessStatement() {
+    const std::vector<Token>& stmt = Cur().stmt;
+    if (stmt.empty()) return;
+    const Scope scope = Cur().scope;
+
+    if (IsDeclScope(scope)) {
+      if (scope == Scope::kEnum) {
+        ProcessEnumerator();
+        return;
+      }
+      if (exports_ != nullptr && scope == Scope::kNamespace &&
+          !HasIdent(stmt, "friend")) {
+        if (HasIdent(stmt, "class") || HasIdent(stmt, "struct") ||
+            HasIdent(stmt, "union") || HasIdent(stmt, "enum")) {
+          std::string name = TypeNameOf(stmt);
+          if (!name.empty()) exports_->insert(name);
+        } else {
+          std::string name = DeclaredNameOf(stmt);
+          if (!name.empty()) exports_->insert(name);
+        }
+      }
+    }
+    CheckMutableGlobal(stmt, scope);
+  }
+
+  void CheckMutableGlobal(const std::vector<Token>& stmt, Scope scope) {
+    if (!mutable_global_applies_) return;
+    const bool has_storage =
+        HasIdent(stmt, "static") || HasIdent(stmt, "thread_local");
+    const bool ns_atomic =
+        (scope == Scope::kNamespace || scope == Scope::kType) &&
+        IsAtomicDecl(stmt);
+    if (!has_storage && !ns_atomic) return;
+    for (const char* skip :
+         {"const", "constexpr", "constinit", "static_assert", "using",
+          "friend", "extern", "typedef", "class", "struct", "enum",
+          "union", "template"}) {
+      if (HasIdent(stmt, skip)) return;
+    }
+    if (IsFunctionShaped(stmt)) return;
+    std::string name = DeclaredNameOf(stmt);
+    reporter_->Report(
+        file_, stmt.front().line, kRuleMutableGlobal,
+        "mutable " +
+            std::string(has_storage ? "static/thread_local" : "atomic") +
+            " state" + (name.empty() ? "" : " ('" + name + "')") +
+            " in model/training code can make results depend on call "
+            "interleaving; keep state in explicitly threaded objects "
+            "(symbol-resolved check; spans multi-line declarations)");
+  }
+
+  const ParsedFile& file_;
+  std::set<std::string>* exports_;
+  Reporter* reporter_;
+  bool mutable_global_applies_ = false;
+  std::vector<Context> stack_;
+};
+
+}  // namespace
+
+std::set<std::string> ExtractExportedSymbols(const ParsedFile& file) {
+  std::set<std::string> exports = file.defines;
+  DeclarationScanner scanner(file, &exports, nullptr);
+  scanner.Run();
+  return exports;
+}
+
+void CheckSymbols(const ParsedFile& file, Reporter* reporter) {
+  DeclarationScanner scanner(file, nullptr, reporter);
+  scanner.Run();
+
+  // Kernel-backend confinement, symbol-resolved: any reference to the
+  // selection machinery outside the tensor layer / grad checker. Comments,
+  // strings, and include paths never reach the token stream, so only real
+  // code references fire.
+  if (!analysis::IsKernelBackendAllowlisted(file.path)) {
+    for (const analysis::Token& t : file.tokens) {
+      if (t.kind != analysis::Token::Kind::kIdent) continue;
+      for (const char* banned : kKernelBackendTokens) {
+        if (t.text == banned) {
+          reporter->Report(
+              file, t.line, kRuleKernelBackendConfinement,
+              "kernel-backend selection ('" + t.text + "') outside "
+              "src/tensor (and the grad checker); ops and layers must stay "
+              "backend-agnostic — dispatch lives inside the tensor "
+              "kernels, selection is global (env/CLI) or a test-scoped "
+              "ScopedKernelBackend");
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace analyze
+}  // namespace clfd

@@ -29,9 +29,11 @@
 # by default).
 #
 # Every preset builds with -Werror (CLFD_WERROR defaults to ON) and runs
-# the whole ctest suite, which includes `lint.repo`; the explicit
-# clfd_lint invocation at the end is there so the violation listing is the
-# last thing in the log when it fails.
+# the whole ctest suite, which includes `lint.repo` and `analyze.repo`;
+# the explicit clfd_lint / clfd_analyze invocations at the end are there
+# so the violation listing is the last thing in the log when it fails.
+# clfd_analyze additionally verifies that the committed module DAG
+# (docs/module_dag.dot) still matches the tree's include graph.
 
 set -euo pipefail
 
@@ -103,4 +105,7 @@ done
 
 echo "==== clfd-lint"
 ./build/tools/lint/clfd_lint --root "${repo_root}"
+echo "==== clfd-analyze"
+./build/tools/analyze/clfd_analyze --root "${repo_root}" \
+    --check-dot docs/module_dag.dot
 echo "==== ci.sh: all green"

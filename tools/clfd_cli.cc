@@ -44,7 +44,6 @@
 
 #include "baselines/registry.h"
 #include "common/check.h"
-#include "core/clfd.h"
 #include "core/noise_estimator.h"
 #include "data/dataset_io.h"
 #include "data/noise.h"

@@ -1,198 +1,31 @@
 #include "lint/lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstddef>
-#include <sstream>
+
+#include "analysis_common/paths.h"
+#include "analysis_common/text.h"
 
 namespace clfd {
 namespace lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Pass 1: split the file into lines of code-only text plus per-line pragma
-// sets. Comment and string-literal *contents* are blanked out (replaced by
-// spaces) so the token rules never fire on prose, while `clfd-lint:
-// allow(...)` pragmas are parsed out of the comment text before it is
-// dropped. Line structure is preserved exactly, so violation line numbers
-// match the original file.
-// ---------------------------------------------------------------------------
+// Pass 1 — splitting the file into comment/string-stripped lines plus
+// per-line pragma sets — lives in tools/analysis_common (shared with
+// clfd_analyze); this file keeps only the token rules.
+using analysis::Allowed;
+using analysis::EndsWith;
+using analysis::HasToken;
+using analysis::IsIdentChar;
+using analysis::Line;
+using analysis::StartsWith;
 
-struct Line {
-  std::string code;                  // comments/strings blanked
-  std::vector<std::string> allows;   // rules allowed by pragmas on this line
-  bool comment_only = false;         // nothing but whitespace + comment(s)
-};
-
-void ParsePragmas(const std::string& comment, std::vector<std::string>* out) {
-  const std::string key = "clfd-lint:";
-  size_t pos = comment.find(key);
-  while (pos != std::string::npos) {
-    size_t p = pos + key.size();
-    while (p < comment.size() && std::isspace(static_cast<unsigned char>(
-                                     comment[p]))) {
-      ++p;
-    }
-    const std::string verb = "allow(";
-    if (comment.compare(p, verb.size(), verb) == 0) {
-      size_t open = p + verb.size();
-      size_t close = comment.find(')', open);
-      if (close != std::string::npos) {
-        std::string list = comment.substr(open, close - open);
-        std::string id;
-        for (char c : list + ",") {
-          if (c == ',') {
-            if (!id.empty()) out->push_back(id);
-            id.clear();
-          } else if (!std::isspace(static_cast<unsigned char>(c))) {
-            id.push_back(c);
-          }
-        }
-      }
-    }
-    pos = comment.find(key, pos + key.size());
-  }
-}
-
-std::vector<Line> SplitAndStrip(const std::string& content) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  std::vector<Line> lines;
-  Line cur;
-  std::string cur_comment;   // comment text accumulated on the current line
-  bool cur_has_code = false;
-  State state = State::kCode;
-  std::string raw_delim;     // delimiter of an active raw string, ")d..."
-
-  auto end_line = [&]() {
-    ParsePragmas(cur_comment, &cur.allows);
-    cur.comment_only = !cur_has_code && !cur_comment.empty();
-    lines.push_back(std::move(cur));
-    cur = Line();
-    cur_comment.clear();
-    cur_has_code = false;
-  };
-
-  const size_t n = content.size();
-  for (size_t i = 0; i < n; ++i) {
-    char c = content[i];
-    char next = i + 1 < n ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      end_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          cur.code += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          cur.code += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   content[i - 1])) &&
-                               content[i - 1] != '_'))) {
-          // Raw string literal R"delim( ... )delim".
-          size_t open = content.find('(', i + 2);
-          if (open == std::string::npos) {
-            cur.code += c;  // malformed; treat as code
-          } else {
-            raw_delim = ")" + content.substr(i + 2, open - (i + 2)) + "\"";
-            state = State::kRawString;
-            cur.code += "\"\"";
-            cur_has_code = true;
-            i = open;  // skip past the opening paren
-          }
-        } else if (c == '"') {
-          state = State::kString;
-          cur.code += "\"\"";
-          cur_has_code = true;
-        } else if (c == '\'') {
-          state = State::kChar;
-          cur.code += "' '";
-          cur_has_code = true;
-        } else {
-          cur.code += c;
-          if (!std::isspace(static_cast<unsigned char>(c))) {
-            cur_has_code = true;
-          }
-        }
-        break;
-      case State::kLineComment:
-        cur_comment += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          cur_comment += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\n') {
-          ++i;  // skip the escaped char, but never swallow a newline
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\n') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        if (c == raw_delim[0] &&
-            content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          state = State::kCode;
-          i += raw_delim.size() - 1;
-        }
-        break;
-    }
-  }
-  end_line();
-  return lines;
-}
+constexpr char kPragmaKey[] = "clfd-lint:";
 
 // ---------------------------------------------------------------------------
-// Pass 2: rules. Token scans run on the blanked code text only.
+// Rules. Token scans run on the blanked code text only.
 // ---------------------------------------------------------------------------
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// True if `token` occurs in `code` with no identifier character immediately
-// before it (so "rand(" does not match "srand("). The boundary test only
-// applies when the token begins with an identifier character — "::now("
-// legitimately follows one.
-bool HasToken(const std::string& code, const std::string& token) {
-  const bool need_boundary = IsIdentChar(token[0]);
-  size_t pos = code.find(token);
-  while (pos != std::string::npos) {
-    if (!need_boundary || pos == 0 || !IsIdentChar(code[pos - 1])) {
-      return true;
-    }
-    pos = code.find(token, pos + 1);
-  }
-  return false;
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
 
 struct TokenRule {
   const char* id;
@@ -328,28 +161,9 @@ bool HasRawNewDelete(const std::string& code, std::string* what) {
 }
 
 // ---------------------------------------------------------------------------
-// Path scoping.
+// Path scoping. The shared infra/kernel-backend allowlists live in
+// analysis_common/paths.*; the audited IO layer is lint-specific.
 // ---------------------------------------------------------------------------
-
-bool IsHeaderPath(const std::string& path) {
-  return EndsWith(path, ".h") || EndsWith(path, ".hpp");
-}
-
-// Infrastructure that legitimately owns threads, clocks, mutable process
-// state, and stderr: the observability layer, the thread pool, the seeded
-// RNG wrapper (the one place std::mt19937_64 may appear), the invariant
-// checker's enable latch, and the tensor arena (its dispatch switch and
-// thread-local scope pointer are mutable globals by design — see
-// src/tensor/arena.cc; escape of arena memory past a training step is
-// caught at runtime by the NaN poison that Arena::Reset() applies under
-// check::Enabled(), not by a static pattern).
-bool IsInfraAllowlisted(const std::string& path) {
-  return StartsWith(path, "src/obs/") || StartsWith(path, "src/parallel/") ||
-         StartsWith(path, "src/common/rng.") ||
-         StartsWith(path, "src/common/check.") ||
-         StartsWith(path, "src/common/fault.") ||
-         StartsWith(path, "src/tensor/arena.");
-}
 
 // Audited IO layer for unchecked-stream-write: the only src/ files allowed
 // to open output streams / call write syscalls. Each of these reports
@@ -362,33 +176,8 @@ bool IsIoAllowlisted(const std::string& path) {
          path == "src/recovery/checkpoint.cc";
 }
 
-// The only src/ files allowed to name the kernel-backend machinery
-// (tensor/kernel_backend.h): the tensor layer itself, where the backend
-// dispatch lives, and the gradient checker, whose whole job is sweeping
-// backends. Everything else — autograd ops, layers, losses, training — must
-// stay backend-agnostic: selection is process-global (env / CLI / a scoped
-// override in tests), never a per-call-site decision, or the bitwise
-// interchangeability guarantee fragments into per-op special cases.
-bool IsKernelBackendAllowlisted(const std::string& path) {
-  return StartsWith(path, "src/tensor/") ||
-         StartsWith(path, "src/autograd/grad_check.");
-}
-
 bool SourceRulesApply(const std::string& path) {
-  return StartsWith(path, "src/") && !IsInfraAllowlisted(path);
-}
-
-bool Allowed(const std::vector<Line>& lines, size_t idx,
-             const std::string& rule) {
-  auto has = [&](const std::vector<std::string>& v) {
-    return std::find(v.begin(), v.end(), rule) != v.end();
-  };
-  if (has(lines[idx].allows)) return true;
-  // An immediately preceding comment-only line may carry the pragma.
-  if (idx > 0 && lines[idx - 1].comment_only && has(lines[idx - 1].allows)) {
-    return true;
-  }
-  return false;
+  return StartsWith(path, "src/") && !analysis::IsInfraAllowlisted(path);
 }
 
 }  // namespace
@@ -410,8 +199,8 @@ const std::vector<std::string>& RuleNames() {
 std::vector<Violation> LintSource(const std::string& rel_path,
                                   const std::string& content) {
   std::vector<Violation> out;
-  std::vector<Line> lines = SplitAndStrip(content);
-  const bool header = IsHeaderPath(rel_path);
+  std::vector<Line> lines = analysis::SplitAndStrip(content, kPragmaKey);
+  const bool header = analysis::IsHeaderPath(rel_path);
   const bool src_rules = SourceRulesApply(rel_path);
 
   auto report = [&](size_t idx, const char* rule, const std::string& msg) {
@@ -473,7 +262,7 @@ std::vector<Violation> LintSource(const std::string& rel_path,
           }
         }
       }
-      if (!IsKernelBackendAllowlisted(rel_path)) {
+      if (!analysis::IsKernelBackendAllowlisted(rel_path)) {
         // Identifier tokens, not the include path: string contents (and so
         // #include "tensor/kernel_backend.h") are blanked by pass 1.
         for (const char* tok :
@@ -515,9 +304,7 @@ std::vector<Violation> LintSource(const std::string& rel_path,
 }
 
 std::string FormatViolation(const Violation& v) {
-  std::ostringstream os;
-  os << v.path << ":" << v.line << ": " << v.rule << ": " << v.message;
-  return os.str();
+  return analysis::FormatCompilerStyle(v);
 }
 
 }  // namespace lint

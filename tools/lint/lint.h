@@ -3,18 +3,17 @@
 #include <string>
 #include <vector>
 
+#include "analysis_common/diag.h"
+
 namespace clfd {
 namespace lint {
 
-// One rule violation at a specific source line. `path` is the repo-relative
-// path (forward slashes) the content was linted as; rule scoping keys off
-// this path, so callers must not pass absolute paths.
-struct Violation {
-  std::string path;
-  int line = 0;        // 1-based
-  std::string rule;    // rule id, e.g. "determinism-rand"
-  std::string message;
-};
+// One rule violation at a specific source line — the shared diagnostic
+// record (analysis_common/diag.h), so lint and analyze output formats
+// (compiler-style and --json) stay byte-compatible. `path` is the
+// repo-relative path (forward slashes) the content was linted as; rule
+// scoping keys off this path, so callers must not pass absolute paths.
+using Violation = analysis::Diagnostic;
 
 // Rule ids, in reporting order. Every id here has at least one positive and
 // one negative fixture in tests/lint_test.cc.

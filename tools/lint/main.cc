@@ -7,8 +7,11 @@
 // (clamped to 1), so it slots directly into ctest as `lint.repo`.
 //
 // Usage:
-//   clfd_lint [--root DIR] [--list-rules] [subdir...]
-// With no subdirs, lints src tests bench tools.
+//   clfd_lint [--root DIR] [--list-rules] [--json] [subdir...]
+// With no subdirs, lints src tests bench tools. --json replaces the
+// compiler-style report on stdout with a JSON array of
+// {path, line, rule, message} objects (the file/violation count summary
+// still goes to stderr).
 
 #include <algorithm>
 #include <filesystem>
@@ -46,6 +49,7 @@ std::string ReadFile(const fs::path& p, bool* ok) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<std::string> subdirs;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -55,8 +59,10 @@ int main(int argc, char** argv) {
         std::cout << r << "\n";
       }
       return 0;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: clfd_lint [--root DIR] [--list-rules] "
+      std::cout << "usage: clfd_lint [--root DIR] [--list-rules] [--json] "
                    "[subdir...]\n";
       return 0;
     } else {
@@ -67,6 +73,7 @@ int main(int argc, char** argv) {
 
   int files_scanned = 0;
   int violation_count = 0;
+  std::vector<clfd::lint::Violation> violations;
   std::error_code ec;
   for (const std::string& sub : subdirs) {
     fs::path dir = root / sub;
@@ -96,12 +103,19 @@ int main(int argc, char** argv) {
       ++files_scanned;
       const std::string rel =
           fs::relative(file, root, ec).generic_string();
-      for (const clfd::lint::Violation& v :
+      for (clfd::lint::Violation& v :
            clfd::lint::LintSource(ec ? file.generic_string() : rel,
                                   content)) {
-        std::cout << clfd::lint::FormatViolation(v) << "\n";
         ++violation_count;
+        violations.push_back(std::move(v));
       }
+    }
+  }
+  if (json) {
+    clfd::analysis::WriteJsonDiagnostics(violations, std::cout);
+  } else {
+    for (const clfd::lint::Violation& v : violations) {
+      std::cout << clfd::lint::FormatViolation(v) << "\n";
     }
   }
   std::cerr << "clfd_lint: " << files_scanned << " files, "
