@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <unordered_set>
 
+#include "autograd/tape_hooks.h"
 #include "common/check.h"
 #include "common/fault.h"
 #include "obs/metrics.h"
@@ -15,6 +17,50 @@ namespace clfd {
 namespace ag {
 
 namespace {
+// One capture/replay stream per thread — each shard worker of the sharded
+// trainer captures or replays its own plan (see tape_hooks.h). Thread-local
+// by design: no state is shared across threads.
+// clfd-lint: allow(concurrency-mutable-global) clfd-analyze: allow(semantic-mutable-global)
+thread_local TapeHooks* g_tape_hooks = nullptr;
+}  // namespace
+
+TapeHooks* SetTapeHooks(TapeHooks* hooks) {
+  TapeHooks* prev = g_tape_hooks;
+  g_tape_hooks = hooks;
+  return prev;
+}
+
+TapeHooks* CurrentTapeHooks() { return g_tape_hooks; }
+
+namespace {
+
+// Pointer view over a contiguous Var array for OpDesc::inputs (the hooks
+// take pointers to the builder's arguments, not copies; see tape_hooks.h).
+// Stack storage covers every current call site — heap only beyond 64 blocks.
+struct VarPtrArray {
+  const Var* stack[64];
+  std::vector<const Var*> heap;
+  const Var* const* data;
+  explicit VarPtrArray(const std::vector<Var>& vars) {
+    const Var** out = stack;
+    if (vars.size() > 64) {
+      heap.resize(vars.size());
+      out = heap.data();
+    }
+    for (size_t i = 0; i < vars.size(); ++i) out[i] = &vars[i];
+    data = out;
+  }
+};
+
+OpDesc Desc(const char* op, PlanForwardFn forward, const Var* const* inputs,
+            int num_inputs) {
+  OpDesc d;
+  d.op = op;
+  d.forward = forward;
+  d.inputs = inputs;
+  d.num_inputs = num_inputs;
+  return d;
+}
 
 // Creates an interior node whose requires_grad is inherited from parents.
 // `op` is the provenance tag the invariant checker reports; when checks are
@@ -51,7 +97,10 @@ Var MakeOp(const char* op, Matrix value, std::vector<NodePtr> parents,
     node->parents = std::move(parents);
     node->backward_fn = std::move(backward_fn);
   }
-  return Var(std::move(node));
+  Var out(std::move(node));
+  CLFD_METRIC_COUNT("autograd.tape.nodes_created", 1);
+  if (TapeHooks* h = CurrentTapeHooks()) h->OnNodeCreated(out.node());
+  return out;
 }
 
 void TopoSort(const NodePtr& root, std::vector<Node*>* order) {
@@ -81,21 +130,39 @@ void TopoSort(const NodePtr& root, std::vector<Node*>* order) {
 }  // namespace
 
 Var Constant(Matrix value) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    Var out;
+    if (h->OnLeaf("ag::Constant", &value, /*requires_grad=*/false, &out)) {
+      return out;
+    }
+  }
   CheckFinite(value, "ag::Constant");
   auto node = std::make_shared<Node>();
   node->op = "ag::Constant";
   node->value = std::move(value);
   node->requires_grad = false;
-  return Var(std::move(node));
+  Var out(std::move(node));
+  CLFD_METRIC_COUNT("autograd.tape.nodes_created", 1);
+  if (TapeHooks* h = CurrentTapeHooks()) h->OnNodeCreated(out.node());
+  return out;
 }
 
 Var Param(Matrix value) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    Var out;
+    if (h->OnLeaf("ag::Param", &value, /*requires_grad=*/true, &out)) {
+      return out;
+    }
+  }
   CheckFinite(value, "ag::Param");
   auto node = std::make_shared<Node>();
   node->op = "ag::Param";
   node->value = std::move(value);
   node->requires_grad = true;
-  return Var(std::move(node));
+  Var out(std::move(node));
+  CLFD_METRIC_COUNT("autograd.tape.nodes_created", 1);
+  if (TapeHooks* h = CurrentTapeHooks()) h->OnNodeCreated(out.node());
+  return out;
 }
 
 namespace {
@@ -104,10 +171,16 @@ namespace {
 // seed 1 on every element of the root.
 void BackwardImpl(const Var& root, const Matrix* seed) {
   assert(root.defined());
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    if (h->OnBackward(root, seed)) return;
+  }
   if (!root.requires_grad()) return;
   CLFD_PROF_SCOPE("autograd.backward");
   std::vector<Node*> post_order;
   TopoSort(root.node(), &post_order);
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    h->OnBackwardOrder(root, seed, post_order);
+  }
   // Tape telemetry: graph depth is the main memory driver of training
   // (thousands of nodes per LSTM unroll), so expose the last-seen size, a
   // distribution, and a cumulative node count.
@@ -157,7 +230,28 @@ void BackwardWithGrad(const Var& root, const Matrix& seed) {
   BackwardImpl(root, &seed);
 }
 
+namespace {
+
+// Planned forward bodies write through the *Into kernels so replay reuses
+// the plan's persistent output buffers instead of allocating fresh ones
+// each step (DESIGN.md §15). The Into kernels share loop bodies with the
+// value-returning kernels the dynamic builders call, so both modes stay
+// bitwise identical.
+void FwdMatMul(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::MatMulInto(p[0]->value, p[1]->value, &out->value);
+}
+
+}  // namespace
+
 Var MatMul(const Var& a, const Var& b) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a, &b};
+    Var out;
+    if (h->OnOp(Desc("ag::MatMul", &FwdMatMul, ins, 2),
+                                 &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node(), bn = b.node();
   return MakeOp("ag::MatMul", clfd::MatMul(an->value, bn->value), {an, bn},
                 [an, bn](Node* out) {
@@ -172,7 +266,24 @@ Var MatMul(const Var& a, const Var& b) {
                 });
 }
 
+namespace {
+
+void FwdMatMulTransposeB(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::MatMulTransposeBInto(p[0]->value, p[1]->value, &out->value);
+}
+
+}  // namespace
+
 Var MatMulTransposeB(const Var& a, const Var& b) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a, &b};
+    Var out;
+    if (h->OnOp(
+            Desc("ag::MatMulTransposeB", &FwdMatMulTransposeB, ins, 2),
+            &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node(), bn = b.node();
   return MakeOp("ag::MatMulTransposeB", clfd::MatMulTransposeB(an->value, bn->value), {an, bn},
                 [an, bn](Node* out) {
@@ -188,7 +299,22 @@ Var MatMulTransposeB(const Var& a, const Var& b) {
                 });
 }
 
+namespace {
+
+void FwdAdd(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::AddInto(p[0]->value, p[1]->value, &out->value);
+}
+
+}  // namespace
+
 Var Add(const Var& a, const Var& b) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a, &b};
+    Var out;
+    if (h->OnOp(Desc("ag::Add", &FwdAdd, ins, 2), &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node(), bn = b.node();
   return MakeOp("ag::Add", clfd::Add(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
     if (an->requires_grad) {
@@ -202,7 +328,22 @@ Var Add(const Var& a, const Var& b) {
   });
 }
 
+namespace {
+
+void FwdSub(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::SubInto(p[0]->value, p[1]->value, &out->value);
+}
+
+}  // namespace
+
 Var Sub(const Var& a, const Var& b) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a, &b};
+    Var out;
+    if (h->OnOp(Desc("ag::Sub", &FwdSub, ins, 2), &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node(), bn = b.node();
   return MakeOp("ag::Sub", clfd::Sub(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
     if (an->requires_grad) {
@@ -216,7 +357,22 @@ Var Sub(const Var& a, const Var& b) {
   });
 }
 
+namespace {
+
+void FwdMul(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::MulInto(p[0]->value, p[1]->value, &out->value);
+}
+
+}  // namespace
+
 Var Mul(const Var& a, const Var& b) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a, &b};
+    Var out;
+    if (h->OnOp(Desc("ag::Mul", &FwdMul, ins, 2), &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node(), bn = b.node();
   return MakeOp("ag::Mul", clfd::Mul(an->value, bn->value), {an, bn}, [an, bn](Node* out) {
     if (an->requires_grad) {
@@ -230,7 +386,22 @@ Var Mul(const Var& a, const Var& b) {
   });
 }
 
+namespace {
+
+void FwdAddScalar(Node* out, Node* const* p, int, const OpCall& call) {
+  clfd::AddScalarInto(p[0]->value, call.f0, &out->value);
+}
+
+}  // namespace
+
 Var AddScalar(const Var& a, float s) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    OpDesc d = Desc("ag::AddScalar", &FwdAddScalar, ins, 1);
+    d.call.f0 = s;
+    Var out;
+    if (h->OnOp(d, &out)) return out;
+  }
   NodePtr an = a.node();
   return MakeOp("ag::AddScalar", clfd::AddScalar(an->value, s), {an}, [an](Node* out) {
     an->EnsureGrad();
@@ -238,7 +409,22 @@ Var AddScalar(const Var& a, float s) {
   });
 }
 
+namespace {
+
+void FwdScale(Node* out, Node* const* p, int, const OpCall& call) {
+  clfd::MulScalarInto(p[0]->value, call.f0, &out->value);
+}
+
+}  // namespace
+
 Var Scale(const Var& a, float s) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    OpDesc d = Desc("ag::Scale", &FwdScale, ins, 1);
+    d.call.f0 = s;
+    Var out;
+    if (h->OnOp(d, &out)) return out;
+  }
   NodePtr an = a.node();
   return MakeOp("ag::Scale", clfd::MulScalar(an->value, s), {an}, [an, s](Node* out) {
     an->EnsureGrad();
@@ -246,7 +432,23 @@ Var Scale(const Var& a, float s) {
   });
 }
 
+namespace {
+
+void FwdAddRowBroadcast(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::AddRowBroadcastInto(p[0]->value, p[1]->value, &out->value);
+}
+
+}  // namespace
+
 Var AddRowBroadcast(const Var& a, const Var& bias) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a, &bias};
+    Var out;
+    if (h->OnOp(
+            Desc("ag::AddRowBroadcast", &FwdAddRowBroadcast, ins, 2), &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node(), bn = bias.node();
   return MakeOp("ag::AddRowBroadcast", clfd::AddRowBroadcast(an->value, bn->value), {an, bn},
                 [an, bn](Node* out) {
@@ -266,36 +468,97 @@ Var AddRowBroadcast(const Var& a, const Var& bias) {
                 });
 }
 
+namespace {
+
+void RowScaleForwardInto(const Matrix& a, const Matrix& col, Matrix* out) {
+  clfd::CopyInto(a, out);
+  for (int r = 0; r < out->rows(); ++r) {
+    float s = col.at(r, 0);
+    float* row = out->row(r);
+    for (int c = 0; c < out->cols(); ++c) row[c] *= s;
+  }
+}
+
+Matrix RowScaleForward(const Matrix& a, const Matrix& col) {
+  Matrix value;
+  RowScaleForwardInto(a, col, &value);
+  return value;
+}
+
+void FwdRowScaleConst(Node* out, Node* const* p, int, const OpCall& call) {
+  RowScaleForwardInto(p[0]->value, *call.aux_copy, &out->value);
+  // CopyInto (not assignment) so replay reuses the node's persistent aux
+  // buffer instead of reallocating it from the current arena context.
+  clfd::CopyInto(*call.aux_copy, &out->aux);
+}
+
+}  // namespace
+
 Var RowScaleConst(const Var& a, const Matrix& col) {
   assert(col.cols() == 1 && col.rows() == a.rows());
-  NodePtr an = a.node();
-  Matrix value = an->value;
-  for (int r = 0; r < value.rows(); ++r) {
-    float s = col.at(r, 0);
-    float* row = value.row(r);
-    for (int c = 0; c < value.cols(); ++c) row[c] *= s;
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    OpDesc d = Desc("ag::RowScaleConst", &FwdRowScaleConst, ins, 1);
+    d.call.aux_copy = &col;
+    Var out;
+    if (h->OnOp(d, &out)) return out;
   }
-  return MakeOp("ag::RowScaleConst", std::move(value), {an}, [an, col](Node* out) {
-    an->EnsureGrad();
-    for (int r = 0; r < out->grad.rows(); ++r) {
-      float s = col.at(r, 0);
-      const float* grow = out->grad.row(r);
-      float* arow = an->grad.row(r);
-      for (int c = 0; c < out->grad.cols(); ++c) arow[c] += s * grow[c];
-    }
-  });
+  NodePtr an = a.node();
+  Var v = MakeOp("ag::RowScaleConst", RowScaleForward(an->value, col), {an},
+                 [an](Node* out) {
+                   an->EnsureGrad();
+                   for (int r = 0; r < out->grad.rows(); ++r) {
+                     float s = out->aux.at(r, 0);
+                     const float* grow = out->grad.row(r);
+                     float* arow = an->grad.row(r);
+                     for (int c = 0; c < out->grad.cols(); ++c) {
+                       arow[c] += s * grow[c];
+                     }
+                   }
+                 });
+  v.node()->aux = col;
+  return v;
 }
+
+namespace {
+
+void FwdExp(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::ExpInto(p[0]->value, &out->value);
+}
+
+}  // namespace
 
 Var Exp(const Var& a) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    Var out;
+    if (h->OnOp(Desc("ag::Exp", &FwdExp, ins, 1), &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node();
-  Matrix value = clfd::Exp(an->value);
-  return MakeOp("ag::Exp", value, {an}, [an, value](Node* out) {
+  return MakeOp("ag::Exp", clfd::Exp(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
-    an->grad.AddInPlace(clfd::Mul(out->grad, value));
+    an->grad.AddInPlace(clfd::Mul(out->grad, out->value));
   });
 }
 
+namespace {
+
+void FwdLog(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::LogInto(p[0]->value, &out->value);
+}
+
+}  // namespace
+
 Var Log(const Var& a) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    Var out;
+    if (h->OnOp(Desc("ag::Log", &FwdLog, ins, 1), &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node();
   return MakeOp("ag::Log", clfd::Log(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
@@ -305,7 +568,22 @@ Var Log(const Var& a) {
   });
 }
 
+namespace {
+
+void FwdPow(Node* out, Node* const* p, int, const OpCall& call) {
+  clfd::PowInto(p[0]->value, call.f0, &out->value);
+}
+
+}  // namespace
+
 Var Pow(const Var& a, float p) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    OpDesc d = Desc("ag::Pow", &FwdPow, ins, 1);
+    d.call.f0 = p;
+    Var out;
+    if (h->OnOp(d, &out)) return out;
+  }
   NodePtr an = a.node();
   return MakeOp("ag::Pow", clfd::Pow(an->value, p), {an}, [an, p](Node* out) {
     an->EnsureGrad();
@@ -317,29 +595,75 @@ Var Pow(const Var& a, float p) {
   });
 }
 
+namespace {
+
+void FwdTanh(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::TanhInto(p[0]->value, &out->value);
+}
+
+}  // namespace
+
 Var Tanh(const Var& a) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    Var out;
+    if (h->OnOp(Desc("ag::Tanh", &FwdTanh, ins, 1), &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node();
-  Matrix value = clfd::Tanh(an->value);
-  return MakeOp("ag::Tanh", value, {an}, [an, value](Node* out) {
+  return MakeOp("ag::Tanh", clfd::Tanh(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
     for (int i = 0; i < out->grad.size(); ++i) {
-      an->grad[i] += out->grad[i] * (1.0f - value[i] * value[i]);
+      float y = out->value[i];
+      an->grad[i] += out->grad[i] * (1.0f - y * y);
     }
   });
 }
+
+namespace {
+
+void FwdSigmoid(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::SigmoidInto(p[0]->value, &out->value);
+}
+
+}  // namespace
 
 Var Sigmoid(const Var& a) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    Var out;
+    if (h->OnOp(Desc("ag::Sigmoid", &FwdSigmoid, ins, 1),
+                                 &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node();
-  Matrix value = clfd::Sigmoid(an->value);
-  return MakeOp("ag::Sigmoid", value, {an}, [an, value](Node* out) {
+  return MakeOp("ag::Sigmoid", clfd::Sigmoid(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
     for (int i = 0; i < out->grad.size(); ++i) {
-      an->grad[i] += out->grad[i] * value[i] * (1.0f - value[i]);
+      float y = out->value[i];
+      an->grad[i] += out->grad[i] * y * (1.0f - y);
     }
   });
 }
 
+namespace {
+
+void FwdRelu(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::ReluInto(p[0]->value, &out->value);
+}
+
+}  // namespace
+
 Var Relu(const Var& a) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    Var out;
+    if (h->OnOp(Desc("ag::Relu", &FwdRelu, ins, 1), &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node();
   return MakeOp("ag::Relu", clfd::Relu(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
@@ -349,7 +673,22 @@ Var Relu(const Var& a) {
   });
 }
 
+namespace {
+
+void FwdLeakyRelu(Node* out, Node* const* p, int, const OpCall& call) {
+  clfd::LeakyReluInto(p[0]->value, call.f0, &out->value);
+}
+
+}  // namespace
+
 Var LeakyRelu(const Var& a, float slope) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    OpDesc d = Desc("ag::LeakyRelu", &FwdLeakyRelu, ins, 1);
+    d.call.f0 = slope;
+    Var out;
+    if (h->OnOp(d, &out)) return out;
+  }
   NodePtr an = a.node();
   return MakeOp("ag::LeakyRelu", clfd::LeakyRelu(an->value, slope), {an}, [an, slope](Node* out) {
     an->EnsureGrad();
@@ -359,26 +698,58 @@ Var LeakyRelu(const Var& a, float slope) {
   });
 }
 
+namespace {
+
+void FwdSoftmaxRows(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::SoftmaxRowsInto(p[0]->value, &out->value);
+}
+
+}  // namespace
+
 Var SoftmaxRows(const Var& a) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    Var out;
+    if (h->OnOp(
+            Desc("ag::SoftmaxRows", &FwdSoftmaxRows, ins, 1), &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node();
-  Matrix value = clfd::SoftmaxRows(an->value);
-  return MakeOp("ag::SoftmaxRows", value, {an}, [an, value](Node* out) {
+  return MakeOp("ag::SoftmaxRows", clfd::SoftmaxRows(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
     // d x_j = s_j * (g_j - sum_k g_k s_k) per row.
-    for (int r = 0; r < value.rows(); ++r) {
-      const float* s = value.row(r);
+    for (int r = 0; r < out->value.rows(); ++r) {
+      const float* s = out->value.row(r);
       const float* g = out->grad.row(r);
       float* ar = an->grad.row(r);
       double dot = 0.0;
-      for (int c = 0; c < value.cols(); ++c) dot += g[c] * s[c];
-      for (int c = 0; c < value.cols(); ++c) {
+      for (int c = 0; c < out->value.cols(); ++c) dot += g[c] * s[c];
+      for (int c = 0; c < out->value.cols(); ++c) {
         ar[c] += s[c] * (g[c] - static_cast<float>(dot));
       }
     }
   });
 }
 
+namespace {
+
+void FwdSumAll(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::EnsureShape(&out->value, 1, 1, /*zeroed=*/false);
+  out->value[0] = clfd::SumAll(p[0]->value);
+}
+
+}  // namespace
+
 Var SumAll(const Var& a) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    Var out;
+    if (h->OnOp(Desc("ag::SumAll", &FwdSumAll, ins, 1),
+                                 &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node();
   Matrix value(1, 1);
   value[0] = clfd::SumAll(an->value);
@@ -396,7 +767,23 @@ Var MeanAll(const Var& a) {
   return Scale(SumAll(a), inv);
 }
 
+namespace {
+
+void FwdSumRows(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::SumRowsInto(p[0]->value, &out->value);
+}
+
+}  // namespace
+
 Var SumRows(const Var& a) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    Var out;
+    if (h->OnOp(Desc("ag::SumRows", &FwdSumRows, ins, 1),
+                                 &out)) {
+      return out;
+    }
+  }
   NodePtr an = a.node();
   return MakeOp("ag::SumRows", clfd::SumRows(an->value), {an}, [an](Node* out) {
     an->EnsureGrad();
@@ -408,8 +795,45 @@ Var SumRows(const Var& a) {
   });
 }
 
+namespace {
+
+// Pointer view over the parents' values for the pointer-based concat
+// kernels — no per-call Matrix copies. Stack storage covers every current
+// call site; heap only beyond 64 blocks (mirrors VarPtrArray above).
+struct MatrixPtrArray {
+  const Matrix* stack[64];
+  std::vector<const Matrix*> heap;
+  const Matrix* const* data;
+  MatrixPtrArray(Node* const* p, int np) {
+    const Matrix** out = stack;
+    if (np > 64) {
+      heap.resize(np);
+      out = heap.data();
+    }
+    for (int i = 0; i < np; ++i) out[i] = &p[i]->value;
+    data = out;
+  }
+};
+
+void FwdConcatRows(Node* out, Node* const* p, int np, const OpCall&) {
+  MatrixPtrArray blocks(p, np);
+  clfd::ConcatRowsInto(blocks.data, np, &out->value);
+}
+
+}  // namespace
+
 Var ConcatRows(const std::vector<Var>& blocks) {
   assert(!blocks.empty());
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    VarPtrArray ins(blocks);
+    Var out;
+    if (h->OnOp(
+            Desc("ag::ConcatRows", &FwdConcatRows, ins.data,
+                 static_cast<int>(blocks.size())),
+            &out)) {
+      return out;
+    }
+  }
   std::vector<Matrix> values;
   std::vector<NodePtr> parents;
   values.reserve(blocks.size());
@@ -433,7 +857,23 @@ Var ConcatRows(const std::vector<Var>& blocks) {
   });
 }
 
+namespace {
+
+void FwdSliceRows(Node* out, Node* const* p, int, const OpCall& call) {
+  clfd::SliceRowsInto(p[0]->value, call.i0, call.i1, &out->value);
+}
+
+}  // namespace
+
 Var SliceRows(const Var& a, int begin, int end) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    OpDesc d = Desc("ag::SliceRows", &FwdSliceRows, ins, 1);
+    d.call.i0 = begin;
+    d.call.i1 = end;
+    Var out;
+    if (h->OnOp(d, &out)) return out;
+  }
   NodePtr an = a.node();
   return MakeOp("ag::SliceRows", clfd::SliceRows(an->value, begin, end), {an},
                 [an, begin](Node* out) {
@@ -448,8 +888,27 @@ Var SliceRows(const Var& a, int begin, int end) {
                 });
 }
 
+namespace {
+
+void FwdConcatCols(Node* out, Node* const* p, int np, const OpCall&) {
+  MatrixPtrArray blocks(p, np);
+  clfd::ConcatColsInto(blocks.data, np, &out->value);
+}
+
+}  // namespace
+
 Var ConcatCols(const std::vector<Var>& blocks) {
   assert(!blocks.empty());
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    VarPtrArray ins(blocks);
+    Var out;
+    if (h->OnOp(
+            Desc("ag::ConcatCols", &FwdConcatCols, ins.data,
+                 static_cast<int>(blocks.size())),
+            &out)) {
+      return out;
+    }
+  }
   std::vector<Matrix> values;
   std::vector<NodePtr> parents;
   values.reserve(blocks.size());
@@ -476,7 +935,23 @@ Var ConcatCols(const std::vector<Var>& blocks) {
                 });
 }
 
+namespace {
+
+void FwdSliceCols(Node* out, Node* const* p, int, const OpCall& call) {
+  clfd::SliceColsInto(p[0]->value, call.i0, call.i1, &out->value);
+}
+
+}  // namespace
+
 Var SliceCols(const Var& a, int begin, int end) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    OpDesc d = Desc("ag::SliceCols", &FwdSliceCols, ins, 1);
+    d.call.i0 = begin;
+    d.call.i1 = end;
+    Var out;
+    if (h->OnOp(d, &out)) return out;
+  }
   NodePtr an = a.node();
   return MakeOp("ag::SliceCols", clfd::SliceCols(an->value, begin, end), {an},
                 [an, begin](Node* out) {
@@ -491,7 +966,24 @@ Var SliceCols(const Var& a, int begin, int end) {
                 });
 }
 
+namespace {
+
+void FwdLstmPackedMatMul(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::MatMulInto(p[0]->value, p[1]->value, &out->value);
+}
+
+}  // namespace
+
 Var LstmPackedMatMul(const Var& x, const Var& w) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&x, &w};
+    Var out;
+    if (h->OnOp(
+            Desc("ag::LstmPackedMatMul", &FwdLstmPackedMatMul, ins, 2),
+            &out)) {
+      return out;
+    }
+  }
   NodePtr xn = x.node(), wn = w.node();
   return MakeOp("ag::LstmPackedMatMul", clfd::MatMul(xn->value, wn->value),
                 {xn, wn}, [xn, wn](Node* out) {
@@ -507,68 +999,138 @@ Var LstmPackedMatMul(const Var& x, const Var& w) {
                 });
 }
 
-Var LstmInputProjection(Matrix xcat, const Var& w, int block_rows) {
-  NodePtr wn = w.node();
-  Matrix value = clfd::MatMul(xcat, wn->value);
-  return MakeOp("ag::LstmInputProjection", std::move(value), {wn},
-                [wn, x = std::move(xcat), block_rows](Node* out) {
-                  wn->EnsureGrad();
-                  MatMulTransposeATimeBlockedAddInto(x, out->grad, block_rows,
-                                                     &wn->grad);
-                });
+namespace {
+
+void FwdLstmInputProjection(Node* out, Node* const* p, int,
+                            const OpCall& call) {
+  clfd::MatMulInto(*call.aux_move, p[0]->value, &out->value);
+  // The input block is fresh per step (built by the caller), so the aux
+  // binding stays a move — it is compute input, not a reusable buffer.
+  out->aux = std::move(*call.aux_move);
 }
 
+}  // namespace
+
+Var LstmInputProjection(Matrix xcat, const Var& w, int block_rows) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&w};
+    OpDesc d = Desc("ag::LstmInputProjection", &FwdLstmInputProjection, ins, 1);
+    d.call.i0 = block_rows;
+    d.call.aux_move = &xcat;
+    Var out;
+    if (h->OnOp(d, &out)) return out;
+  }
+  NodePtr wn = w.node();
+  Matrix value = clfd::MatMul(xcat, wn->value);
+  Var v = MakeOp("ag::LstmInputProjection", std::move(value), {wn},
+                 [wn, block_rows](Node* out) {
+                   wn->EnsureGrad();
+                   MatMulTransposeATimeBlockedAddInto(out->aux, out->grad,
+                                                      block_rows, &wn->grad);
+                 });
+  v.node()->aux = std::move(xcat);
+  return v;
+}
+
+namespace {
+
+void FwdLstmGates(Node* out, Node* const* p, int, const OpCall&) {
+  clfd::LstmGatesForward(p[0]->value, p[1]->value, &out->value, &out->aux);
+}
+
+}  // namespace
+
 Var LstmGates(const Var& pre, const Var& hc_prev) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&pre, &hc_prev};
+    Var out;
+    if (h->OnOp(Desc("ag::LstmGates", &FwdLstmGates, ins, 2),
+                                 &out)) {
+      return out;
+    }
+  }
   NodePtr pn = pre.node(), hn = hc_prev.node();
   Matrix hc, acts;
   clfd::LstmGatesForward(pn->value, hn->value, &hc, &acts);
-  return MakeOp("ag::LstmGates", std::move(hc), {pn, hn},
-                [pn, hn, acts = std::move(acts)](Node* out) {
-                  Matrix scratch;
-                  Matrix* dpre = nullptr;
-                  if (pn->requires_grad) {
-                    pn->EnsureGrad();
-                    dpre = &pn->grad;
-                  } else {
-                    scratch = Matrix(pn->value.rows(), pn->value.cols());
-                    dpre = &scratch;
-                  }
-                  Matrix* dhc = nullptr;
-                  if (hn->requires_grad) {
-                    hn->EnsureGrad();
-                    dhc = &hn->grad;
-                  }
-                  clfd::LstmGatesBackward(out->grad, acts, hn->value, dpre,
-                                          dhc);
-                });
+  Var v = MakeOp("ag::LstmGates", std::move(hc), {pn, hn},
+                 [pn, hn](Node* out) {
+                   Matrix scratch;
+                   Matrix* dpre = nullptr;
+                   if (pn->requires_grad) {
+                     pn->EnsureGrad();
+                     dpre = &pn->grad;
+                   } else {
+                     scratch = Matrix(pn->value.rows(), pn->value.cols());
+                     dpre = &scratch;
+                   }
+                   Matrix* dhc = nullptr;
+                   if (hn->requires_grad) {
+                     hn->EnsureGrad();
+                     dhc = &hn->grad;
+                   }
+                   clfd::LstmGatesBackward(out->grad, out->aux, hn->value,
+                                           dpre, dhc);
+                 });
+  v.node()->aux = std::move(acts);
+  return v;
 }
 
-Var NormalizeRows(const Var& a) {
-  NodePtr an = a.node();
-  Matrix value = an->value;
-  std::vector<float> norms(value.rows());
-  for (int r = 0; r < value.rows(); ++r) {
-    norms[r] = RowNorm(an->value, r);
-    float* row = value.row(r);
-    for (int c = 0; c < value.cols(); ++c) row[c] /= norms[r];
+namespace {
+
+void NormalizeRowsForwardInto(const Matrix& a, Matrix* value, Matrix* norms) {
+  clfd::CopyInto(a, value);
+  clfd::EnsureShape(norms, a.rows(), 1, /*zeroed=*/false);
+  for (int r = 0; r < a.rows(); ++r) {
+    float n = RowNorm(a, r);
+    norms->at(r, 0) = n;
+    float* row = value->row(r);
+    for (int c = 0; c < a.cols(); ++c) row[c] /= n;
   }
-  return MakeOp("ag::NormalizeRows", std::move(value), {an}, [an, norms](Node* out) {
-    an->EnsureGrad();
-    // For y = x / |x|: dx = (g - y (g . y)) / |x|.
-    for (int r = 0; r < out->grad.rows(); ++r) {
-      const float* g = out->grad.row(r);
-      const float* x = an->value.row(r);
-      float* ar = an->grad.row(r);
-      float inv = 1.0f / norms[r];
-      double dot = 0.0;
-      for (int c = 0; c < out->grad.cols(); ++c) {
-        dot += g[c] * x[c] * inv;
-      }
-      for (int c = 0; c < out->grad.cols(); ++c) {
-        ar[c] += inv * (g[c] - static_cast<float>(dot) * x[c] * inv);
-      }
+}
+
+Matrix NormalizeRowsForward(const Matrix& a, Matrix* norms) {
+  Matrix value;
+  NormalizeRowsForwardInto(a, &value, norms);
+  return value;
+}
+
+void FwdNormalizeRows(Node* out, Node* const* p, int, const OpCall&) {
+  NormalizeRowsForwardInto(p[0]->value, &out->value, &out->aux);
+}
+
+}  // namespace
+
+Var NormalizeRows(const Var& a) {
+  if (TapeHooks* h = CurrentTapeHooks()) {
+    const Var* ins[] = {&a};
+    Var out;
+    if (h->OnOp(
+            Desc("ag::NormalizeRows", &FwdNormalizeRows, ins, 1), &out)) {
+      return out;
     }
-  });
+  }
+  NodePtr an = a.node();
+  Matrix norms;
+  Var v = MakeOp("ag::NormalizeRows", NormalizeRowsForward(an->value, &norms),
+                 {an}, [an](Node* out) {
+                   an->EnsureGrad();
+                   // For y = x / |x|: dx = (g - y (g . y)) / |x|.
+                   for (int r = 0; r < out->grad.rows(); ++r) {
+                     const float* g = out->grad.row(r);
+                     const float* x = an->value.row(r);
+                     float* ar = an->grad.row(r);
+                     float inv = 1.0f / out->aux.at(r, 0);
+                     double dot = 0.0;
+                     for (int c = 0; c < out->grad.cols(); ++c) {
+                       dot += g[c] * x[c] * inv;
+                     }
+                     for (int c = 0; c < out->grad.cols(); ++c) {
+                       ar[c] += inv * (g[c] - static_cast<float>(dot) * x[c] * inv);
+                     }
+                   }
+                 });
+  v.node()->aux = std::move(norms);
+  return v;
 }
 
 }  // namespace ag

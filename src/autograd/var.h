@@ -31,6 +31,19 @@ class Node {
   // fails loudly when checks are enabled.
   const char* op = "leaf";
   int backward_runs = 0;
+  // Last execution-plan capture that recorded this node (src/plan). Tags are
+  // minted from a process-global monotonic counter, so a stale tag from a
+  // dead plan can never collide with a live capture's. Written only while a
+  // capture's hooks are installed on the owning thread; concurrent capture
+  // streams never share input nodes (the sharded trainer gives each replica
+  // its own parameters), so the field needs no synchronization.
+  uint64_t plan_tag = 0;
+  // Per-step auxiliary data some backwards need beyond parent/output values
+  // (RowScaleConst's scale column, LstmGates' cached activations, the LSTM
+  // input projection's input block, NormalizeRows' row norms). Stored on the
+  // node rather than captured by value in the backward closure so a replayed
+  // step (src/plan) can refresh it without rebuilding the closure.
+  Matrix aux;
 
   void EnsureGrad() {
     if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
@@ -58,7 +71,10 @@ class Var {
   int rows() const { return node_->value.rows(); }
   int cols() const { return node_->value.cols(); }
 
-  NodePtr node() const { return node_; }
+  // By const reference: node() sits on the replay hot path (src/plan
+  // validates every op input against the captured graph), where a by-value
+  // return would cost two atomic refcount operations per parent per op.
+  const NodePtr& node() const { return node_; }
 
  private:
   NodePtr node_;

@@ -10,6 +10,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/plan.h"
 #include "recovery/checkpoint.h"
 #include "tensor/arena.h"
 
@@ -32,6 +33,12 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
   // activations and intermediate gradients all land here and are reclaimed
   // with one Reset at the start of the next batch.
   arena::Arena step_arena;
+  // Plan cache for this training loop, keyed by batch row count (the only
+  // shape degree of freedom here): the first full batch and the final
+  // partial batch each capture once, every other batch replays. Local to
+  // the call, so a resume-from-checkpoint naturally re-captures — plan
+  // state is derived, never serialized.
+  plan::Planner planner;
 
   recovery::PhaseBegin(hooks, &optimizer);
 
@@ -92,14 +99,21 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
     for (int start = 0; start < n; start += config.batch_size) {
       float batch_loss = 0.0f;
       bool ran = recovery::RunStep(hooks, &optimizer, [&]() -> float {
+      int end = std::min(start + config.batch_size, n);
+      int b = end - start + (end - start == config.batch_size ? aux : 0);
+      // The whole step — batch assembly, RNG draws, forward, backward,
+      // optimizer update — sits inside the plan body so a replay mismatch
+      // can rerun it on the dynamic tape from a clean slate (the arena
+      // Reset below makes the rerun idempotent, the planner restores the
+      // RNG snapshot).
+      return planner.Step(plan::MakeKey(static_cast<uint64_t>(b)), rng,
+                          [&]() -> float {
       // Reset at batch *start*, not batch end: the previous batch's loss
       // value has been read by then, and resetting here keeps the arena
       // contract simple (everything allocated below lives until this line
       // next executes).
       step_arena.Reset();
       arena::ScopedArena step_scope(&step_arena);
-      int end = std::min(start + config.batch_size, n);
-      int b = end - start + (end - start == config.batch_size ? aux : 0);
       Matrix batch_features(b, features.cols());
       std::vector<int> batch_labels(b);
       for (int i = 0; i < end - start; ++i) {
@@ -181,6 +195,7 @@ void TrainClassifierOnFeatures(nn::FeedForwardClassifier* classifier,
       ag::Backward(loss);
       optimizer.Step();
       return loss.value()[0];
+      });
       }, &batch_loss);
       if (!ran) continue;
       loss_sum += batch_loss;

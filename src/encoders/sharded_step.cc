@@ -27,6 +27,7 @@ void ShardedEncoderTrainer::EnsureReplicas(int count) {
     // recycle these buffers in place and never touch the shard arena.
     nn::ZeroGrads(replica_params_.back());
     shard_arenas_.push_back(std::make_unique<arena::Arena>());
+    shard_planners_.push_back(std::make_unique<plan::Planner>());
   }
 }
 
@@ -54,26 +55,47 @@ float ShardedEncoderTrainer::Step(
   std::vector<ag::Var> shard_roots(num_shards);
   parallel::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
-      shard_arenas_[s]->Reset();
-      arena::ScopedArena tape_scope(shard_arenas_[s].get());
-      nn::CopyParameterValues(live_params, replica_params_[s]);
       int row0 = static_cast<int>(s) * kExampleShardGrain;
       int row1 = std::min(row0 + kExampleShardGrain, batch);
       std::vector<const Session*> shard(sessions.begin() + row0,
                                         sessions.begin() + row1);
-      shard_roots[s] = replicas_[s]->EncodeBatch(shard, embeddings);
+      // The shard tape's topology is a function of the shard's row count
+      // and its padded (max) session length alone, so those two numbers
+      // form the plan key. The arena reset sits inside the plan body so a
+      // mismatch fallback reruns the shard from a clean slate.
+      int max_len = 0;
+      for (const Session* sess : shard) {
+        max_len = std::max(max_len, sess->length());
+      }
+      shard_roots[s] = shard_planners_[s]->ForwardStep(
+          plan::MakeKey(static_cast<uint64_t>(row1 - row0),
+                        static_cast<uint64_t>(max_len)),
+          [&]() -> ag::Var {
+            shard_arenas_[s]->Reset();
+            arena::ScopedArena tape_scope(shard_arenas_[s].get());
+            nn::CopyParameterValues(live_params, replica_params_[s]);
+            return replicas_[s]->EncodeBatch(shard, embeddings);
+          });
     }
   });
 
   // Serial loss head on the concatenated encodings. The Param leaf cuts the
-  // tape: Backward stops here and deposits dL/dz in the leaf's grad.
+  // tape: Backward stops here and deposits dL/dz in the leaf's grad. The
+  // head is its own plan stream (forward and backward together: any
+  // mismatch throws during forward validation, before gradients move, so
+  // the dynamic rerun is safe).
   std::vector<Matrix> shard_values;
   shard_values.reserve(num_shards);
   for (const ag::Var& r : shard_roots) shard_values.push_back(r.value());
-  ag::Var z = ag::Param(ConcatRows(shard_values));
-  ag::Var loss = head(z);
-  float loss_value = loss.value()[0];
-  ag::Backward(loss);
+  ag::Var z;
+  float loss_value = head_planner_.Step(
+      plan::MakeKey(static_cast<uint64_t>(batch)), nullptr, [&]() -> float {
+        z = ag::Param(ConcatRows(shard_values));
+        ag::Var loss = head(z);
+        float v = loss.value()[0];
+        ag::Backward(loss);
+        return v;
+      });
 
   // Resume each shard's tape from its slice of dL/dz, accumulating into
   // the shard replica's private (heap-backed) gradient buffers. The scope
@@ -81,11 +103,13 @@ float ShardedEncoderTrainer::Step(
   // still live there, and the intermediate tape gradients join it.
   parallel::ParallelFor(0, num_shards, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t s = lo; s < hi; ++s) {
-      arena::ScopedArena tape_scope(shard_arenas_[s].get());
       int row0 = static_cast<int>(s) * kExampleShardGrain;
       int row1 = std::min(row0 + kExampleShardGrain, batch);
-      ag::BackwardWithGrad(shard_roots[s],
-                           SliceRows(z.grad(), row0, row1));
+      shard_planners_[s]->BackwardStep([&]() {
+        arena::ScopedArena tape_scope(shard_arenas_[s].get());
+        ag::BackwardWithGrad(shard_roots[s],
+                             SliceRows(z.grad(), row0, row1));
+      });
     }
   });
 

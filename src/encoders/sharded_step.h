@@ -7,6 +7,7 @@
 #include "autograd/var.h"
 #include "data/session.h"
 #include "encoders/session_encoder.h"
+#include "plan/plan.h"
 #include "tensor/arena.h"
 
 namespace clfd {
@@ -59,6 +60,14 @@ class ShardedEncoderTrainer {
   // outside any arena scope and refreshed in place afterwards — because
   // they must outlive the per-step tapes.
   std::vector<std::unique_ptr<arena::Arena>> shard_arenas_;
+  // Plan caches: one per shard replica (keyed by shard rows x max session
+  // length, the only shape degrees of freedom of the shard tape) plus one
+  // for the serial loss head (keyed by total batch rows). Each shard
+  // planner is driven by exactly one pool worker per region and the pool
+  // joins order the forward->backward handoff, so no locks are needed.
+  // Plans are derived state — a trainer rebuilt on resume just re-captures.
+  std::vector<std::unique_ptr<plan::Planner>> shard_planners_;
+  plan::Planner head_planner_;
 };
 
 }  // namespace clfd

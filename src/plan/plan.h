@@ -1,0 +1,423 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/tape_hooks.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/prof.h"
+
+namespace clfd {
+namespace plan {
+
+// Static execution plans (DESIGN.md §15).
+//
+// The four training phases each run a fixed-topology graph for thousands of
+// steps, yet the dynamic tape rebuilds it node-by-node every step — a
+// shared_ptr<Node>, a std::function closure and a shape check per op. An
+// ExecutionPlan captures ONE representative step through the tape hooks
+// (autograd/tape_hooks.h): the flat construction-ordered node list with
+// resolved forward bodies, scalar op arguments, parent wiring and leaf
+// binding shapes, plus the backward pass's exact post-order execution
+// sequence. At Finalize the plan moves every slot's value/grad/aux into
+// persistent heap buffers it owns. Every later step with the same shape
+// key REPLAYS that plan: leaves are rebound by move, each node's value is
+// recomputed *in place* into its persistent buffer by a plain function
+// pointer (the *Into kernels in tensor/matrix.h), interior gradients are
+// re-zeroed in place, and the backward runs the captured closures in the
+// captured order — zero graph construction and zero per-step tape
+// allocations (kernel-internal compute scratch aside), all structural
+// validation hoisted to cheap identity/shape comparisons.
+//
+// Bitwise contract: a replayed step runs exactly the kernel calls of the
+// dynamic step, in the same order, on the same buffers — including
+// kLstmGateBackwardOrder and every gradient accumulation order — so
+// RunMetrics are bitwise identical with plans on or off at every thread
+// width and kernel backend (locked down by tests/plan_test.cc and
+// eval_test's PlanInvariance).
+//
+// Invalidation: any divergence between a step and its plan (different op
+// sequence, op scalar arguments, input rewiring, leaf binding shape,
+// backward root/seed) throws ReplayMismatch *before* any gradient is
+// mutated; the Planner then discards the plan, restores the step's RNG
+// snapshot and reruns the step on the dynamic tape. Keys that keep
+// mismatching are pinned dynamic-only. Plans are derived state: they are
+// never serialized, and a resume-from-checkpoint simply re-captures
+// (tests/recovery_test.cc).
+
+// Global switch, read from CLFD_PLAN on first use (default on); the CLI
+// exposes --no-plan. Also publishes the "plan" profiler report annotation.
+bool Enabled();
+void SetEnabled(bool on);
+
+class ScopedEnabled {
+ public:
+  explicit ScopedEnabled(bool on) : saved_(Enabled()) { SetEnabled(on); }
+  ~ScopedEnabled() { SetEnabled(saved_); }
+  ScopedEnabled(const ScopedEnabled&) = delete;
+  ScopedEnabled& operator=(const ScopedEnabled&) = delete;
+
+ private:
+  bool saved_;
+};
+
+// Thrown by the replayer when the current step diverges from the captured
+// plan. Always thrown before any gradient mutation, so the Planner can fall
+// back to a clean dynamic rerun. Deliberately NOT a check::InvariantError:
+// the fault watchdog must keep treating InvariantError as numeric
+// corruption, while a mismatch is a benign structural invalidation.
+class ReplayMismatch : public std::runtime_error {
+ public:
+  explicit ReplayMismatch(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+namespace detail {
+class Capturer;
+class Replayer;
+}  // namespace detail
+
+// One captured step: the slot list in construction order plus the recorded
+// backward pass(es). Owns its interior nodes (and pins external inputs such
+// as model parameters) for the lifetime of the plan.
+class ExecutionPlan {
+ public:
+  enum class Aux { kNone, kCopy, kMove };
+
+  struct Slot {
+    ag::NodePtr node;
+    const char* op = nullptr;
+    ag::PlanForwardFn forward = nullptr;  // null for leaf slots
+    float f0 = 0.0f;
+    int i0 = 0;
+    int i1 = 0;
+    Aux aux = Aux::kNone;
+    int aux_rows = 0, aux_cols = 0;
+    bool leaf = false;
+    bool leaf_requires_grad = false;
+    int value_rows = 0, value_cols = 0;
+    // Parent nodes in input order, stored as an [offset, count) window into
+    // the plan's shared parent_pool_ (one flat array instead of a heap
+    // vector per slot; the pointers are kept alive by earlier slots or by
+    // externals_).
+    uint32_t parent_off = 0;
+    uint32_t parent_count = 0;
+  };
+
+  struct BackwardEntry {
+    ag::Node* node = nullptr;
+    // True → plan-owned tape node: its gradient is freshly zeroed every
+    // replay. False → external (model parameter): EnsureGrad only, so
+    // accumulation across steps keeps the dynamic tape's semantics.
+    bool interior = false;
+  };
+
+  struct BackwardRecord {
+    ag::Node* root = nullptr;
+    bool seeded = false;
+    std::vector<BackwardEntry> order;  // post-order, leaves toward root
+  };
+
+  size_t num_slots() const { return slots_.size(); }
+  const std::vector<Slot>& slots() const { return slots_; }
+  const std::vector<BackwardRecord>& backwards() const { return backwards_; }
+
+ private:
+  friend class detail::Capturer;
+  friend class detail::Replayer;
+
+  std::vector<Slot> slots_;
+  std::vector<ag::Node*> parent_pool_;  // backing store for Slot parents
+  std::vector<BackwardRecord> backwards_;
+  std::vector<ag::NodePtr> externals_;  // keep-alive for external parents
+};
+
+namespace detail {
+
+// Capture-mode tape hooks: observe the dynamic step and record it. The
+// dynamic builders still run, so the capture step *is* a normal step.
+class Capturer : public ag::TapeHooks {
+ public:
+  Capturer();
+  ~Capturer() override;
+
+  bool OnOp(const ag::OpDesc& desc, ag::Var* out) override;
+  bool OnLeaf(const char* op, Matrix* value, bool requires_grad,
+              ag::Var* out) override;
+  void OnNodeCreated(const ag::NodePtr& node) override;
+  bool OnBackward(const ag::Var& root, const Matrix* seed) override;
+  void OnBackwardOrder(const ag::Var& root, const Matrix* seed,
+                       const std::vector<ag::Node*>& post_order) override;
+
+  // Completes the capture; null when the step was not capturable (a node
+  // was created outside the interception protocol, or an already-consumed
+  // external subgraph leaked into the backward order).
+  std::unique_ptr<ExecutionPlan> Finalize();
+
+ private:
+  struct Pending {
+    bool is_leaf = false;
+    const char* op = nullptr;
+    ag::PlanForwardFn forward = nullptr;
+    float f0 = 0.0f;
+    int i0 = 0, i1 = 0;
+    ExecutionPlan::Aux aux = ExecutionPlan::Aux::kNone;
+    bool leaf_requires_grad = false;
+    // Raw parent pointers; externals are pinned (and tagged) in OnOp, so no
+    // refcount traffic or per-op vector allocation happens here — the
+    // vector's capacity is reused across ops via clear().
+    std::vector<ag::Node*> parents;
+  };
+
+  std::unique_ptr<ExecutionPlan> plan_;
+  Pending pending_;
+  bool pending_valid_ = false;
+  bool broken_ = false;
+  // Node::plan_tag values for this capture, minted from a process-global
+  // monotonic counter (interior = 2*id, external = 2*id + 1) so tags from
+  // dead plans can never be mistaken for this capture's. Tag comparison
+  // replaces the hash lookups a slot-index map would need per op.
+  uint64_t interior_tag_ = 0;
+  uint64_t external_tag_ = 0;
+};
+
+// Replay-mode tape hooks: satisfy every op/leaf/backward from the plan,
+// validating structure as it goes. Any divergence throws ReplayMismatch
+// before gradients are touched.
+class Replayer : public ag::TapeHooks {
+ public:
+  explicit Replayer(ExecutionPlan* plan);
+
+  bool OnOp(const ag::OpDesc& desc, ag::Var* out) override;
+  bool OnLeaf(const char* op, Matrix* value, bool requires_grad,
+              ag::Var* out) override;
+  void OnNodeCreated(const ag::NodePtr& node) override;
+  bool OnBackward(const ag::Var& root, const Matrix* seed) override;
+  void OnBackwardOrder(const ag::Var& root, const Matrix* seed,
+                       const std::vector<ag::Node*>& post_order) override;
+
+  // Throws ReplayMismatch unless the whole forward slot list was consumed.
+  void CheckForwardComplete() const;
+  bool backward_ran() const { return backward_ran_; }
+
+ private:
+  ExecutionPlan::Slot& NextSlot();
+
+  ExecutionPlan* plan_;
+  size_t cursor_ = 0;
+  size_t bw_cursor_ = 0;
+  bool backward_ran_ = false;
+};
+
+// Installs tape hooks for the current scope (restores the previous hooks on
+// exit, including on exceptions).
+class HooksGuard {
+ public:
+  explicit HooksGuard(ag::TapeHooks* hooks) : prev_(ag::SetTapeHooks(hooks)) {}
+  ~HooksGuard() { ag::SetTapeHooks(prev_); }
+  HooksGuard(const HooksGuard&) = delete;
+  HooksGuard& operator=(const HooksGuard&) = delete;
+
+ private:
+  ag::TapeHooks* prev_;
+};
+
+}  // namespace detail
+
+// Packs a shape tuple into a plan cache key.
+inline uint64_t MakeKey(uint64_t a, uint64_t b = 0) {
+  return (a << 32) | (b & 0xffffffffu);
+}
+
+// Per-training-loop plan cache + capture/replay driver. One Planner per
+// logical tape stream: the classifier trainer owns one, the sharded trainer
+// owns one per shard replica plus one for the serial loss head. A Planner
+// is NOT thread-safe — each instance must be driven by one worker at a time
+// (the sharded trainer's per-shard ownership plus the pool join's
+// happens-before give exactly that).
+class Planner {
+ public:
+  Planner() = default;
+  Planner(const Planner&) = delete;
+  Planner& operator=(const Planner&) = delete;
+
+  // One-shot step (forward + backward inside `body`, which returns the step
+  // loss). First call per key captures, later calls replay. On a replay
+  // mismatch the plan is invalidated, `rng` (optional) is restored to its
+  // pre-step snapshot, and `body` is rerun on the dynamic tape — callers
+  // must therefore put the *whole* step inside `body`, including batch
+  // assembly and any RNG draws.
+  template <typename Body>
+  float Step(uint64_t key, Rng* rng, Body&& body) {
+    if (!Enabled()) return body();
+    Entry& e = entries_[key];
+    if (e.blacklisted) return body();
+    if (e.plan == nullptr) {
+      detail::Capturer cap;
+      float loss;
+      {
+        CLFD_PROF_SCOPE("plan.capture");
+        detail::HooksGuard guard(&cap);
+        loss = body();
+      }
+      NoteCapture(&e, cap.Finalize());
+      return loss;
+    }
+    // Plain object copy, not SaveState(): the text round-trip formats the
+    // whole mt19937_64 state through a stringstream, which is orders of
+    // magnitude slower than this stack copy and would tax every replayed
+    // step for the rare mismatch that actually needs the undo.
+    std::optional<Rng> rng_snapshot;
+    if (rng != nullptr) rng_snapshot = *rng;
+    detail::Replayer rep(e.plan.get());
+    try {
+      float loss;
+      {
+        CLFD_PROF_SCOPE("plan.replay");
+        detail::HooksGuard guard(&rep);
+        loss = body();
+      }
+      NoteReplay();
+      return loss;
+    } catch (const ReplayMismatch& m) {
+      if (rep.backward_ran()) {
+        // Gradients were already written by the planned backward; a rerun
+        // would double-accumulate. Surface as an invariant failure (the
+        // fault watchdog zeroes grads and skips the batch).
+        check::Fail(std::string("execution plan invalidated after its "
+                                "backward ran: ") +
+                    m.what());
+      }
+      NoteInvalidation(&e);
+      if (rng != nullptr) *rng = *rng_snapshot;
+      return body();
+    }
+  }
+
+  // Split step for the sharded trainer, whose forward and backward run in
+  // separate pool regions with a serial loss head in between. ForwardStep
+  // returns body()'s result (the shard's tape root); BackwardStep wraps the
+  // BackwardWithGrad call. The pool join between regions orders the
+  // planner's internal state handoff.
+  template <typename Body>
+  auto ForwardStep(uint64_t key, Body&& body) -> decltype(body()) {
+    split_mode_ = SplitMode::kDynamic;
+    split_entry_ = nullptr;
+    capturer_.reset();
+    replayer_.reset();
+    if (!Enabled()) return body();
+    Entry& e = entries_[key];
+    if (e.blacklisted) return body();
+    if (e.plan == nullptr) {
+      capturer_ = std::make_unique<detail::Capturer>();
+      split_entry_ = &e;
+      split_mode_ = SplitMode::kCapture;
+      CLFD_PROF_SCOPE("plan.capture");
+      detail::HooksGuard guard(capturer_.get());
+      return body();
+    }
+    replayer_ = std::make_unique<detail::Replayer>(e.plan.get());
+    try {
+      auto out = [&] {
+        CLFD_PROF_SCOPE("plan.replay");
+        detail::HooksGuard guard(replayer_.get());
+        auto root = body();
+        replayer_->CheckForwardComplete();
+        return root;
+      }();
+      split_entry_ = &e;
+      split_mode_ = SplitMode::kReplay;
+      return out;
+    } catch (const ReplayMismatch&) {
+      NoteInvalidation(&e);
+      replayer_.reset();
+      return body();
+    }
+  }
+
+  template <typename Body>
+  void BackwardStep(Body&& body) {
+    switch (split_mode_) {
+      case SplitMode::kDynamic:
+        body();
+        return;
+      case SplitMode::kCapture: {
+        {
+          CLFD_PROF_SCOPE("plan.capture");
+          detail::HooksGuard guard(capturer_.get());
+          body();
+        }
+        NoteCapture(split_entry_, capturer_->Finalize());
+        capturer_.reset();
+        split_entry_ = nullptr;
+        split_mode_ = SplitMode::kDynamic;
+        return;
+      }
+      case SplitMode::kReplay: {
+        try {
+          CLFD_PROF_SCOPE("plan.replay");
+          detail::HooksGuard guard(replayer_.get());
+          body();
+        } catch (const ReplayMismatch& m) {
+          // The backward topology is fixed once the forward replayed; a
+          // mismatch here cannot be silently retried (gradients may be in
+          // an intermediate state), so fail as an invariant violation.
+          NoteInvalidation(split_entry_);
+          replayer_.reset();
+          split_entry_ = nullptr;
+          split_mode_ = SplitMode::kDynamic;
+          check::Fail(std::string("execution plan backward mismatch: ") +
+                      m.what());
+        }
+        NoteReplay();
+        replayer_.reset();
+        split_entry_ = nullptr;
+        split_mode_ = SplitMode::kDynamic;
+        return;
+      }
+    }
+  }
+
+  // Introspection (tests, benchmarks).
+  const ExecutionPlan* plan(uint64_t key) const;
+  int64_t captures() const { return captures_; }
+  int64_t replays() const { return replays_; }
+  int64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<ExecutionPlan> plan;
+    int mismatches = 0;
+    bool blacklisted = false;
+  };
+  enum class SplitMode { kDynamic, kCapture, kReplay };
+
+  // A key that keeps invalidating is pinned dynamic-only so a shape-
+  // thrashing loop does not pay capture cost every step.
+  static constexpr int kMaxMismatchesPerKey = 2;
+
+  void NoteCapture(Entry* e, std::unique_ptr<ExecutionPlan> p);
+  void NoteInvalidation(Entry* e);
+  void NoteReplay();
+
+  // Key lookup only; never iterated.
+  // clfd-lint: allow(determinism-unordered)
+  std::unordered_map<uint64_t, Entry> entries_;
+  int64_t captures_ = 0;
+  int64_t replays_ = 0;
+  int64_t invalidations_ = 0;
+
+  SplitMode split_mode_ = SplitMode::kDynamic;
+  Entry* split_entry_ = nullptr;
+  std::unique_ptr<detail::Capturer> capturer_;
+  std::unique_ptr<detail::Replayer> replayer_;
+};
+
+}  // namespace plan
+}  // namespace clfd

@@ -53,6 +53,27 @@ class Arena {
   size_t floats_reserved() const;
   int64_t chunk_count() const { return static_cast<int64_t>(chunks_.size()); }
 
+  // Allocation cursor: identifies the exact point the next Allocate() will
+  // serve from. Because the arena is a deterministic bump allocator (chunk
+  // capacities depend only on creation order), two steps that start from
+  // Reset() and perform the same allocation sequence observe the same
+  // cursor at every point — the determinism property the arena and plan
+  // tests lock down by comparing end-of-step cursors across steps.
+  struct Mark {
+    size_t chunk = 0;
+    size_t used = 0;
+    bool operator==(const Mark& other) const {
+      return chunk == other.chunk && used == other.used;
+    }
+    bool operator!=(const Mark& other) const { return !(*this == other); }
+  };
+  Mark Position() const {
+    Mark m;
+    m.chunk = active_;
+    m.used = chunks_.empty() ? 0 : chunks_[active_].used;
+    return m;
+  }
+
  private:
   struct Chunk {
     std::unique_ptr<float[]> data;

@@ -155,6 +155,25 @@ void Matrix::CopyRowFrom(const Matrix& src, int src_r, int r) {
   std::memcpy(row(r), src.row(src_r), static_cast<size_t>(cols_) * sizeof(float));
 }
 
+void EnsureShape(Matrix* out, int rows, int cols, bool zeroed) {
+  if (out->rows() == rows && out->cols() == cols) {
+    // Reuse in place. Accumulating kernels (the plain matmuls) need the
+    // zero start a fresh Matrix would have had; overwrite-style kernels
+    // assign every element, so stale contents are unobservable.
+    if (zeroed) out->Fill(0.0f);
+    return;
+  }
+  *out = Matrix(rows, cols);
+}
+
+void CopyInto(const Matrix& src, Matrix* dst) {
+  EnsureShape(dst, src.rows(), src.cols(), /*zeroed=*/false);
+  if (dst->size() > 0) {
+    std::memcpy(dst->data(), src.data(),
+                static_cast<size_t>(src.size()) * sizeof(float));
+  }
+}
+
 std::string Matrix::DebugString(int max_rows, int max_cols) const {
   std::ostringstream os;
   os << "Matrix(" << rows_ << "x" << cols_ << ")[";
@@ -673,7 +692,7 @@ void SetMatmulParallelThreshold(int64_t flops) {
                            std::memory_order_relaxed);
 }
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c) {
   CheckShape(a.cols() == b.rows(), "MatMul", a, b);
   assert(a.cols() == b.rows());
   // One relaxed atomic add per kernel call (not per element), so the
@@ -685,22 +704,29 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   obs::prof::AddFlops(flops);
   obs::prof::AddBytes(int64_t{4} *
                       (a.size() + b.size() + int64_t{a.rows()} * b.cols()));
-  Matrix c(a.rows(), b.cols());
+  // The row bodies accumulate into C, so a reused buffer must restart at
+  // zero — the state a freshly constructed result had.
+  EnsureShape(c, a.rows(), b.cols(), /*zeroed=*/true);
   switch (CurrentKernelBackend()) {
     case KernelBackend::kScalar:
-      DispatchRows(a, b, &c, flops, MatMulRows);
+      DispatchRows(a, b, c, flops, MatMulRows);
       break;
     case KernelBackend::kBlocked:
-      DispatchRows(a, b, &c, flops, MatMulRowsBlocked);
+      DispatchRows(a, b, c, flops, MatMulRowsBlocked);
       break;
     case KernelBackend::kSimd:
-      DispatchRows(a, b, &c, flops, MatMulRowsSimd);
+      DispatchRows(a, b, c, flops, MatMulRowsSimd);
       break;
   }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulInto(a, b, &c);
   return c;
 }
 
-Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+void MatMulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* c) {
   CheckShape(a.rows() == b.rows(), "MatMulTransposeA", a, b);
   assert(a.rows() == b.rows());
   CLFD_METRIC_COUNT("tensor.matmul_ta.calls", 1);
@@ -710,22 +736,27 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   obs::prof::AddFlops(flops);
   obs::prof::AddBytes(int64_t{4} *
                       (a.size() + b.size() + int64_t{a.cols()} * b.cols()));
-  Matrix c(a.cols(), b.cols());
+  EnsureShape(c, a.cols(), b.cols(), /*zeroed=*/true);
   switch (CurrentKernelBackend()) {
     case KernelBackend::kScalar:
-      DispatchRows(a, b, &c, flops, MatMulTransposeARows);
+      DispatchRows(a, b, c, flops, MatMulTransposeARows);
       break;
     case KernelBackend::kBlocked:
-      DispatchRows(a, b, &c, flops, MatMulTransposeARowsBlocked);
+      DispatchRows(a, b, c, flops, MatMulTransposeARowsBlocked);
       break;
     case KernelBackend::kSimd:
-      DispatchRows(a, b, &c, flops, MatMulTransposeARowsSimd);
+      DispatchRows(a, b, c, flops, MatMulTransposeARowsSimd);
       break;
   }
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulTransposeAInto(a, b, &c);
   return c;
 }
 
-Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* c) {
   CheckShape(a.cols() == b.cols(), "MatMulTransposeB", a, b);
   assert(a.cols() == b.cols());
   CLFD_METRIC_COUNT("tensor.matmul_tb.calls", 1);
@@ -735,12 +766,20 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   obs::prof::AddFlops(flops);
   obs::prof::AddBytes(int64_t{4} *
                       (a.size() + b.size() + int64_t{a.rows()} * b.rows()));
-  Matrix c(a.rows(), b.rows());
+  // Unlike the accumulating matmuls, every TransposeB body (oracle and
+  // tiled) assigns each output element from a fresh dot accumulator, so a
+  // reused buffer needs no re-zeroing.
+  EnsureShape(c, a.rows(), b.rows(), /*zeroed=*/false);
   if (CurrentKernelBackend() == KernelBackend::kScalar) {
-    DispatchRows(a, b, &c, flops, MatMulTransposeBRows);
+    DispatchRows(a, b, c, flops, MatMulTransposeBRows);
   } else {
-    DispatchRows(a, b, &c, flops, MatMulTransposeBRowsTiled);
+    DispatchRows(a, b, c, flops, MatMulTransposeBRowsTiled);
   }
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MatMulTransposeBInto(a, b, &c);
   return c;
 }
 
@@ -761,35 +800,47 @@ namespace {
 // and a hoisted bound. Bitwise equality across backends is structural.
 
 template <typename Fn>
-Matrix Binary(const Matrix& a, const Matrix& b, Fn fn) {
+void BinaryInto(const Matrix& a, const Matrix& b, Matrix* c, Fn fn) {
   CheckShape(a.SameShape(b), "Matrix elementwise op", a, b);
   assert(a.SameShape(b));
   CLFD_METRIC_COUNT("tensor.elementwise.calls", 1);
-  Matrix c(a.rows(), a.cols());
+  EnsureShape(c, a.rows(), a.cols(), /*zeroed=*/false);
   if (CurrentKernelBackend() == KernelBackend::kSimd && a.size() > 0) {
     const float* __restrict pa = a.data();
     const float* __restrict pb = b.data();
-    float* __restrict pc = c.data();
+    float* __restrict pc = c->data();
     const int n = a.size();
     for (int i = 0; i < n; ++i) pc[i] = fn(pa[i], pb[i]);
   } else {
-    for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i], b[i]);
+    for (int i = 0; i < a.size(); ++i) (*c)[i] = fn(a[i], b[i]);
   }
+}
+
+template <typename Fn>
+void UnaryInto(const Matrix& a, Matrix* c, Fn fn) {
+  CLFD_METRIC_COUNT("tensor.elementwise.calls", 1);
+  EnsureShape(c, a.rows(), a.cols(), /*zeroed=*/false);
+  if (CurrentKernelBackend() == KernelBackend::kSimd && a.size() > 0) {
+    const float* __restrict pa = a.data();
+    float* __restrict pc = c->data();
+    const int n = a.size();
+    for (int i = 0; i < n; ++i) pc[i] = fn(pa[i]);
+  } else {
+    for (int i = 0; i < a.size(); ++i) (*c)[i] = fn(a[i]);
+  }
+}
+
+template <typename Fn>
+Matrix Binary(const Matrix& a, const Matrix& b, Fn fn) {
+  Matrix c;
+  BinaryInto(a, b, &c, fn);
   return c;
 }
 
 template <typename Fn>
 Matrix Unary(const Matrix& a, Fn fn) {
-  CLFD_METRIC_COUNT("tensor.elementwise.calls", 1);
-  Matrix c(a.rows(), a.cols());
-  if (CurrentKernelBackend() == KernelBackend::kSimd && a.size() > 0) {
-    const float* __restrict pa = a.data();
-    float* __restrict pc = c.data();
-    const int n = a.size();
-    for (int i = 0; i < n; ++i) pc[i] = fn(pa[i]);
-  } else {
-    for (int i = 0; i < a.size(); ++i) c[i] = fn(a[i]);
-  }
+  Matrix c;
+  UnaryInto(a, &c, fn);
   return c;
 }
 
@@ -814,16 +865,37 @@ Matrix MulScalar(const Matrix& a, float s) {
   return Unary(a, [s](float x) { return x * s; });
 }
 
-Matrix AddRowBroadcast(const Matrix& a, const Matrix& row_vec) {
+void AddInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  BinaryInto(a, b, c, [](float x, float y) { return x + y; });
+}
+void SubInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  BinaryInto(a, b, c, [](float x, float y) { return x - y; });
+}
+void MulInto(const Matrix& a, const Matrix& b, Matrix* c) {
+  BinaryInto(a, b, c, [](float x, float y) { return x * y; });
+}
+void AddScalarInto(const Matrix& a, float s, Matrix* c) {
+  UnaryInto(a, c, [s](float x) { return x + s; });
+}
+void MulScalarInto(const Matrix& a, float s, Matrix* c) {
+  UnaryInto(a, c, [s](float x) { return x * s; });
+}
+
+void AddRowBroadcastInto(const Matrix& a, const Matrix& row_vec, Matrix* c) {
   CheckShape(row_vec.rows() == 1 && row_vec.cols() == a.cols(),
              "AddRowBroadcast", a, row_vec);
   assert(row_vec.rows() == 1 && row_vec.cols() == a.cols());
-  Matrix c(a.rows(), a.cols());
+  EnsureShape(c, a.rows(), a.cols(), /*zeroed=*/false);
   for (int r = 0; r < a.rows(); ++r) {
     const float* arow = a.row(r);
-    float* crow = c.row(r);
+    float* crow = c->row(r);
     for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] + row_vec[j];
   }
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row_vec) {
+  Matrix c;
+  AddRowBroadcastInto(a, row_vec, &c);
   return c;
 }
 
@@ -849,6 +921,28 @@ Matrix LeakyRelu(const Matrix& a, float slope) {
   return Unary(a, [slope](float x) { return x > 0.0f ? x : slope * x; });
 }
 
+void ExpInto(const Matrix& a, Matrix* c) {
+  UnaryInto(a, c, [](float x) { return std::exp(x); });
+}
+void LogInto(const Matrix& a, Matrix* c) {
+  UnaryInto(a, c, [](float x) { return std::log(std::max(x, 1e-12f)); });
+}
+void PowInto(const Matrix& a, float p, Matrix* c) {
+  UnaryInto(a, c, [p](float x) { return std::pow(x, p); });
+}
+void TanhInto(const Matrix& a, Matrix* c) {
+  UnaryInto(a, c, [](float x) { return std::tanh(x); });
+}
+void SigmoidInto(const Matrix& a, Matrix* c) {
+  UnaryInto(a, c, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+void ReluInto(const Matrix& a, Matrix* c) {
+  UnaryInto(a, c, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+void LeakyReluInto(const Matrix& a, float slope, Matrix* c) {
+  UnaryInto(a, c, [slope](float x) { return x > 0.0f ? x : slope * x; });
+}
+
 float SumAll(const Matrix& a) {
   double acc = 0.0;
   for (int i = 0; i < a.size(); ++i) acc += a[i];
@@ -859,14 +953,19 @@ float MeanAll(const Matrix& a) {
   return a.size() == 0 ? 0.0f : SumAll(a) / static_cast<float>(a.size());
 }
 
-Matrix SumRows(const Matrix& a) {
-  Matrix out(a.rows(), 1);
+void SumRowsInto(const Matrix& a, Matrix* out) {
+  EnsureShape(out, a.rows(), 1, /*zeroed=*/false);
   for (int r = 0; r < a.rows(); ++r) {
     const float* arow = a.row(r);
     double acc = 0.0;
     for (int c = 0; c < a.cols(); ++c) acc += arow[c];
-    out.at(r, 0) = static_cast<float>(acc);
+    out->at(r, 0) = static_cast<float>(acc);
   }
+}
+
+Matrix SumRows(const Matrix& a) {
+  Matrix out;
+  SumRowsInto(a, &out);
   return out;
 }
 
@@ -876,14 +975,14 @@ Matrix MeanRows(const Matrix& a) {
   return out;
 }
 
-Matrix SoftmaxRows(const Matrix& a) {
+void SoftmaxRowsInto(const Matrix& a, Matrix* out) {
   CLFD_METRIC_COUNT("tensor.softmax.calls", 1);
   // Nominal cost: max + exp + sum + divide over every element.
   CLFD_METRIC_COUNT("tensor.softmax.flops", int64_t{4} * a.size());
   CLFD_PROF_SCOPE("Softmax");
   obs::prof::AddFlops(int64_t{4} * a.size());
   obs::prof::AddBytes(int64_t{8} * a.size());
-  Matrix out(a.rows(), a.cols());
+  EnsureShape(out, a.rows(), a.cols(), /*zeroed=*/false);
   if (CurrentKernelBackend() == KernelBackend::kSimd) {
     // Same per-row ops in the same order (the max and denom reductions
     // stay ascending-c scalar chains — reordering those would change
@@ -891,7 +990,7 @@ Matrix SoftmaxRows(const Matrix& a) {
     const int cols = a.cols();
     for (int r = 0; r < a.rows(); ++r) {
       const float* __restrict arow = a.row(r);
-      float* __restrict orow = out.row(r);
+      float* __restrict orow = out->row(r);
       float mx = -std::numeric_limits<float>::infinity();
       for (int c = 0; c < cols; ++c) mx = std::max(mx, arow[c]);
       double denom = 0.0;
@@ -903,11 +1002,11 @@ Matrix SoftmaxRows(const Matrix& a) {
         orow[c] = static_cast<float>(orow[c] / denom);
       }
     }
-    return out;
+    return;
   }
   for (int r = 0; r < a.rows(); ++r) {
     const float* arow = a.row(r);
-    float* orow = out.row(r);
+    float* orow = out->row(r);
     float mx = -std::numeric_limits<float>::infinity();
     for (int c = 0; c < a.cols(); ++c) mx = std::max(mx, arow[c]);
     double denom = 0.0;
@@ -919,28 +1018,68 @@ Matrix SoftmaxRows(const Matrix& a) {
       orow[c] = static_cast<float>(orow[c] / denom);
     }
   }
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix out;
+  SoftmaxRowsInto(a, &out);
   return out;
+}
+
+namespace {
+
+// Pointer view over a Matrix vector for the Into concat bodies.
+struct BlockPtrs {
+  const Matrix* stack[64];
+  std::vector<const Matrix*> heap;
+  const Matrix* const* data;
+  explicit BlockPtrs(const std::vector<Matrix>& blocks) {
+    const Matrix** out = stack;
+    if (blocks.size() > 64) {
+      heap.resize(blocks.size());
+      out = heap.data();
+    }
+    for (size_t i = 0; i < blocks.size(); ++i) out[i] = &blocks[i];
+    data = out;
+  }
+};
+
+}  // namespace
+
+void ConcatRowsInto(const Matrix* const* blocks, int n, Matrix* out) {
+  CLFD_METRIC_COUNT("tensor.concat_rows.calls", 1);
+  if (n == 0) {
+    EnsureShape(out, 0, 0, /*zeroed=*/false);
+    return;
+  }
+  int cols = blocks[0]->cols();
+  int rows = 0;
+  for (int i = 0; i < n; ++i) {
+    CheckShape(blocks[i]->cols() == cols, "ConcatRows", *blocks[0],
+               *blocks[i]);
+    assert(blocks[i]->cols() == cols);
+    rows += blocks[i]->rows();
+  }
+  EnsureShape(out, rows, cols, /*zeroed=*/false);
+  int r = 0;
+  for (int i = 0; i < n; ++i) {
+    const Matrix& b = *blocks[i];
+    for (int br = 0; br < b.rows(); ++br) out->CopyRowFrom(b, br, r++);
+  }
 }
 
 Matrix ConcatRows(const std::vector<Matrix>& blocks) {
-  CLFD_METRIC_COUNT("tensor.concat_rows.calls", 1);
-  if (blocks.empty()) return Matrix();
-  int cols = blocks[0].cols();
-  int rows = 0;
-  for (const Matrix& b : blocks) {
-    CheckShape(b.cols() == cols, "ConcatRows", blocks[0], b);
-    assert(b.cols() == cols);
-    rows += b.rows();
+  if (blocks.empty()) {
+    CLFD_METRIC_COUNT("tensor.concat_rows.calls", 1);
+    return Matrix();
   }
-  Matrix out(rows, cols);
-  int r = 0;
-  for (const Matrix& b : blocks) {
-    for (int br = 0; br < b.rows(); ++br) out.CopyRowFrom(b, br, r++);
-  }
+  BlockPtrs ptrs(blocks);
+  Matrix out;
+  ConcatRowsInto(ptrs.data, static_cast<int>(blocks.size()), &out);
   return out;
 }
 
-Matrix SliceRows(const Matrix& a, int begin, int end) {
+void SliceRowsInto(const Matrix& a, int begin, int end, Matrix* out) {
   CLFD_METRIC_COUNT("tensor.slice_rows.calls", 1);
   if (check::Enabled() && !(begin >= 0 && begin <= end && end <= a.rows())) {
     check::Fail("SliceRows: range [" + std::to_string(begin) + ", " +
@@ -948,45 +1087,70 @@ Matrix SliceRows(const Matrix& a, int begin, int end) {
                 ShapeStr(a));
   }
   assert(begin >= 0 && begin <= end && end <= a.rows());
-  Matrix out(end - begin, a.cols());
-  for (int r = begin; r < end; ++r) out.CopyRowFrom(a, r, r - begin);
+  EnsureShape(out, end - begin, a.cols(), /*zeroed=*/false);
+  for (int r = begin; r < end; ++r) out->CopyRowFrom(a, r, r - begin);
+}
+
+Matrix SliceRows(const Matrix& a, int begin, int end) {
+  Matrix out;
+  SliceRowsInto(a, begin, end, &out);
   return out;
 }
 
-Matrix ConcatCols(const std::vector<Matrix>& blocks) {
+void ConcatColsInto(const Matrix* const* blocks, int n, Matrix* out) {
   CLFD_METRIC_COUNT("tensor.concat_cols.calls", 1);
-  if (blocks.empty()) return Matrix();
-  int rows = blocks[0].rows();
-  int cols = 0;
-  for (const Matrix& b : blocks) {
-    CheckShape(b.rows() == rows, "ConcatCols", blocks[0], b);
-    assert(b.rows() == rows);
-    cols += b.cols();
+  if (n == 0) {
+    EnsureShape(out, 0, 0, /*zeroed=*/false);
+    return;
   }
-  Matrix out(rows, cols);
+  int rows = blocks[0]->rows();
+  int cols = 0;
+  for (int i = 0; i < n; ++i) {
+    CheckShape(blocks[i]->rows() == rows, "ConcatCols", *blocks[0],
+               *blocks[i]);
+    assert(blocks[i]->rows() == rows);
+    cols += blocks[i]->cols();
+  }
+  EnsureShape(out, rows, cols, /*zeroed=*/false);
   int c0 = 0;
-  for (const Matrix& b : blocks) {
+  for (int i = 0; i < n; ++i) {
+    const Matrix& b = *blocks[i];
     for (int r = 0; r < rows; ++r) {
-      std::memcpy(out.row(r) + c0, b.row(r),
+      std::memcpy(out->row(r) + c0, b.row(r),
                   static_cast<size_t>(b.cols()) * sizeof(float));
     }
     c0 += b.cols();
   }
+}
+
+Matrix ConcatCols(const std::vector<Matrix>& blocks) {
+  if (blocks.empty()) {
+    CLFD_METRIC_COUNT("tensor.concat_cols.calls", 1);
+    return Matrix();
+  }
+  BlockPtrs ptrs(blocks);
+  Matrix out;
+  ConcatColsInto(ptrs.data, static_cast<int>(blocks.size()), &out);
   return out;
 }
 
-Matrix SliceCols(const Matrix& a, int begin, int end) {
+void SliceColsInto(const Matrix& a, int begin, int end, Matrix* out) {
   CLFD_METRIC_COUNT("tensor.slice_cols.calls", 1);
   if (check::Enabled() && !(begin >= 0 && begin <= end && end <= a.cols())) {
     check::Fail("SliceCols: range [" + std::to_string(begin) + ", " +
                 std::to_string(end) + ") out of bounds for " + ShapeStr(a));
   }
   assert(begin >= 0 && begin <= end && end <= a.cols());
-  Matrix out(a.rows(), end - begin);
+  EnsureShape(out, a.rows(), end - begin, /*zeroed=*/false);
   for (int r = 0; r < a.rows(); ++r) {
-    std::memcpy(out.row(r), a.row(r) + begin,
+    std::memcpy(out->row(r), a.row(r) + begin,
                 static_cast<size_t>(end - begin) * sizeof(float));
   }
+}
+
+Matrix SliceCols(const Matrix& a, int begin, int end) {
+  Matrix out;
+  SliceColsInto(a, begin, end, &out);
   return out;
 }
 
@@ -1327,8 +1491,9 @@ void LstmGatesForward(const Matrix& pre, const Matrix& hc_prev, Matrix* hc,
   obs::prof::AddFlops(flops);
   // Reads pre [Bx4H] + hc_prev [Bx2H], writes hc [Bx2H] + acts [Bx5H].
   obs::prof::AddBytes(int64_t{4} * pre.rows() * (13 * h));
-  *hc = Matrix(pre.rows(), 2 * h);
-  *acts = Matrix(pre.rows(), 5 * h);
+  // Both row bodies assign every hc/acts element, so reuse needs no zeroing.
+  EnsureShape(hc, pre.rows(), 2 * h, /*zeroed=*/false);
+  EnsureShape(acts, pre.rows(), 5 * h, /*zeroed=*/false);
   // scalar and blocked share the scalar body (there is nothing to block in
   // an elementwise kernel); simd gets the __restrict variant.
   const bool simd = CurrentKernelBackend() == KernelBackend::kSimd;

@@ -108,6 +108,13 @@ class Matrix {
 };
 
 // ---- Free-function kernels (allocate and return the result). ----
+//
+// Every value-returning kernel below is a thin wrapper over an in-place
+// `*Into` variant further down: `X(args)` is exactly
+// `{ Matrix c; XInto(args, &c); return c; }`. The Into forms exist for the
+// execution-plan replayer (src/plan), which recomputes a captured graph's
+// node values into persistent buffers every step — sharing one body per
+// kernel is what keeps replayed and dynamic steps bitwise identical.
 
 // The matmul kernels split their output rows across the global thread pool
 // when the nominal flop count (2*M*K*N) reaches this threshold; below it
@@ -223,6 +230,55 @@ void MatMulTransposeBGateBlockedAddInto(const Matrix& g, const Matrix& w,
 // running in reverse time. x [T*B x K], g [T*B x N], acc [K x N].
 void MatMulTransposeATimeBlockedAddInto(const Matrix& x, const Matrix& g,
                                         int block_rows, Matrix* acc);
+
+// ---- In-place kernel variants (execution-plan replay; DESIGN.md §15). ----
+//
+// Each `XInto(args, out)` runs the same shape checks, metrics and per-row
+// kernel body as `X(args)` but writes the result into *out. When *out
+// already has the target shape its storage is reused — no allocation, and
+// for the overwrite-style kernels not even a clear; only the accumulating
+// matmuls re-zero the buffer first. Otherwise *out is reallocated from the
+// current storage context (arena scope or heap), which is exactly what the
+// value-returning wrapper does on its fresh result. *out must not alias any
+// input.
+
+// Reuses *out when it is already [rows x cols] (clearing it to zero only
+// when `zeroed` is set, for kernels that accumulate rather than assign);
+// otherwise replaces it with a zero-filled [rows x cols] matrix.
+void EnsureShape(Matrix* out, int rows, int cols, bool zeroed);
+
+// *dst becomes a copy of src, reusing dst's storage when shapes match.
+void CopyInto(const Matrix& src, Matrix* dst);
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* c);
+void MatMulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* c);
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* c);
+
+void AddInto(const Matrix& a, const Matrix& b, Matrix* c);
+void SubInto(const Matrix& a, const Matrix& b, Matrix* c);
+void MulInto(const Matrix& a, const Matrix& b, Matrix* c);
+void AddScalarInto(const Matrix& a, float s, Matrix* c);
+void MulScalarInto(const Matrix& a, float s, Matrix* c);
+void AddRowBroadcastInto(const Matrix& a, const Matrix& row_vec, Matrix* c);
+
+void ExpInto(const Matrix& a, Matrix* c);
+void LogInto(const Matrix& a, Matrix* c);
+void PowInto(const Matrix& a, float p, Matrix* c);
+void TanhInto(const Matrix& a, Matrix* c);
+void SigmoidInto(const Matrix& a, Matrix* c);
+void ReluInto(const Matrix& a, Matrix* c);
+void LeakyReluInto(const Matrix& a, float slope, Matrix* c);
+
+void SumRowsInto(const Matrix& a, Matrix* out);
+void SoftmaxRowsInto(const Matrix& a, Matrix* out);
+
+// Pointer-of-blocks forms so a replayed concat reads the parent node values
+// directly instead of copying each block first (the vector overloads above
+// wrap these).
+void ConcatRowsInto(const Matrix* const* blocks, int n, Matrix* out);
+void ConcatColsInto(const Matrix* const* blocks, int n, Matrix* out);
+void SliceRowsInto(const Matrix& a, int begin, int end, Matrix* out);
+void SliceColsInto(const Matrix& a, int begin, int end, Matrix* out);
 
 // L2 norm of row r (with a small epsilon floor to avoid division by zero).
 float RowNorm(const Matrix& a, int r);

@@ -62,7 +62,7 @@ std::vector<Diagnostic> AnalyzeOne(const std::string& path,
 
 TEST(AnalyzeRules, AllRulesRegisteredAndUnique) {
   const std::vector<std::string>& names = RuleNames();
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 12u);
   std::vector<std::string> sorted = names;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
@@ -339,6 +339,71 @@ TEST(AnalyzeKernelBackend, PragmaSuppresses) {
              "// clfd-analyze: allow(semantic-kernel-backend-confinement)",
              "auto b = CurrentKernelBackend();"}));
   EXPECT_EQ(CountRule(ds, kRuleKernelBackendConfinement), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2b: plan-capture-confinement
+
+TEST(AnalyzePlanCapture, ProtocolReferenceOutsidePlanFires) {
+  auto ds = AnalyzeOne(
+      "src/a/layer.cc",
+      Lines({"void Install() {",
+             "  ag::SetTapeHooks(nullptr);", "}"}));
+  ASSERT_EQ(CountRule(ds, kRulePlanCaptureConfinement), 1);
+  EXPECT_EQ(ds[0].line, 2);
+}
+
+TEST(AnalyzePlanCapture, PlannerOutsideCaptureSitesFires) {
+  auto ds = AnalyzeOne(
+      "src/a/gce.cc",
+      Lines({"float Loss() {",
+             "  plan::Planner planner;",
+             "  return 0.0f;", "}"}));
+  ASSERT_EQ(CountRule(ds, kRulePlanCaptureConfinement), 1);
+  EXPECT_EQ(ds[0].line, 2);
+}
+
+TEST(AnalyzePlanCapture, PlanAutogradAndTrainerSitesAreExempt) {
+  const char* protocol = "ag::TapeHooks* h = ag::CurrentTapeHooks();";
+  EXPECT_EQ(CountRule(AnalyzeOne("src/plan/plan.cc", Lines({protocol})),
+                      kRulePlanCaptureConfinement),
+            0);
+  EXPECT_EQ(CountRule(AnalyzeOne("src/autograd/var.cc", Lines({protocol})),
+                      kRulePlanCaptureConfinement),
+            0);
+  const char* api = "plan::Planner planner;";
+  EXPECT_EQ(CountRule(AnalyzeOne("src/core/classifier_trainer.cc",
+                                 Lines({api})),
+                      kRulePlanCaptureConfinement),
+            0);
+  EXPECT_EQ(CountRule(AnalyzeOne("src/encoders/sharded_step.cc",
+                                 Lines({api})),
+                      kRulePlanCaptureConfinement),
+            0);
+}
+
+TEST(AnalyzePlanCapture, TrainerSiteMayNotTouchProtocol) {
+  // Capture sites get the Planner facade, not the raw hook protocol.
+  auto ds = AnalyzeOne("src/core/classifier_trainer.cc",
+                       Lines({"ag::SetTapeHooks(nullptr);"}));
+  ASSERT_EQ(CountRule(ds, kRulePlanCaptureConfinement), 1);
+}
+
+TEST(AnalyzePlanCapture, MentionsInCommentsAndStringsAreClean) {
+  auto ds = AnalyzeOne(
+      "src/a/layer.cc",
+      Lines({"// replay goes through plan::Planner, never SetTapeHooks",
+             "const char* kMsg = \"ExecutionPlan\";"}));
+  EXPECT_EQ(CountRule(ds, kRulePlanCaptureConfinement), 0);
+}
+
+TEST(AnalyzePlanCapture, PragmaSuppresses) {
+  auto ds = AnalyzeOne(
+      "src/a/layer.cc",
+      Lines({"// test-only shim; replay semantics owned by the harness",
+             "// clfd-analyze: allow(plan-capture-confinement)",
+             "plan::Planner planner;"}));
+  EXPECT_EQ(CountRule(ds, kRulePlanCaptureConfinement), 0);
 }
 
 // ---------------------------------------------------------------------------

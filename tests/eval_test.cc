@@ -6,6 +6,7 @@
 #include "eval/experiment.h"
 #include "nn/lstm.h"
 #include "parallel/thread_pool.h"
+#include "plan/plan.h"
 #include "tensor/kernel_backend.h"
 
 namespace clfd {
@@ -140,6 +141,43 @@ TEST(BackendInvarianceTest, RunMetricsBitwiseIdenticalAcrossBackends) {
         have_oracle = true;
         continue;
       }
+      EXPECT_EQ(oracle.f1, run.f1)
+          << "backend=" << KernelBackendName(backend) << " threads=" << width;
+      EXPECT_EQ(oracle.fpr, run.fpr)
+          << "backend=" << KernelBackendName(backend) << " threads=" << width;
+      EXPECT_EQ(oracle.auc, run.auc)
+          << "backend=" << KernelBackendName(backend) << " threads=" << width;
+    }
+  }
+  parallel::SetGlobalThreads(0);
+}
+
+TEST(PlanInvarianceTest, RunMetricsBitwiseIdenticalWithPlansOnAndOff) {
+  // Execution plans (src/plan) replay each training step's captured tape
+  // instead of rebuilding it; the contract is bitwise-identical RunMetrics
+  // either way. The dynamic tape at scalar/width-1 is the oracle; every
+  // (backend, width) combination with plans ON must match it (the dynamic
+  // tape's own backend/width invariance is locked down separately above).
+  SplitSpec split{40, 6, 20, 4};
+  ClfdConfig config = TinyConfig();
+  RunMetrics oracle;
+  {
+    plan::ScopedEnabled off(false);
+    parallel::SetGlobalThreads(1);
+    ExperimentContext context(DatasetKind::kWiki, split,
+                              NoiseSpec::Uniform(0.3), config.emb_dim, 21);
+    ClfdModel model(config, 21);
+    oracle = TrainAndEvaluate(&model, context);
+  }
+  plan::ScopedEnabled on(true);
+  for (KernelBackend backend : AllKernelBackends()) {
+    ScopedKernelBackend use(backend);
+    for (int width : {1, 2, 4}) {
+      parallel::SetGlobalThreads(width);
+      ExperimentContext context(DatasetKind::kWiki, split,
+                                NoiseSpec::Uniform(0.3), config.emb_dim, 21);
+      ClfdModel model(config, 21);
+      RunMetrics run = TrainAndEvaluate(&model, context);
       EXPECT_EQ(oracle.f1, run.f1)
           << "backend=" << KernelBackendName(backend) << " threads=" << width;
       EXPECT_EQ(oracle.fpr, run.fpr)

@@ -250,5 +250,40 @@ TEST(PerfDiffBackendSpeedups, MissingScalarRowProducesNoPair) {
   EXPECT_TRUE(perfdiff::BackendSpeedups(ms).empty());
 }
 
+TEST(PerfDiffPlanSpeedups, PairsPlanAgainstDynamicWithinOneArtifact) {
+  // The corrector E2E benchmark at two backends, each with a plan:0/plan:1
+  // pair, plus repetition duplicates (keep the min) and a plan-less
+  // benchmark that must be ignored.
+  std::vector<perfdiff::Metric> ms{
+      {"BM_CorrectorE2E/backend:0/plan:0 real_time", 6000.0, false},
+      {"BM_CorrectorE2E/backend:0/plan:1 real_time", 5000.0, false},
+      {"BM_CorrectorE2E/backend:0/plan:1 real_time", 4000.0, false},
+      {"BM_CorrectorE2E/backend:2/plan:0 real_time", 3000.0, false},
+      {"BM_CorrectorE2E/backend:2/plan:1 real_time", 2000.0, false},
+      {"BM_CorrectorE2E/backend:2/plan:1 plan_replays_per_iter", 9.0, false},
+      {"BM_AdamStep real_time", 100.0, false},
+  };
+  std::vector<perfdiff::PlanSpeedupRow> rows = perfdiff::PlanSpeedups(ms);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, "BM_CorrectorE2E/backend:0");
+  EXPECT_DOUBLE_EQ(rows[0].dynamic_time, 6000.0);
+  EXPECT_DOUBLE_EQ(rows[0].planned_time, 4000.0);
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 1.5);
+  EXPECT_EQ(rows[1].key, "BM_CorrectorE2E/backend:2");
+  EXPECT_DOUBLE_EQ(rows[1].speedup, 1.5);
+  const std::string table = perfdiff::FormatPlanSpeedups(rows);
+  EXPECT_NE(table.find("speedups vs dynamic tape"), std::string::npos);
+  EXPECT_NE(table.find("1.50x"), std::string::npos);
+}
+
+TEST(PerfDiffPlanSpeedups, UnpairedPlanRowsProduceNoPair) {
+  std::vector<perfdiff::Metric> ms{
+      {"BM_CorrectorE2E/plan:1 real_time", 2000.0, false},
+      {"BM_PlanReplay real_time", 500.0, false},
+  };
+  EXPECT_TRUE(perfdiff::PlanSpeedups(ms).empty());
+  EXPECT_EQ(perfdiff::FormatPlanSpeedups({}), "");
+}
+
 }  // namespace
 }  // namespace clfd

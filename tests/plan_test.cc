@@ -1,0 +1,445 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "autograd/var.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "losses/contrastive.h"
+#include "losses/robust_losses.h"
+#include "nn/classifier.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "plan/plan.h"
+#include "tensor/arena.h"
+#include "tensor/matrix.h"
+
+namespace clfd {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<float>(rng->Gaussian(0.0, 1.0));
+  }
+  return m;
+}
+
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_TRUE(a.SameShape(b)) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<size_t>(a.size())),
+            0)
+      << what << ": values diverge (max abs diff " << MaxAbsDiff(a, b) << ")";
+}
+
+// One classifier training step: mini-batch forward, GCE loss, backward,
+// Adam update. The same shape every call, so a Planner captures it once.
+float ClassifierStep(nn::FeedForwardClassifier* model, nn::Adam* optimizer,
+                     const Matrix& features, const Matrix& targets) {
+  ag::Var probs = model->ForwardProbs(ag::Constant(features));
+  ag::Var loss = GceLoss(probs, targets, 0.7f);
+  ag::Backward(loss);
+  optimizer->Step();
+  return loss.value()[0];
+}
+
+// Runs `steps` classifier training steps, planned or dynamic, and returns
+// the per-step losses. Models are seeded identically by the caller.
+std::vector<float> TrainClassifier(nn::FeedForwardClassifier* model,
+                                   bool planned, int steps,
+                                   plan::Planner* planner) {
+  Rng data_rng(99);
+  nn::Adam optimizer(model->Parameters(), 0.01f);
+  arena::Arena step_arena;
+  std::vector<float> losses;
+  for (int i = 0; i < steps; ++i) {
+    Matrix features = RandomMatrix(6, 5, &data_rng);
+    Matrix targets(6, 2);
+    for (int r = 0; r < 6; ++r) targets.at(r, r % 2) = 1.0f;
+    auto body = [&]() -> float {
+      step_arena.Reset();
+      arena::ScopedArena scope(&step_arena);
+      return ClassifierStep(model, &optimizer, features, targets);
+    };
+    if (planned) {
+      losses.push_back(planner->Step(plan::MakeKey(6), nullptr, body));
+    } else {
+      losses.push_back(body());
+    }
+  }
+  return losses;
+}
+
+TEST(PlanTest, ClassifierStepsBitwiseIdenticalToDynamic) {
+  Rng init_a(7), init_b(7);
+  nn::FeedForwardClassifier planned_model(5, 8, 2, &init_a);
+  nn::FeedForwardClassifier dynamic_model(5, 8, 2, &init_b);
+
+  plan::Planner planner;
+  std::vector<float> planned_losses;
+  {
+    plan::ScopedEnabled on(true);
+    planned_losses = TrainClassifier(&planned_model, true, 5, &planner);
+  }
+  std::vector<float> dynamic_losses;
+  {
+    plan::ScopedEnabled off(false);
+    dynamic_losses = TrainClassifier(&dynamic_model, false, 5, nullptr);
+  }
+
+  EXPECT_EQ(planner.captures(), 1);
+  EXPECT_EQ(planner.replays(), 4);
+  EXPECT_EQ(planner.invalidations(), 0);
+  ASSERT_EQ(planned_losses.size(), dynamic_losses.size());
+  for (size_t i = 0; i < planned_losses.size(); ++i) {
+    EXPECT_EQ(planned_losses[i], dynamic_losses[i]) << "step " << i;
+  }
+  auto pp = planned_model.Parameters();
+  auto dp = dynamic_model.Parameters();
+  ASSERT_EQ(pp.size(), dp.size());
+  for (size_t i = 0; i < pp.size(); ++i) {
+    ExpectBitwiseEqual(pp[i].value(), dp[i].value(), "parameter value");
+    ExpectBitwiseEqual(pp[i].grad(), dp[i].grad(), "parameter gradient");
+  }
+}
+
+TEST(PlanTest, AdamStateBitwiseIdenticalAfterFiveSteps) {
+  Rng init_a(11), init_b(11);
+  nn::FeedForwardClassifier planned_model(4, 6, 2, &init_a);
+  nn::FeedForwardClassifier dynamic_model(4, 6, 2, &init_b);
+  nn::Adam planned_opt(planned_model.Parameters(), 0.02f);
+  nn::Adam dynamic_opt(dynamic_model.Parameters(), 0.02f);
+
+  Rng data_rng_a(5), data_rng_b(5);
+  plan::Planner planner;
+  arena::Arena arena_a, arena_b;
+  for (int i = 0; i < 5; ++i) {
+    Matrix fa = RandomMatrix(6, 4, &data_rng_a);
+    Matrix fb = RandomMatrix(6, 4, &data_rng_b);
+    Matrix targets(6, 2);
+    for (int r = 0; r < 6; ++r) targets.at(r, r % 2) = 1.0f;
+    {
+      plan::ScopedEnabled on(true);
+      planner.Step(plan::MakeKey(6), nullptr, [&]() -> float {
+        arena_a.Reset();
+        arena::ScopedArena scope(&arena_a);
+        return ClassifierStep(&planned_model, &planned_opt, fa, targets);
+      });
+    }
+    {
+      plan::ScopedEnabled off(false);
+      arena_b.Reset();
+      arena::ScopedArena scope(&arena_b);
+      ClassifierStep(&dynamic_model, &dynamic_opt, fb, targets);
+    }
+  }
+  EXPECT_EQ(planned_opt.step_count(), dynamic_opt.step_count());
+  ASSERT_EQ(planned_opt.first_moments().size(),
+            dynamic_opt.first_moments().size());
+  for (size_t i = 0; i < planned_opt.first_moments().size(); ++i) {
+    ExpectBitwiseEqual(planned_opt.first_moments()[i],
+                       dynamic_opt.first_moments()[i], "Adam m");
+    ExpectBitwiseEqual(planned_opt.second_moments()[i],
+                       dynamic_opt.second_moments()[i], "Adam v");
+  }
+}
+
+// Contrastive heads: the SimCLR (NT-Xent) and SupCon graphs replay
+// bitwise, including their softmax/normalize auxiliary state.
+TEST(PlanTest, ContrastiveLossesReplayBitwise) {
+  for (int variant = 0; variant < 2; ++variant) {
+    Rng init_a(21), init_b(21);
+    nn::Linear head_a(6, 4, &init_a);
+    nn::Linear head_b(6, 4, &init_b);
+    std::vector<int> labels = {0, 1, 0, 1, 1, 0, 0, 1};
+    std::vector<double> confidences(labels.size(), 0.9);
+
+    auto run = [&](nn::Linear* head, bool planned,
+                   plan::Planner* planner) -> std::vector<float> {
+      Rng data_rng(31);
+      nn::Adam optimizer(head->Parameters(), 0.05f);
+      arena::Arena step_arena;
+      std::vector<float> losses;
+      for (int i = 0; i < 4; ++i) {
+        Matrix x = RandomMatrix(8, 6, &data_rng);
+        auto body = [&]() -> float {
+          step_arena.Reset();
+          arena::ScopedArena scope(&step_arena);
+          ag::Var z = head->Forward(ag::Constant(x));
+          ag::Var loss =
+              variant == 0
+                  ? NtXentLoss(z, 0.5f)
+                  : SupConLoss(z, labels, confidences, /*num_anchors=*/6,
+                               /*alpha=*/0.1f);
+          ag::Backward(loss);
+          optimizer.Step();
+          return loss.value()[0];
+        };
+        losses.push_back(planned
+                             ? planner->Step(plan::MakeKey(8), nullptr, body)
+                             : body());
+      }
+      return losses;
+    };
+
+    plan::Planner planner;
+    std::vector<float> planned_losses, dynamic_losses;
+    {
+      plan::ScopedEnabled on(true);
+      planned_losses = run(&head_a, true, &planner);
+    }
+    {
+      plan::ScopedEnabled off(false);
+      dynamic_losses = run(&head_b, false, nullptr);
+    }
+    EXPECT_EQ(planner.replays(), 3) << "variant " << variant;
+    for (size_t i = 0; i < planned_losses.size(); ++i) {
+      EXPECT_EQ(planned_losses[i], dynamic_losses[i])
+          << "variant " << variant << " step " << i;
+    }
+    ExpectBitwiseEqual(head_a.Parameters()[0].value(),
+                       head_b.Parameters()[0].value(), "head weight");
+  }
+}
+
+#if !defined(CLFD_OBS_FORCE_OFF)
+TEST(PlanTest, ReplayBuildsZeroTapeNodes) {
+  Rng init(3);
+  nn::FeedForwardClassifier model(4, 6, 2, &init);
+  nn::Adam optimizer(model.Parameters(), 0.01f);
+  Rng data_rng(13);
+  Matrix targets(5, 2);
+  for (int r = 0; r < 5; ++r) targets.at(r, r % 2) = 1.0f;
+
+  plan::ScopedEnabled on(true);
+  plan::Planner planner;
+  arena::Arena step_arena;
+  obs::Counter* nodes =
+      obs::MetricsRegistry::Get().GetCounter("autograd.tape.nodes_created");
+  for (int i = 0; i < 3; ++i) {
+    Matrix features = RandomMatrix(5, 4, &data_rng);
+    int64_t before = nodes->value();
+    planner.Step(plan::MakeKey(5), nullptr, [&]() -> float {
+      step_arena.Reset();
+      arena::ScopedArena scope(&step_arena);
+      return ClassifierStep(&model, &optimizer, features, targets);
+    });
+    int64_t created = nodes->value() - before;
+    if (i == 0) {
+      EXPECT_GT(created, 0) << "capture step must build the dynamic tape";
+    } else {
+      EXPECT_EQ(created, 0) << "replay step " << i << " built tape nodes";
+    }
+  }
+  EXPECT_EQ(planner.replays(), 2);
+}
+#endif  // !CLFD_OBS_FORCE_OFF
+
+TEST(PlanTest, ShapeChangeInvalidatesFallsBackThenBlacklists) {
+  Rng init(17);
+  nn::FeedForwardClassifier model(4, 6, 2, &init);
+  nn::Adam optimizer(model.Parameters(), 0.01f);
+  Rng data_rng(19);
+  plan::ScopedEnabled on(true);
+  plan::Planner planner;
+  arena::Arena step_arena;
+
+  // Deliberately key every step the same while alternating the real batch
+  // shape: 5 rows, 5 rows (replay), 7 rows (mismatch -> fallback),
+  // 7 (re-capture), 5 (mismatch #2 -> blacklist), 5, 7 (both dynamic).
+  int rows_per_step[] = {5, 5, 7, 7, 5, 5, 7};
+  std::vector<float> losses;
+  for (int rows : rows_per_step) {
+    Matrix features = RandomMatrix(rows, 4, &data_rng);
+    Matrix targets(rows, 2);
+    for (int r = 0; r < rows; ++r) targets.at(r, r % 2) = 1.0f;
+    losses.push_back(
+        planner.Step(plan::MakeKey(0), nullptr, [&]() -> float {
+          step_arena.Reset();
+          arena::ScopedArena scope(&step_arena);
+          return ClassifierStep(&model, &optimizer, features, targets);
+        }));
+  }
+  EXPECT_EQ(planner.captures(), 2);
+  EXPECT_EQ(planner.invalidations(), 2);
+  EXPECT_EQ(planner.replays(), 1);
+
+  // The mixed planned/fallback run must match a pure dynamic twin bitwise.
+  Rng init2(17);
+  nn::FeedForwardClassifier twin(4, 6, 2, &init2);
+  nn::Adam twin_opt(twin.Parameters(), 0.01f);
+  Rng twin_rng(19);
+  plan::ScopedEnabled off(false);
+  arena::Arena twin_arena;
+  std::vector<float> twin_losses;
+  for (int rows : rows_per_step) {
+    Matrix features = RandomMatrix(rows, 4, &twin_rng);
+    Matrix targets(rows, 2);
+    for (int r = 0; r < rows; ++r) targets.at(r, r % 2) = 1.0f;
+    twin_arena.Reset();
+    arena::ScopedArena scope(&twin_arena);
+    twin_losses.push_back(ClassifierStep(&twin, &twin_opt, features, targets));
+  }
+  EXPECT_EQ(losses, twin_losses);
+  ExpectBitwiseEqual(model.Parameters()[0].value(),
+                     twin.Parameters()[0].value(), "post-fallback weight");
+}
+
+TEST(PlanTest, RngRestoredOnFallbackRerun) {
+  // A body that draws from the RNG before mismatching must see the same
+  // draws again on the dynamic rerun, or batch composition would silently
+  // change on invalidation.
+  plan::ScopedEnabled on(true);
+  plan::Planner planner;
+  Rng rng(23);
+  arena::Arena step_arena;
+  std::vector<float> draws;
+  int rows_per_step[] = {3, 4};
+  for (int rows : rows_per_step) {
+    planner.Step(plan::MakeKey(0), &rng, [&]() -> float {
+      draws.push_back(static_cast<float>(rng.Uniform()));
+      step_arena.Reset();
+      arena::ScopedArena scope(&step_arena);
+      ag::Var x = ag::Param(RandomMatrix(rows, 2, &rng));
+      ag::Var loss = ag::SumAll(ag::Mul(x, x));
+      ag::Backward(loss);
+      return loss.value()[0];
+    });
+  }
+  EXPECT_EQ(planner.invalidations(), 1);
+  // Step 2 ran its body twice (mismatched replay, then dynamic rerun), so
+  // the pre-tape draw appears twice — and bitwise identically, proving the
+  // snapshot restore.
+  ASSERT_EQ(draws.size(), 3u);
+  EXPECT_EQ(draws[1], draws[2]);
+
+  Rng twin(23);
+  EXPECT_EQ(draws[0], static_cast<float>(twin.Uniform()));
+}
+
+TEST(PlanTest, ReplayStepsAllocateNothingForTheTape) {
+  Rng data_rng(31);
+  plan::ScopedEnabled on(true);
+  // Checks stay on: the arena NaN-poisons recycled storage under checks, so
+  // a replay that dangled into the previous step's arena data would trip
+  // the CheckFinite every replayed op runs.
+  check::ScopedEnable checks(true);
+  plan::Planner planner;
+  arena::Arena step_arena;
+
+#if !defined(CLFD_OBS_FORCE_OFF)
+  obs::Counter* arena_allocs =
+      obs::MetricsRegistry::Get().GetCounter("tensor.alloc.arena_count");
+  obs::Counter* heap_allocs =
+      obs::MetricsRegistry::Get().GetCounter("tensor.alloc.count");
+#endif
+  arena::Arena::Mark end_marks[4];
+  for (int i = 0; i < 4; ++i) {
+#if !defined(CLFD_OBS_FORCE_OFF)
+    int64_t arena_before = arena_allocs->value();
+    int64_t heap_before = heap_allocs->value();
+#endif
+    planner.Step(plan::MakeKey(5), nullptr, [&]() -> float {
+      step_arena.Reset();
+      arena::ScopedArena scope(&step_arena);
+      ag::Var x = ag::Param(RandomMatrix(5, 2, &data_rng));
+      ag::Var loss = ag::SumAll(ag::Tanh(x));
+      ag::Backward(loss);
+      return loss.value()[0];
+    });
+    end_marks[i] = step_arena.Position();
+#if !defined(CLFD_OBS_FORCE_OFF)
+    if (i > 0) {
+      // In-place replay recomputes every node into the plan's persistent
+      // heap buffers and re-zeros interior gradients in place; Tanh/SumAll
+      // backwards are pure loops. The only allocation left in a replayed
+      // step is the fresh batch matrix built inside the body (the leaf
+      // rebind), and nothing touches the heap.
+      EXPECT_EQ(arena_allocs->value() - arena_before, 1)
+          << "replay step " << i << " allocated from the step arena";
+      EXPECT_EQ(heap_allocs->value() - heap_before, 0)
+          << "replay step " << i << " allocated from the heap";
+    }
+#endif
+  }
+  EXPECT_EQ(planner.replays(), 3);
+  // Replays perform identical allocation sequences, so the deterministic
+  // bump allocator leaves its cursor at the same offset after each one.
+  for (int i = 2; i < 4; ++i) {
+    EXPECT_TRUE(end_marks[i] == end_marks[1]) << "step " << i;
+  }
+  const plan::ExecutionPlan* plan = planner.plan(plan::MakeKey(5));
+  ASSERT_NE(plan, nullptr);
+  EXPECT_GT(plan->num_slots(), 0u);
+}
+
+TEST(PlanTest, SplitForwardBackwardMatchesDynamic) {
+  // The sharded trainer's shape: forward in one region, an external seed,
+  // then BackwardWithGrad in another region.
+  Rng init_a(37), init_b(37);
+  nn::Linear head_a(3, 2, &init_a);
+  nn::Linear head_b(3, 2, &init_b);
+  Rng data_rng(41);
+  Matrix x = RandomMatrix(4, 3, &data_rng);
+  Matrix seed(4, 2, 1.0f);
+
+  auto run = [&](nn::Linear* head, plan::Planner* planner) {
+    arena::Arena step_arena;
+    for (int i = 0; i < 3; ++i) {
+      nn::ZeroGrads(head->Parameters());
+      auto fwd = [&]() -> ag::Var {
+        step_arena.Reset();
+        arena::ScopedArena scope(&step_arena);
+        return head->Forward(ag::Constant(x));
+      };
+      ag::Var root = planner != nullptr
+                         ? planner->ForwardStep(plan::MakeKey(4), fwd)
+                         : fwd();
+      auto bwd = [&]() {
+        arena::ScopedArena scope(&step_arena);
+        ag::BackwardWithGrad(root, seed);
+      };
+      if (planner != nullptr) {
+        planner->BackwardStep(bwd);
+      } else {
+        bwd();
+      }
+    }
+  };
+
+  plan::Planner planner;
+  {
+    plan::ScopedEnabled on(true);
+    run(&head_a, &planner);
+  }
+  {
+    plan::ScopedEnabled off(false);
+    run(&head_b, nullptr);
+  }
+  EXPECT_EQ(planner.captures(), 1);
+  EXPECT_EQ(planner.replays(), 2);
+  ExpectBitwiseEqual(head_a.Parameters()[0].grad(),
+                     head_b.Parameters()[0].grad(), "split weight grad");
+  ExpectBitwiseEqual(head_a.Parameters()[1].grad(),
+                     head_b.Parameters()[1].grad(), "split bias grad");
+}
+
+TEST(PlanTest, DisabledPlannerStaysDynamic) {
+  plan::ScopedEnabled off(false);
+  plan::Planner planner;
+  float loss = planner.Step(plan::MakeKey(1), nullptr, [&]() -> float {
+    ag::Var x = ag::Param(Matrix::FromRows({{2.0f}}));
+    ag::Var l = ag::SumAll(ag::Mul(x, x));
+    ag::Backward(l);
+    return l.value()[0];
+  });
+  EXPECT_EQ(loss, 4.0f);
+  EXPECT_EQ(planner.captures(), 0);
+  EXPECT_EQ(planner.replays(), 0);
+}
+
+}  // namespace
+}  // namespace clfd

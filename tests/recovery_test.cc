@@ -20,6 +20,7 @@
 #include "eval/experiment.h"
 #include "nn/optimizer.h"
 #include "parallel/thread_pool.h"
+#include "plan/plan.h"
 #include "recovery/checkpoint.h"
 #include "recovery/fault_plan.h"
 #include "recovery/run_checkpointer.h"
@@ -440,6 +441,32 @@ TEST(CrashResumeTest, KillAndResumeBitwiseIdenticalAtEveryWidth) {
     EXPECT_EQ(resumed.fpr, baseline.fpr) << "width " << width;
     EXPECT_EQ(resumed.auc, baseline.auc) << "width " << width;
   }
+}
+
+TEST(CrashResumeTest, ResumeRecapturesExecutionPlansBitwiseIdentical) {
+  // Execution plans are derived state — never serialized into checkpoints —
+  // so a resumed process starts with empty plan caches and re-captures from
+  // its first step. Killing a plans-on run at an epoch boundary and
+  // resuming must land on the same bits as an uninterrupted run on the
+  // plain dynamic tape.
+  RunMetrics baseline;
+  {
+    plan::ScopedEnabled off(false);
+    baseline = RunOne(recovery::RecoveryOptions{});
+  }
+
+  plan::ScopedEnabled on(true);
+  recovery::RecoveryOptions options;
+  options.dir = ScratchDir("plan_resume");
+  options.interval_epochs = 4;
+  {
+    recovery::ScopedFaultPlan crash("run.epoch@20", 1);
+    EXPECT_THROW(RunOne(options), recovery::SimulatedCrash);
+  }
+  RunMetrics resumed = RunOne(options);
+  EXPECT_EQ(resumed.f1, baseline.f1);
+  EXPECT_EQ(resumed.fpr, baseline.fpr);
+  EXPECT_EQ(resumed.auc, baseline.auc);
 }
 
 TEST(CrashResumeTest, CheckpointingItselfDoesNotChangeResults) {

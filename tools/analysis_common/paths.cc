@@ -22,5 +22,15 @@ bool IsKernelBackendAllowlisted(const std::string& path) {
          StartsWith(path, "src/autograd/grad_check.");
 }
 
+bool IsPlanProtocolAllowlisted(const std::string& path) {
+  return StartsWith(path, "src/plan/") || StartsWith(path, "src/autograd/");
+}
+
+bool IsPlanCaptureSite(const std::string& path) {
+  return StartsWith(path, "src/plan/") ||
+         StartsWith(path, "src/core/classifier_trainer.") ||
+         StartsWith(path, "src/encoders/sharded_step.");
+}
+
 }  // namespace analysis
 }  // namespace clfd

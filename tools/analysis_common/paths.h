@@ -30,5 +30,19 @@ bool IsInfraAllowlisted(const std::string& path);
 // cases.
 bool IsKernelBackendAllowlisted(const std::string& path);
 
+// The only src/ files allowed to name the tape-interception protocol
+// (autograd/tape_hooks.h: TapeHooks, SetTapeHooks, Capturer/Replayer,
+// ...): the autograd layer that defines and drives the hooks, and
+// src/plan, which implements them. Everything else goes through the
+// Planner facade — a trainer that installed hooks directly could replay a
+// graph the plan engine never validated.
+bool IsPlanProtocolAllowlisted(const std::string& path);
+
+// The trainer capture sites: the only src/ files outside src/plan allowed
+// to use the Planner facade (Planner, MakeKey, ExecutionPlan, ...). Plan
+// capture is a training-loop decision — one Planner per phase, keyed by
+// step shape — not something ops, layers, or losses may do ad hoc.
+bool IsPlanCaptureSite(const std::string& path);
+
 }  // namespace analysis
 }  // namespace clfd

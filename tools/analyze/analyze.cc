@@ -61,6 +61,7 @@ const std::vector<std::string>& RuleNames() {
       kRuleLayeringUpward,   kRuleLayeringCycle,
       kRuleLayeringUnknown,  kRuleIncludeUnused,
       kRuleMutableGlobal,    kRuleKernelBackendConfinement,
+      kRulePlanCaptureConfinement,
       kRuleNestedParallelFor, kRuleBlockingInWorker,
       kRuleScopeEscape,      kRuleNonTreeAccumulation,
       kRuleDotStale,
@@ -88,7 +89,7 @@ const std::map<std::string, int>& DefaultLayers() {
           {"parallel", 2}, {"data", 2}, {"metrics", 2},
           {"tensor", 3},   {"augment", 3},
           {"autograd", 4}, {"embedding", 4},
-          {"nn", 5},       {"losses", 5},
+          {"nn", 5},       {"losses", 5},   {"plan", 5},
           {"recovery", 6},
           {"encoders", 7},
           {"core", 8},

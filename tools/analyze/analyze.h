@@ -62,6 +62,8 @@ inline constexpr char kRuleIncludeUnused[] = "include-unused";
 inline constexpr char kRuleMutableGlobal[] = "semantic-mutable-global";
 inline constexpr char kRuleKernelBackendConfinement[] =
     "semantic-kernel-backend-confinement";
+inline constexpr char kRulePlanCaptureConfinement[] =
+    "plan-capture-confinement";
 inline constexpr char kRuleNestedParallelFor[] = "nested-parallel-for";
 inline constexpr char kRuleBlockingInWorker[] = "blocking-in-worker";
 inline constexpr char kRuleScopeEscape[] = "scoped-state-escape";

@@ -187,6 +187,21 @@ const char* const kKernelBackendTokens[] = {
     "SetKernelBackend",   "ParseKernelBackend",   "AllKernelBackends",
 };
 
+// The tape-interception protocol (autograd/tape_hooks.h) and the plan
+// engine's internals. A file that names these is wiring itself into graph
+// capture/replay directly, bypassing the Planner's validation and
+// fallback machinery.
+const char* const kPlanProtocolTokens[] = {
+    "TapeHooks", "SetTapeHooks", "CurrentTapeHooks",
+    "Capturer",  "Replayer",     "HooksGuard",
+};
+
+// The Planner facade. Legal only at the trainer capture sites (and inside
+// src/plan itself); see IsPlanCaptureSite.
+const char* const kPlanApiTokens[] = {
+    "ExecutionPlan", "Planner", "MakeKey", "ReplayMismatch",
+};
+
 class DeclarationScanner {
  public:
   DeclarationScanner(const ParsedFile& file, std::set<std::string>* exports,
@@ -425,6 +440,46 @@ void CheckSymbols(const ParsedFile& file, Reporter* reporter) {
               "backend-agnostic — dispatch lives inside the tensor "
               "kernels, selection is global (env/CLI) or a test-scoped "
               "ScopedKernelBackend");
+          break;
+        }
+      }
+    }
+  }
+
+  // Plan-capture confinement, same shape: the tape-interception protocol
+  // is private to src/autograd + src/plan, and the Planner facade may only
+  // appear at the trainer capture sites. Anywhere else, building or
+  // replaying a plan sidesteps the one code path that validates bindings
+  // and falls back to the dynamic tape on mismatch.
+  const bool protocol_ok = analysis::IsPlanProtocolAllowlisted(file.path);
+  const bool capture_site_ok = protocol_ok ||
+                               analysis::IsPlanCaptureSite(file.path);
+  if (!protocol_ok || !capture_site_ok) {
+    for (const analysis::Token& t : file.tokens) {
+      if (t.kind != analysis::Token::Kind::kIdent) continue;
+      bool hit = false;
+      if (!protocol_ok) {
+        for (const char* banned : kPlanProtocolTokens) {
+          if (t.text == banned) {
+            reporter->Report(
+                file, t.line, kRulePlanCaptureConfinement,
+                "tape-interception machinery ('" + t.text + "') outside "
+                "src/autograd and src/plan; graph capture/replay must go "
+                "through plan::Planner, which validates bindings and falls "
+                "back to the dynamic tape on mismatch");
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit || capture_site_ok) continue;
+      for (const char* banned : kPlanApiTokens) {
+        if (t.text == banned) {
+          reporter->Report(
+              file, t.line, kRulePlanCaptureConfinement,
+              "plan capture ('" + t.text + "') outside the trainer capture "
+              "sites; plans are per-phase training-loop state — ops, "
+              "layers, and losses must stay plan-agnostic");
           break;
         }
       }

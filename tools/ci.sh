@@ -18,9 +18,11 @@
 #
 # When the default preset is in the run, the substrate micro-benchmarks
 # also run in smoke mode (short min-time) and emit BENCH_substrate.json:
-# kernel FLOP/s, matmul invocations and allocations per training step, and
+# kernel FLOP/s, matmul invocations and allocations per training step,
 # wall-clock per phase (forward, forward+backward, optimizer, corrector
-# end-to-end). Before the fresh numbers replace the committed baseline,
+# end-to-end), and the execution-plan rows (corrector E2E with plans on
+# vs off plus the BM_PlanCapture/BM_PlanReplay pair with its capture/
+# replay counters). Before the fresh numbers replace the committed baseline,
 # tools/perfdiff/perf_diff runs as a gate: any benchmark that regressed
 # past the threshold (default +50%, override with
 # CLFD_PERF_GATE_THRESHOLD) fails the run with a ranked delta table. The
@@ -70,6 +72,18 @@ for preset in "${presets[@]}"; do
         "./${build_dir}/tests/kernel_backend_test"
     CLFD_KERNEL_BACKEND="${backend}" "./${build_dir}/tests/eval_test" \
         --gtest_filter='BackendInvarianceTest.*'
+  done
+  # Execution-plan dimension: the ctest run already covers the ambient
+  # default (plans on), so rerun the plan suite and the full-pipeline
+  # invariance test with each CLFD_PLAN value pinned. Under asan/ubsan/
+  # tsan this puts the capture/replay machinery — persistent node buffers
+  # reused across thousands of steps — in front of the sanitizers in both
+  # modes.
+  for plan in 0 1; do
+    echo "==== [${preset}] execution plan dimension: CLFD_PLAN=${plan}"
+    CLFD_PLAN="${plan}" "./${build_dir}/tests/plan_test"
+    CLFD_PLAN="${plan}" "./${build_dir}/tests/eval_test" \
+        --gtest_filter='PlanInvarianceTest.*'
   done
 done
 

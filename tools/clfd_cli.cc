@@ -24,6 +24,9 @@
 //   --kernel-backend=B  scalar|blocked|simd kernel bodies (default:
 //                       CLFD_KERNEL_BACKEND env, else scalar); every
 //                       backend is bitwise-identical, only speed differs
+//   --no-plan           disable static execution plans and rebuild the
+//                       autograd tape every step (default: CLFD_PLAN env,
+//                       else plans on); bitwise-identical results
 //
 // Fault-tolerance flags:
 //   --checkpoint-dir=DIR      (run) checkpoint/resume training under DIR
@@ -56,6 +59,7 @@
 #include "obs/prof.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "plan/plan.h"
 #include "recovery/fault_plan.h"
 #include "tensor/kernel_backend.h"
 #include "recovery/run_checkpointer.h"
@@ -127,6 +131,9 @@ int Usage() {
       "  --kernel-backend=scalar|blocked|simd\n"
       "                kernel implementation (default CLFD_KERNEL_BACKEND\n"
       "                or scalar; bitwise-identical results, only speed)\n"
+      "  --no-plan     rebuild the autograd tape every step instead of\n"
+      "                replaying captured execution plans (default\n"
+      "                CLFD_PLAN or on; bitwise-identical results)\n"
       "fault tolerance (run):\n"
       "  --checkpoint-dir=DIR --checkpoint-interval=N --no-resume\n"
       "  --watchdog    divergence watchdog with rollback + bounded retry\n"
@@ -373,6 +380,10 @@ int Main(int argc, char** argv) {
     }
     SetKernelBackend(backend);
   }
+
+  // Execution plans default on (CLFD_PLAN env); --no-plan forces the
+  // dynamic tape. Bitwise-identical results either way, only speed differs.
+  if (args.values.count("no-plan") > 0) plan::SetEnabled(false);
 
   // Deterministic fault injection: same (spec, seed) -> same fault
   // sequence, so a crash/resume transcript is reproducible.

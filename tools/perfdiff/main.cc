@@ -123,6 +123,9 @@ int main(int argc, char** argv) {
   // over scalar in this very run? Informational, never gated.
   std::cout << clfd::perfdiff::FormatBackendSpeedups(
       clfd::perfdiff::BackendSpeedups(current));
+  // Same for the execution-plan axis: plan replay vs dynamic tape.
+  std::cout << clfd::perfdiff::FormatPlanSpeedups(
+      clfd::perfdiff::PlanSpeedups(current));
   if (result.regressions > 0 && gate) {
     std::cerr << "perf_diff: GATE FAILED (" << result.regressions
               << " regression" << (result.regressions == 1 ? "" : "s")

@@ -213,6 +213,68 @@ std::vector<SpeedupRow> BackendSpeedups(const std::vector<Metric>& metrics) {
   return rows;
 }
 
+std::vector<PlanSpeedupRow> PlanSpeedups(const std::vector<Metric>& metrics) {
+  // plan-arg-elided key -> plan flag (0 dynamic, 1 planned) -> real_time ns.
+  std::map<std::string, std::map<int, double>> by_bench;
+  const std::string field = " real_time";
+  const std::string arg = "plan:";
+  for (const Metric& m : metrics) {
+    if (m.key.size() < field.size() ||
+        m.key.compare(m.key.size() - field.size(), field.size(), field) != 0) {
+      continue;
+    }
+    size_t pos = m.key.find(arg);
+    if (pos == std::string::npos || pos == 0 || m.key[pos - 1] != '/') {
+      continue;
+    }
+    size_t end = pos + arg.size();
+    size_t digits = end;
+    while (digits < m.key.size() &&
+           std::isdigit(static_cast<unsigned char>(m.key[digits]))) {
+      ++digits;
+    }
+    if (digits == end) continue;
+    const int flag = std::stoi(m.key.substr(end, digits - end));
+    std::string key = m.key.substr(0, pos - 1) + m.key.substr(digits);
+    key = key.substr(0, key.size() - field.size());
+    auto [it, inserted] = by_bench[key].emplace(flag, m.value);
+    if (!inserted) it->second = std::min(it->second, m.value);
+  }
+  std::vector<PlanSpeedupRow> rows;
+  for (const auto& [key, by_flag] : by_bench) {
+    auto dynamic = by_flag.find(0);
+    auto planned = by_flag.find(1);
+    if (dynamic == by_flag.end() || planned == by_flag.end() ||
+        dynamic->second <= 0 || planned->second <= 0) {
+      continue;
+    }
+    PlanSpeedupRow row;
+    row.key = key;
+    row.dynamic_time = dynamic->second;
+    row.planned_time = planned->second;
+    row.speedup = dynamic->second / planned->second;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string FormatPlanSpeedups(const std::vector<PlanSpeedupRow>& rows) {
+  if (rows.empty()) return "";
+  std::ostringstream os;
+  char buf[256];
+  os << "execution-plan speedups vs dynamic tape (same artifact):\n";
+  std::snprintf(buf, sizeof(buf), "%-44s %12s %12s %9s\n", "benchmark",
+                "dynamic", "planned", "speedup");
+  os << buf;
+  for (const PlanSpeedupRow& row : rows) {
+    std::snprintf(buf, sizeof(buf), "%-44s %10.4gns %10.4gns %8.2fx\n",
+                  row.key.c_str(), row.dynamic_time, row.planned_time,
+                  row.speedup);
+    os << buf;
+  }
+  return os.str();
+}
+
 std::string FormatBackendSpeedups(const std::vector<SpeedupRow>& rows) {
   if (rows.empty()) return "";
   std::ostringstream os;

@@ -89,5 +89,20 @@ struct SpeedupRow {
 std::vector<SpeedupRow> BackendSpeedups(const std::vector<Metric>& metrics);
 std::string FormatBackendSpeedups(const std::vector<SpeedupRow>& rows);
 
+// Same idea along the execution-plan axis: pairs each "<bench>/plan:1
+// real_time" metric with the matching plan:0 row of the same artifact (the
+// plan arg BM_CorrectorE2E and the BM_Plan* pairs carry) and reports the
+// end-to-end speedup plan replay achieves over the dynamic tape. This is
+// the view the ">= 1.2x corrector speedup" acceptance number is read from.
+struct PlanSpeedupRow {
+  std::string key;            // benchmark name with the plan arg elided
+  double dynamic_time = 0.0;  // plan:0, ns
+  double planned_time = 0.0;  // plan:1, ns
+  double speedup = 0.0;       // dynamic_time / planned_time
+};
+
+std::vector<PlanSpeedupRow> PlanSpeedups(const std::vector<Metric>& metrics);
+std::string FormatPlanSpeedups(const std::vector<PlanSpeedupRow>& rows);
+
 }  // namespace perfdiff
 }  // namespace clfd
